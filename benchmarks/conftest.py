@@ -1,0 +1,23 @@
+"""Benchmark-session plumbing.
+
+Each bench module registers rendered report tables (paper vs measured)
+into :mod:`benchmarks.common`; this hook prints them once the session
+ends, so ``pytest benchmarks/ --benchmark-only`` leaves a readable
+reproduction of every table/figure at the bottom of its output.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# make `import common` work when pytest runs with rootdir != benchmarks/
+sys.path.insert(0, str(Path(__file__).parent))
+
+import common  # noqa: E402
+
+
+def pytest_sessionfinish(session, exitstatus):  # noqa: ARG001
+    text = common.render_all_reports()
+    if text:
+        print("\n" + text)

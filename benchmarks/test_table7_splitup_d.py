@@ -1,0 +1,73 @@
+"""Table VII — % split-up of μDBSCAN-D's steps (incl. merge share).
+
+Paper rows: FOF28M14D, MPAGD100M3D, FOF56M3D over five rows of
+tree construction / finding reachable groups / clustering / post
+processing / merging, on 32 nodes.  Shape target: **merging stays a
+small share** (the paper reports 1.8-3.9%) — that is the claim that
+the parallelization overhead is minimal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import common
+from repro.distributed.mudbscan_d import LOCAL_PHASES, mu_dbscan_d
+
+DATASETS = ["FOF28M14D", "MPAGD100M3D", "FOF56M3D"]
+
+PHASES = list(LOCAL_PHASES) + ["merging"]
+
+PAPER_SPLIT = {
+    "FOF28M14D": [4.19, 1.04, 80.94, 8.52, 3.88],
+    "MPAGD100M3D": [8.09, 3.95, 25.32, 40.99, 1.83],
+    "FOF56M3D": [26.39, 1.6, 10.74, 39.4, 2.27],
+}
+
+_splits: dict[str, dict[str, float]] = {}
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+def test_table7(benchmark, dataset_name: str) -> None:
+    pts, spec = common.dataset(dataset_name)
+    result = benchmark.pedantic(
+        lambda: mu_dbscan_d(pts, spec.eps, spec.min_pts, n_ranks=common.RANKS),
+        rounds=1,
+        iterations=1,
+    )
+    total = sum(result.timers.get(p) for p in PHASES)
+    _splits[dataset_name] = {
+        p: 100.0 * result.timers.get(p) / total for p in PHASES
+    }
+
+
+def test_merge_share_stays_small(benchmark) -> None:
+    """The scalability claim: merging is a minor fraction of the run."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # satisfy --benchmark-only
+    if not _splits:
+        pytest.skip("needs the table7 cells to have run first")
+    for name, split in _splits.items():
+        assert split["merging"] < 35.0, f"{name}: merge share {split['merging']:.1f}%"
+
+
+def _render() -> str:
+    headers = ["phase"] + [f"{n} (paper)" for n in DATASETS]
+    rows = []
+    for i, phase in enumerate(PHASES):
+        cells = []
+        for name in DATASETS:
+            split = _splits.get(name)
+            cells.append(
+                f"{split[phase]:.1f}% ({PAPER_SPLIT[name][i]}%)" if split else "-"
+            )
+        rows.append([phase] + cells)
+    return common.simple_table(
+        headers, rows,
+        title=(
+            "Table VII reproduction - muDBSCAN-D phase split "
+            f"({common.RANKS} simulated ranks; paper used 32 nodes)"
+        ),
+    )
+
+
+common.register_report("Table VII - muDBSCAN-D step split-up", _render)

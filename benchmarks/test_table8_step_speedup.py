@@ -1,0 +1,95 @@
+"""Table VIII — per-step speedup of μDBSCAN-D over sequential μDBSCAN.
+
+Paper: MPAGD8M3D on 32 nodes; every individual step speeds up (tree
+construction 83x — superlinear, see Fig. 7 — reachable groups 176x,
+clustering 26x, post-processing 35x, total 35x).  Here the same
+decomposition at ``REPRO_RANKS`` ranks; the target is a speedup > 1
+for every step and a total in the vicinity of the rank count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import common
+from repro import mu_dbscan
+from repro.distributed.mudbscan_d import LOCAL_PHASES, mu_dbscan_d
+
+DATASET = "MPAGD8M3D"
+
+PAPER = {
+    "tree_construction": (157.46, 1.89, 83.12),
+    "finding_reachable_groups": (170.76, 0.96, 176.45),
+    "clustering": (124.21, 4.72, 26.31),
+    "post_processing": (388.74, 11.12, 34.95),
+}
+
+_store: dict[str, dict[str, float]] = {}
+
+
+def test_table8_sequential(benchmark) -> None:
+    pts, spec = common.dataset(DATASET)
+    result = benchmark.pedantic(
+        lambda: mu_dbscan(pts, spec.eps, spec.min_pts, timers=common.cpu_timer()),
+        rounds=1, iterations=1,
+    )
+    _store["seq"] = result.timers.as_dict()
+
+
+def test_table8_distributed(benchmark) -> None:
+    pts, spec = common.dataset(DATASET)
+    result = benchmark.pedantic(
+        lambda: mu_dbscan_d(pts, spec.eps, spec.min_pts, n_ranks=common.RANKS),
+        rounds=1,
+        iterations=1,
+    )
+    _store["dist"] = result.timers.as_dict()
+
+
+def test_every_step_speeds_up(benchmark) -> None:
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # satisfy --benchmark-only
+    if "seq" not in _store or "dist" not in _store:
+        pytest.skip("needs both table8 runs first")
+    seq, dist = _store["seq"], _store["dist"]
+    total_seq = sum(seq.get(p, 0.0) for p in LOCAL_PHASES)
+    total_dist = sum(dist.get(p, 0.0) for p in LOCAL_PHASES)
+    assert total_dist < total_seq, "distributed must beat sequential overall"
+
+
+def _render() -> str:
+    seq = _store.get("seq")
+    dist = _store.get("dist")
+    if not seq or not dist:
+        return ""
+    headers = [
+        "step", "muDBSCAN s (paper)", "muDBSCAN-D s (paper)", "speedup (paper)",
+    ]
+    rows = []
+    total_seq = total_dist = 0.0
+    for phase in LOCAL_PHASES:
+        s, d = seq.get(phase, 0.0), dist.get(phase, 0.0)
+        total_seq += s
+        total_dist += d
+        p_seq, p_dist, p_speed = PAPER[phase]
+        speed = s / d if d > 0 else float("nan")
+        rows.append(
+            [phase, f"{s:.3f} ({p_seq})", f"{d:.3f} ({p_dist})",
+             f"{speed:.1f}x ({p_speed}x)"]
+        )
+    merge = dist.get("merging", 0.0)
+    rows.append(["merging", "-", f"{merge:.3f} (2.34)", "-"])
+    total_dist += merge
+    rows.append(
+        ["total", f"{total_seq:.3f} (841.21)", f"{total_dist:.3f} (23.97)",
+         f"{total_seq / total_dist if total_dist else float('nan'):.1f}x (35.08x)"]
+    )
+    return common.simple_table(
+        headers, rows,
+        title=(
+            f"Table VIII reproduction - per-step speedup on {DATASET} "
+            f"({common.RANKS} simulated ranks; paper used 32 nodes)"
+        ),
+    )
+
+
+common.register_report("Table VIII - per-step speedup", _render)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Galaxy-catalogue clustering — the paper's motivating astronomy workload.
+
+The Millennium-Run catalogues (MPAGD*, FOF*, ...) drive the paper's
+evaluation: galaxies condense into dark-matter halos, and density-based
+clustering recovers those halos directly.  This example
+
+1. generates a Millennium-like synthetic catalogue (clustered halos +
+   diffuse field galaxies),
+2. clusters it with μDBSCAN and with μDBSCAN-D on simulated ranks,
+3. checks the two agree exactly, and
+4. reports halo statistics an astronomer would read off (halo count,
+   occupancy distribution, field-galaxy fraction).
+
+Usage::
+
+    python examples/galaxy_clustering.py [n_points] [n_ranks]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import check_exact, mu_dbscan
+from repro.data.galaxy import galaxy_halos
+from repro.distributed.mudbscan_d import mu_dbscan_d, parallel_time
+
+
+def main() -> int:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 6000
+    ranks = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    eps, min_pts = 1.0, 5
+
+    print(f"generating a galaxy catalogue: {n} galaxies in a 120 Mpc box")
+    points = galaxy_halos(
+        n, dim=3, box=120.0, halo_scale=0.5,
+        mean_occupancy=40.0, field_fraction=0.15, seed=7,
+    )
+
+    print(f"\nsequential muDBSCAN (eps={eps}, MinPts={min_pts}) ...")
+    seq = mu_dbscan(points, eps=eps, min_pts=min_pts)
+    print(seq.summary())
+    print(f"queries saved: {seq.counters.query_save_fraction:.1%}")
+
+    print(f"\nmuDBSCAN-D on {ranks} simulated ranks ...")
+    dist = mu_dbscan_d(points, eps=eps, min_pts=min_pts, n_ranks=ranks)
+    print(dist.summary())
+    print(f"as-if-parallel time: {parallel_time(dist):.3f}s")
+    halo_fracs = [
+        stats["n_halo"] / max(stats["n_owned"], 1)
+        for stats in dist.extras["per_rank_stats"]
+    ]
+    print(f"halo-region overhead per rank: {np.mean(halo_fracs):.1%} of owned points")
+
+    report = check_exact(dist, seq, points=points)
+    print(f"\ndistributed == sequential? {report}")
+
+    # astronomy-flavoured readout
+    sizes = seq.cluster_sizes()
+    print("\nhalo catalogue summary")
+    print(f"  halos found           : {seq.n_clusters}")
+    if sizes.size:
+        print(f"  occupancy median      : {int(np.median(sizes))} galaxies")
+        print(f"  richest halo          : {int(sizes.max())} galaxies")
+        print(f"  poorest recovered halo: {int(sizes.min())} galaxies")
+    print(f"  field galaxies (noise): {seq.n_noise} ({seq.n_noise / n:.1%})")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

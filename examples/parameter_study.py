@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Parameter sensitivity study — how ε and MinPts shape the result and
+the wndq-core savings.
+
+The paper's core efficiency claim is parameter-dependent: larger ε
+makes micro-clusters denser, promotes more DMCs, and saves more
+queries (§VI, Fig. 5 discussion).  This example sweeps ε and MinPts on
+one dataset and prints clusters / noise / micro-cluster counts / query
+savings per setting — a practical guide for choosing parameters with
+μDBSCAN-specific diagnostics.
+
+Usage::
+
+    python examples/parameter_study.py [n_points]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import mu_dbscan
+from repro.data.highdim import household_power_like
+from repro.instrumentation.report import format_table
+
+
+def main() -> int:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+    print(f"dataset: {n} appliance-power readings (5-d, HHP-style)")
+    points = household_power_like(n, dim=5, seed=3)
+
+    rows = []
+    for eps in (0.3, 0.45, 0.6, 0.9):
+        for min_pts in (4, 6, 10):
+            res = mu_dbscan(points, eps=eps, min_pts=min_pts)
+            kinds = res.extras["mc_kind_counts"]
+            rows.append(
+                [
+                    eps,
+                    min_pts,
+                    res.n_clusters,
+                    f"{res.n_noise / n:.1%}",
+                    res.extras["n_micro_clusters"],
+                    f"{kinds['DMC']}/{kinds['CMC']}/{kinds['SMC']}",
+                    f"{res.counters.query_save_fraction:.1%}",
+                ]
+            )
+
+    print()
+    print(
+        format_table(
+            ["eps", "MinPts", "clusters", "noise", "MCs", "DMC/CMC/SMC", "saved"],
+            rows,
+            title="parameter sweep: clustering outcome and wndq-core savings",
+        )
+    )
+    print(
+        "\nreading guide: DMC count drives the query savings; when eps is"
+        " too small every MC is sparse (SMC) and muDBSCAN degenerates to"
+        " classical DBSCAN cost; when eps is large the whole dataset"
+        " collapses into few clusters."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

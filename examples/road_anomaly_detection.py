@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""GPS anomaly detection on a road network — the 3DSRN-style workload.
+
+Vehicular GPS fixes hug the road network; fixes far from any road (bad
+multipath, spoofing, off-road events) are exactly DBSCAN's *noise*.
+This example builds a synthetic 3-d road network trace, injects
+anomalies, and shows that μDBSCAN's noise set recovers them — while the
+legitimate fixes organise into per-road-segment clusters.
+
+It also demonstrates parameter selection with a k-distance heuristic
+(the standard DBSCAN recipe via ``repro.suggest_eps``).
+
+Usage::
+
+    python examples/road_anomaly_detection.py [n_fixes]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import mu_dbscan, suggest_eps
+from repro.data.roads import road_network_gps
+
+
+def main() -> int:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+    n_anomalies = max(10, n // 100)
+
+    print(f"generating {n} GPS fixes along a synthetic road network")
+    fixes = road_network_gps(n, jitter=0.01, seed=11)
+
+    rng = np.random.default_rng(99)
+    anomalies = rng.uniform(fixes.min(axis=0), fixes.max(axis=0), size=(n_anomalies, 3))
+    points = np.vstack([fixes, anomalies])
+    truth = np.zeros(points.shape[0], dtype=bool)
+    truth[n:] = True
+    print(f"injected {n_anomalies} off-road anomalies")
+
+    min_pts = 5
+    eps = suggest_eps(points, min_pts, method="percentile", percentile=92)
+    print(f"k-distance heuristic suggests eps ~= {eps:.4f} (MinPts={min_pts})")
+
+    result = mu_dbscan(points, eps=eps, min_pts=min_pts)
+    print(result.summary())
+    print(f"queries saved: {result.counters.query_save_fraction:.1%}")
+
+    flagged = result.noise_mask
+    tp = int(np.count_nonzero(flagged & truth))
+    fp = int(np.count_nonzero(flagged & ~truth))
+    fn = int(np.count_nonzero(~flagged & truth))
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    print("\nanomaly detection via DBSCAN noise")
+    print(f"  flagged   : {int(flagged.sum())} fixes")
+    print(f"  precision : {precision:.1%}")
+    print(f"  recall    : {recall:.1%}")
+    return 0 if recall > 0.5 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,22 @@
+"""Sequential baseline algorithms the paper compares against (Table II).
+
+* :func:`~repro.baselines.brute_dbscan.brute_dbscan` — classical
+  union-find DBSCAN (Algorithm 1) over a full-scan index; the
+  ground-truth oracle for exactness tests.
+* :func:`~repro.baselines.rtree_dbscan.rtree_dbscan` — "R-DBSCAN":
+  classical DBSCAN with a single R-tree index.
+* :func:`~repro.baselines.gdbscan.g_dbscan` — G-DBSCAN's groups method
+  (leader groups accelerate the neighbor search, exact results).
+* :func:`~repro.baselines.grid_dbscan.grid_dbscan` — GridDBSCAN
+  (ε/√d cells, all-core cells, neighbor-cell-restricted queries).
+
+All return the shared :class:`~repro.core.result.ClusteringResult` and
+honour the same strict-< ε semantics.
+"""
+
+from repro.baselines.brute_dbscan import brute_dbscan
+from repro.baselines.rtree_dbscan import rtree_dbscan
+from repro.baselines.gdbscan import g_dbscan
+from repro.baselines.grid_dbscan import grid_dbscan
+
+__all__ = ["brute_dbscan", "rtree_dbscan", "g_dbscan", "grid_dbscan"]

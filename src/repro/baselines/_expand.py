@@ -1,0 +1,73 @@
+"""Shared cluster-formation pass for the index-accelerated baselines.
+
+R-DBSCAN and G-DBSCAN differ from brute-force DBSCAN only in *how* the
+ε-neighborhoods are computed; the merge step is identical Algorithm 1
+semantics.  Factoring it here guarantees the baselines produce exactly
+the clustering of the brute oracle (same cores → same unions), so any
+divergence in a test points at the index, not the merge logic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.params import DBSCANParams
+from repro.core.result import ClusteringResult
+from repro.instrumentation.counters import Counters
+from repro.instrumentation.timers import PhaseTimer
+from repro.unionfind.unionfind import UnionFind
+
+__all__ = ["union_pass", "finalize_result"]
+
+
+def union_pass(
+    n: int,
+    core: np.ndarray,
+    core_neighbor_lists: dict[int, np.ndarray],
+    counters: Counters,
+) -> tuple[UnionFind, np.ndarray]:
+    """Algorithm 1's merge step given a complete core mask.
+
+    Visits core points in index order; merges every core neighbor and
+    every still-unassigned non-core neighbor (first-come borders).
+    Returns the union-find plus the assigned mask (noise is
+    ``~core & ~assigned``).
+    """
+    uf = UnionFind(n, counters=counters)
+    assigned = np.zeros(n, dtype=bool)
+    for row in range(n):
+        if not core[row]:
+            continue
+        for q in core_neighbor_lists[row]:
+            qi = int(q)
+            if qi == row:
+                continue
+            if core[qi] or not assigned[qi]:
+                uf.union(row, qi)
+                assigned[qi] = True
+        assigned[row] = True
+    return uf, assigned
+
+
+def finalize_result(
+    algorithm: str,
+    params: DBSCANParams,
+    core: np.ndarray,
+    uf: UnionFind,
+    assigned: np.ndarray,
+    counters: Counters,
+    timers: PhaseTimer,
+    extras: dict | None = None,
+) -> ClusteringResult:
+    """Labels + result record from the union pass outputs."""
+    noise_mask = ~core & ~assigned
+    labels = uf.labels(noise_mask=noise_mask)
+    return ClusteringResult(
+        labels=labels,
+        core_mask=core,
+        params=params,
+        algorithm=algorithm,
+        counters=counters,
+        timers=timers,
+        extras=extras or {},
+    )

@@ -1,0 +1,173 @@
+"""Command-line interface.
+
+::
+
+    mudbscan datasets
+    mudbscan run --dataset 3DSRN --algo mu
+    mudbscan run --input points.npy --eps 0.1 --min-pts 5
+    mudbscan compare --dataset DGB0.5M3D
+    mudbscan distributed --dataset MPAGD8M3D --ranks 4 --algo mu-d
+
+(also reachable as ``python -m repro.cli``)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines import brute_dbscan, g_dbscan, grid_dbscan, rtree_dbscan
+from repro.core.mudbscan import mu_dbscan
+from repro.core.result import ClusteringResult
+from repro.data.io import load_points
+from repro.data.registry import REGISTRY, load_dataset
+from repro.distributed.baselines_d import (
+    grid_dbscan_d,
+    hpdbscan_like,
+    pdsdbscan_d,
+    rp_dbscan_like,
+)
+from repro.distributed.mudbscan_d import mu_dbscan_d, parallel_time
+from repro.instrumentation.report import format_table
+from repro.validation.exactness import check_exact
+
+SEQUENTIAL_ALGOS: dict[str, Callable] = {
+    "mu": mu_dbscan,
+    "rtree": rtree_dbscan,
+    "g": g_dbscan,
+    "grid": grid_dbscan,
+    "brute": brute_dbscan,
+}
+
+DISTRIBUTED_ALGOS: dict[str, Callable] = {
+    "mu-d": mu_dbscan_d,
+    "pds": pdsdbscan_d,
+    "grid-d": grid_dbscan_d,
+    "hp": hpdbscan_like,
+    "rp": rp_dbscan_like,
+}
+
+
+def _resolve_workload(args: argparse.Namespace) -> tuple[np.ndarray, float, int, str]:
+    if args.dataset:
+        pts, spec = load_dataset(args.dataset, scale=args.scale)
+        eps = args.eps if args.eps is not None else spec.eps
+        min_pts = args.min_pts if args.min_pts is not None else spec.min_pts
+        return pts, eps, min_pts, args.dataset
+    if args.input:
+        if args.eps is None or args.min_pts is None:
+            raise SystemExit("--input requires explicit --eps and --min-pts")
+        return load_points(args.input), args.eps, args.min_pts, args.input
+    raise SystemExit("provide --dataset <name> or --input <file>")
+
+
+def _print_result(name: str, res: ClusteringResult, wall: float) -> None:
+    print(res.summary())
+    print(f"dataset={name} wall_time={wall:.3f}s")
+    counters = res.counters
+    print(
+        f"queries: run={counters.queries_run} saved={counters.queries_saved} "
+        f"({counters.query_save_fraction:.1%}) dist_calcs={counters.dist_calcs}"
+    )
+    phases = res.timers.as_dict()
+    if phases:
+        rows = [[k, f"{v:.4f}", f"{p:.1f}%"]
+                for (k, v), p in zip(phases.items(), res.timers.percent_split().values())]
+        print(format_table(["phase", "seconds", "share"], rows))
+
+
+def cmd_datasets(_args: argparse.Namespace) -> int:
+    rows = []
+    for name, spec in REGISTRY.items():
+        rows.append(
+            [name, spec.base_n, spec.dim, spec.eps, spec.min_pts, spec.description]
+        )
+    print(
+        format_table(
+            ["name", "base_n", "d", "eps", "min_pts", "description"],
+            rows,
+            title="registered datasets (sizes scale with REPRO_SCALE / --scale)",
+        )
+    )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    pts, eps, min_pts, name = _resolve_workload(args)
+    algo = SEQUENTIAL_ALGOS[args.algo]
+    start = time.perf_counter()
+    res = algo(pts, eps, min_pts)
+    wall = time.perf_counter() - start
+    _print_result(name, res, wall)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    pts, eps, min_pts, name = _resolve_workload(args)
+    ref = brute_dbscan(pts, eps, min_pts)
+    res = SEQUENTIAL_ALGOS[args.algo](pts, eps, min_pts)
+    report = check_exact(res, ref, points=pts)
+    print(f"{name}: {res.algorithm} vs brute oracle -> {report}")
+    return 0 if report.ok else 1
+
+
+def cmd_distributed(args: argparse.Namespace) -> int:
+    pts, eps, min_pts, name = _resolve_workload(args)
+    algo = DISTRIBUTED_ALGOS[args.algo]
+    start = time.perf_counter()
+    res = algo(pts, eps, min_pts, n_ranks=args.ranks)
+    wall = time.perf_counter() - start
+    _print_result(name, res, wall)
+    if res.algorithm == "mu_dbscan_d":
+        print(f"as-if-parallel time (max rank + merge): {parallel_time(res):.4f}s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mudbscan",
+        description="μDBSCAN reproduction (IEEE CLUSTER 2019) command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the registered paper-dataset stand-ins")
+
+    def add_workload_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", help="registry dataset name")
+        p.add_argument("--input", help="points file (.npy/.csv/.tsv)")
+        p.add_argument("--scale", type=float, default=None, help="size multiplier")
+        p.add_argument("--eps", type=float, default=None)
+        p.add_argument("--min-pts", type=int, default=None)
+
+    run = sub.add_parser("run", help="run one sequential algorithm")
+    add_workload_args(run)
+    run.add_argument("--algo", choices=sorted(SEQUENTIAL_ALGOS), default="mu")
+
+    cmp_ = sub.add_parser("compare", help="check exactness against the brute oracle")
+    add_workload_args(cmp_)
+    cmp_.add_argument("--algo", choices=sorted(SEQUENTIAL_ALGOS), default="mu")
+
+    dist = sub.add_parser("distributed", help="run a distributed algorithm on simmpi")
+    add_workload_args(dist)
+    dist.add_argument("--algo", choices=sorted(DISTRIBUTED_ALGOS), default="mu-d")
+    dist.add_argument("--ranks", type=int, default=4)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "datasets": cmd_datasets,
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "distributed": cmd_distributed,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

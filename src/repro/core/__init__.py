@@ -1,0 +1,18 @@
+"""μDBSCAN — the paper's primary contribution (Algorithms 2-8).
+
+Public entry points:
+
+* :func:`~repro.core.mudbscan.mu_dbscan` — functional one-shot API.
+* :class:`~repro.core.mudbscan.MuDBSCAN` — estimator-style wrapper
+  (``fit`` / ``fit_predict``).
+* :class:`~repro.core.params.DBSCANParams`,
+  :class:`~repro.core.result.ClusteringResult` — the shared parameter
+  and result types used by every algorithm in the repository (baselines
+  included), so results are directly comparable.
+"""
+
+from repro.core.params import DBSCANParams
+from repro.core.result import ClusteringResult
+from repro.core.mudbscan import mu_dbscan, MuDBSCAN
+
+__all__ = ["DBSCANParams", "ClusteringResult", "mu_dbscan", "MuDBSCAN"]

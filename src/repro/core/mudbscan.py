@@ -1,0 +1,234 @@
+"""The μDBSCAN driver — Algorithm 2.
+
+Orchestrates the four steps and reports per-phase timings under the
+names of the paper's Table III:
+
+1. ``tree_construction``          — Algorithm 3 + AuxR structures,
+2. ``finding_reachable_groups``   — Algorithm 5,
+3. ``clustering``                 — Algorithms 4 and 6,
+4. ``post_processing``            — Algorithms 7 and 8.
+
+Exactness (Theorem 1) is asserted against brute-force DBSCAN by the
+test suite; the counters record the query savings the paper reports in
+Table II.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.params import DBSCANParams
+from repro.core.postprocess import postprocess_core, postprocess_noise
+from repro.core.process_mcs import process_micro_clusters
+from repro.core.remaining import process_remaining_points
+from repro.core.result import ClusteringResult
+from repro.core.state import MuDBSCANState
+from repro.geometry.metrics import EUCLIDEAN, Metric
+from repro.instrumentation.counters import Counters
+from repro.instrumentation.timers import PhaseTimer
+from repro.microcluster.microcluster import MCKind
+from repro.microcluster.murtree import MuRTree
+
+__all__ = ["mu_dbscan", "run_mu_dbscan_state", "MuDBSCAN"]
+
+
+def run_mu_dbscan_state(
+    points: np.ndarray,
+    params: DBSCANParams,
+    *,
+    aux_index: str = "cached",
+    filtration: bool = True,
+    defer_2eps: bool = True,
+    dynamic_wndq: bool = True,
+    max_entries: int = 64,
+    metric: str | Metric = EUCLIDEAN,
+    counters: Counters | None = None,
+    timers: PhaseTimer | None = None,
+    process_mask: np.ndarray | None = None,
+    state_factory=MuDBSCANState,
+    _prebuilt_murtree: MuRTree | None = None,
+) -> tuple[MuDBSCANState, PhaseTimer]:
+    """Run μDBSCAN and return the raw state (flags + union-find).
+
+    This is the entry point the distributed driver uses: the local step
+    of μDBSCAN-D needs the core flags and the union-find of the
+    local-plus-halo point set, not just final labels.  ``process_mask``
+    restricts Algorithm 6 to the masked (owned) rows, and
+    ``state_factory`` lets μDBSCAN-D substitute its ownership-aware
+    state subclass.
+    """
+    counters = counters if counters is not None else Counters()
+    timers = timers if timers is not None else PhaseTimer()
+
+    if _prebuilt_murtree is not None:
+        # streaming mode: the index was maintained incrementally and the
+        # construction cost already paid at insert time
+        murtree = _prebuilt_murtree
+        with timers.phase("finding_reachable_groups"):
+            murtree.compute_reachability()  # no-op when caches are warm
+    else:
+        with timers.phase("tree_construction"):
+            murtree = MuRTree(
+                points,
+                params.eps,
+                aux_index=aux_index,
+                filtration=filtration,
+                defer_2eps=defer_2eps,
+                max_entries=max_entries,
+                counters=counters,
+                metric=metric,
+            )
+        with timers.phase("finding_reachable_groups"):
+            murtree.compute_reachability()
+
+    state = state_factory(murtree, params, counters)
+    with timers.phase("clustering"):
+        process_micro_clusters(state)
+        process_remaining_points(
+            state, dynamic_wndq=dynamic_wndq, process_mask=process_mask
+        )
+    with timers.phase("post_processing"):
+        postprocess_core(state)
+        postprocess_noise(state)
+
+    eligible = state.n if process_mask is None else int(np.count_nonzero(process_mask))
+    counters.queries_saved += eligible - counters.queries_run
+    return state, timers
+
+
+def mu_dbscan(
+    points: np.ndarray,
+    eps: float,
+    min_pts: int,
+    *,
+    aux_index: str = "cached",
+    filtration: bool = True,
+    defer_2eps: bool = True,
+    dynamic_wndq: bool = True,
+    max_entries: int = 64,
+    metric: str | Metric = EUCLIDEAN,
+    timers: PhaseTimer | None = None,
+) -> ClusteringResult:
+    """Cluster ``points`` with μDBSCAN (exact DBSCAN semantics).
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` float array.
+    eps, min_pts:
+        DBSCAN density parameters (strict-< ε, self counted — see
+        DESIGN.md §6).
+    aux_index, filtration, defer_2eps, dynamic_wndq, max_entries:
+        Design knobs; the defaults reproduce the paper's algorithm, the
+        alternatives are the DESIGN.md §5 ablations.
+    timers:
+        Optional externally-constructed :class:`PhaseTimer` — pass one
+        built on ``time.thread_time`` to make a sequential run directly
+        comparable to μDBSCAN-D's per-rank CPU timings.
+
+    Returns
+    -------
+    :class:`~repro.core.result.ClusteringResult` with dense labels
+    (``-1`` = noise), the core mask, work counters (query savings) and
+    per-phase timings.
+    """
+    params = DBSCANParams(eps=eps, min_pts=min_pts)
+    counters = Counters()
+    state, timers = run_mu_dbscan_state(
+        points,
+        params,
+        aux_index=aux_index,
+        filtration=filtration,
+        defer_2eps=defer_2eps,
+        dynamic_wndq=dynamic_wndq,
+        max_entries=max_entries,
+        metric=metric,
+        counters=counters,
+        timers=timers,
+    )
+    labels = state.uf.labels(noise_mask=state.final_noise_mask())
+    kind_counts = {kind.name: 0 for kind in MCKind}
+    for mc in state.murtree.mcs:
+        kind_counts[mc.kind(params.min_pts).name] += 1
+    return ClusteringResult(
+        labels=labels,
+        core_mask=state.core.copy(),
+        params=params,
+        algorithm="mu_dbscan",
+        counters=counters,
+        timers=timers,
+        extras={
+            "n_micro_clusters": state.murtree.n_micro_clusters,
+            "avg_mc_size": state.murtree.avg_mc_size,
+            "n_wndq_core": len(state.wndq_corelist),
+            "mc_kind_counts": kind_counts,
+            "metric": state.murtree.metric.name,
+        },
+    )
+
+
+class MuDBSCAN:
+    """Estimator-style wrapper around :func:`mu_dbscan`.
+
+    Mirrors the scikit-learn DBSCAN surface (``fit`` / ``fit_predict``
+    plus ``labels_`` and ``core_sample_mask_``) so downstream users can
+    drop it into existing pipelines.
+    """
+
+    def __init__(
+        self,
+        eps: float,
+        min_pts: int,
+        *,
+        aux_index: str = "cached",
+        filtration: bool = True,
+        defer_2eps: bool = True,
+        dynamic_wndq: bool = True,
+        max_entries: int = 64,
+        metric: str | Metric = EUCLIDEAN,
+    ) -> None:
+        # validate eagerly so misuse fails at construction
+        self.params = DBSCANParams(eps=eps, min_pts=min_pts)
+        self.aux_index = aux_index
+        self.filtration = filtration
+        self.defer_2eps = defer_2eps
+        self.dynamic_wndq = dynamic_wndq
+        self.max_entries = max_entries
+        self.metric = metric
+        self.result_: ClusteringResult | None = None
+
+    def fit(self, points: np.ndarray) -> "MuDBSCAN":
+        """Cluster ``points``; results land in ``labels_`` etc."""
+        self.result_ = mu_dbscan(
+            points,
+            self.params.eps,
+            self.params.min_pts,
+            aux_index=self.aux_index,
+            filtration=self.filtration,
+            defer_2eps=self.defer_2eps,
+            dynamic_wndq=self.dynamic_wndq,
+            max_entries=self.max_entries,
+            metric=self.metric,
+        )
+        return self
+
+    def fit_predict(self, points: np.ndarray) -> np.ndarray:
+        """Cluster ``points`` and return the labels."""
+        return self.fit(points).labels_
+
+    def _require_fitted(self) -> ClusteringResult:
+        if self.result_ is None:
+            raise RuntimeError("call fit() before reading results")
+        return self.result_
+
+    @property
+    def labels_(self) -> np.ndarray:
+        return self._require_fitted().labels
+
+    @property
+    def core_sample_mask_(self) -> np.ndarray:
+        return self._require_fitted().core_mask
+
+    @property
+    def n_clusters_(self) -> int:
+        return self._require_fitted().n_clusters

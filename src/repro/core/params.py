@@ -1,0 +1,46 @@
+"""DBSCAN density parameters.
+
+One immutable record shared by every algorithm in the repo so that a
+μDBSCAN run and a baseline run are guaranteed to cluster under the same
+``(eps, MinPts)`` and the exactness comparison is meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DBSCANParams"]
+
+
+@dataclass(frozen=True)
+class DBSCANParams:
+    """DBSCAN's two density parameters (paper §II).
+
+    Attributes
+    ----------
+    eps:
+        Neighborhood radius.  Semantics are strict: ``q ∈ N_eps(p)``
+        iff ``dist(p, q) < eps``, with ``p`` counted in its own
+        neighborhood.
+    min_pts:
+        Core threshold: ``p`` is core iff ``|N_eps(p)| >= min_pts``.
+    """
+
+    eps: float
+    min_pts: int
+
+    def __post_init__(self) -> None:
+        if not (self.eps > 0.0):
+            raise ValueError(f"eps must be positive, got {self.eps!r}")
+        if self.min_pts < 1:
+            raise ValueError(f"min_pts must be >= 1, got {self.min_pts!r}")
+
+    @property
+    def eps_sq(self) -> float:
+        """``eps ** 2`` — every hot-path comparison uses squared distances."""
+        return self.eps * self.eps
+
+    @property
+    def half_eps_sq(self) -> float:
+        """``(eps / 2) ** 2`` — the inner-circle threshold."""
+        return (self.eps * 0.5) ** 2

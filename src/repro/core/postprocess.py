@@ -1,0 +1,149 @@
+"""Step 4 of μDBSCAN — Algorithms 7 & 8 (final connections).
+
+**POST-PROCESSING-CORE** (Alg. 7): a wndq-core point never ran its
+query, so merges with *other* core points discovered later may be
+missing.  For each wndq-core ``p`` we take the points of its filtered
+reachable MCs, keep the core ones, and merge every one strictly within
+ε of ``p``.  By Lemma 3 this candidate set contains every possible core
+neighbor, and by Lemma 4 all cores are known by now, so after this pass
+every core-core ε-edge is merged — maximality for cores.  The pass is
+distance computations only (cheaper than a neighborhood query, as the
+paper stresses).
+
+Implementation note: the paper skips a distance computation when the
+two cores are already in the same cluster.  Per-pair ``find`` calls are
+the wrong trade-off in Python, so the cached-μR-tree path batches
+instead: all wndq-cores of one MC share a candidate block, the block's
+(wndq × core-candidate) distance matrix is computed in one vectorized
+pass, and the induced bipartite ε-graph is collapsed with a single
+``connected_components`` call — the union-find then needs at most one
+merge per node rather than one per ε-edge.
+
+**POST-PROCESSING-NOISE** (Alg. 8): a provisional-noise point ``p``
+stored its ε-neighborhood; if any of those neighbors is core *now*,
+``p`` is a border point of that core's cluster, not noise.  No new
+queries are needed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+import scipy.sparse as sparse
+from scipy.sparse.csgraph import connected_components
+
+from repro.core.state import MuDBSCANState
+
+
+__all__ = ["postprocess_core", "postprocess_noise"]
+
+
+def _postprocess_core_batched(state: MuDBSCANState) -> None:
+    """Cached-mode Algorithm 7: per-MC blocks + component collapse.
+
+    Two candidate classes per MC block:
+
+    * *proven cores* (``state.core``) — safe to chain through: every
+      graph node is a core, so connected components are density
+      connected and one union per node reconstructs them;
+    * *unknown candidates* (``postprocess_unknown_mask``; only the
+      distributed state has any) — halo points whose core status lives
+      at a remote rank.  They must not glue local components, so they
+      never enter the graph; instead each ε-adjacent (block, candidate)
+      relation is forwarded once through ``state.union`` (which the
+      distributed state turns into a cross pair, judged at the global
+      merge under the real flags).  One emission per block suffices:
+      all wndq-cores of an MC are already in one local component via
+      their center (Algorithm 4).
+    """
+    eps_raw = state.eps_raw
+    metric = state.murtree.metric
+    points = state.murtree.points
+    counters = state.counters
+    by_mc: dict[int, list[int]] = defaultdict(list)
+    for row in state.wndq_corelist:
+        by_mc[int(state.murtree.point_mc[row])].append(row)
+
+    for mc_id, rows_list in by_mc.items():
+        mc = state.murtree.mcs[mc_id]
+        assert mc.reach_rows is not None
+        candidates = mc.reach_rows
+        rows = np.asarray(rows_list, dtype=np.int64)
+
+        core_cand = candidates[state.core[candidates]]
+        if core_cand.size:
+            counters.dist_calcs += int(rows.size) * int(core_cand.size)
+            raw = metric.raw_pairwise(points[rows], points[core_cand])
+            ii, jj = np.nonzero(raw < eps_raw)
+            if ii.size:
+                k = int(rows.size)
+                nodes = np.concatenate([rows, core_cand])
+                graph = sparse.coo_matrix(
+                    (np.ones(ii.size, dtype=np.int8), (ii, jj + k)),
+                    shape=(nodes.size, nodes.size),
+                )
+                _, comp = connected_components(graph, directed=False)
+                order = np.argsort(comp, kind="stable")
+                sorted_comp = comp[order]
+                starts = np.flatnonzero(
+                    np.concatenate([[True], sorted_comp[1:] != sorted_comp[:-1]])
+                )
+                for s, e in zip(starts, np.append(starts[1:], sorted_comp.size)):
+                    if e - s < 2:
+                        continue
+                    group = nodes[order[s:e]]
+                    anchor = int(group[0])
+                    for other in group[1:]:
+                        if int(other) != anchor:
+                            state.union(anchor, int(other))
+
+        unknown_cand = candidates[state.postprocess_unknown_mask(candidates)]
+        if unknown_cand.size:
+            counters.dist_calcs += int(rows.size) * int(unknown_cand.size)
+            raw = metric.raw_pairwise(points[rows], points[unknown_cand])
+            hit = raw < eps_raw
+            for j in np.flatnonzero(hit.any(axis=0)):
+                i = int(np.argmax(hit[:, j]))  # first adjacent block row
+                state.union(int(rows[i]), int(unknown_cand[int(j)]))
+
+
+def postprocess_core(state: MuDBSCANState) -> None:
+    """Run Algorithm 7 over the wndq-core list."""
+    if not state.wndq_corelist:
+        return
+    if state.murtree.aux_index == "cached":
+        _postprocess_core_batched(state)
+        return
+    eps_raw = state.eps_raw
+    metric = state.murtree.metric
+    points = state.murtree.points
+    counters = state.counters
+    for row in state.wndq_corelist:
+        candidates = state.murtree.candidates_for_postprocessing(row)
+        if candidates.size == 0:
+            continue
+        core_candidates = candidates[state.postprocess_candidate_mask(candidates)]
+        if core_candidates.size == 0:
+            continue
+        counters.dist_calcs += int(core_candidates.size)
+        raw = metric.raw_to_point(points[core_candidates], points[row])
+        for q in core_candidates[raw < eps_raw]:
+            qi = int(q)
+            if qi != row:
+                state.union(row, qi)
+
+
+def postprocess_noise(state: MuDBSCANState) -> None:
+    """Run Algorithm 8 over the noise list (rescue mislabelled borders)."""
+    for row, nbrs in state.noise_nbrs.items():
+        if state.assigned[row] or state.core[row]:
+            # already rescued: a core point processed after this one was
+            # noise-listed found it in its own query and merged it.  A
+            # second merge here could connect two *different* clusters
+            # through this non-core point, which is not a density
+            # connection — skip.
+            continue
+        core_nbrs = nbrs[state.core[nbrs]]
+        if core_nbrs.size:
+            state.union(int(core_nbrs[0]), row)

@@ -1,0 +1,40 @@
+"""Step 1b of μDBSCAN — Algorithm 4 (PROCESS-MICRO-CLUSTERS).
+
+Each micro-cluster is classified and yields preliminary clusters:
+
+* **DMC** — every inner-circle point is core *without a query*
+  (Lemma 1: IC pairwise distances are < ε, so each IC point already has
+  ``|IC| >= MinPts`` neighbors).  All members merge with the center;
+  members outside the IC ride along as provisional borders (they are
+  within ε of the core center, hence at least border).
+* **CMC** — the center alone is provably core (Lemma 2: the whole MC
+  lies in its ε-ball).  All members merge with the center.
+* **SMC** — nothing can be concluded; members await Algorithm 6.
+"""
+
+from __future__ import annotations
+
+from repro.core.state import MuDBSCANState
+from repro.microcluster.microcluster import MCKind
+
+__all__ = ["process_micro_clusters"]
+
+
+def process_micro_clusters(state: MuDBSCANState) -> None:
+    """Run Algorithm 4 over every micro-cluster."""
+    min_pts = state.params.min_pts
+    for mc in state.murtree.mcs:
+        kind = mc.kind(min_pts)
+        if kind is MCKind.SMC:
+            continue
+        assert mc.member_rows is not None and mc.ic_rows is not None
+        if kind is MCKind.DMC:
+            for row in mc.ic_rows:
+                state.mark_wndq_core(int(row))
+        else:  # CMC
+            state.mark_wndq_core(mc.center_row)
+        center = mc.center_row
+        for row in mc.member_rows:
+            if int(row) != center:
+                state.union(center, int(row))
+        state.assigned[center] = True

@@ -1,0 +1,88 @@
+"""Step 3 of μDBSCAN — Algorithm 6 (PROCESS-REM-POINTS).
+
+Every point *not* tagged wndq-core gets its exact ε-neighborhood query
+(restricted to filtered reachable MCs, §IV-B2).  Then:
+
+* ``|N| < MinPts`` — the point is border if some already-known core is
+  in its neighborhood (merge with the first one), otherwise it goes to
+  the ``noiseList`` *with its neighborhood stored*, because a neighbor
+  may still turn core later (Algorithm 8 re-checks).
+* ``|N| >= MinPts`` — the point is core; merge with every core
+  neighbor, and with every non-core neighbor that is not yet assigned
+  (an already-assigned border stays with its first cluster — classical
+  DBSCAN's order semantics).
+* dynamic wndq-core (step iii): if additionally
+  ``|N_{eps/2}| >= MinPts``, every point of the inner half-ball is core
+  by the Lemma-1 argument with this point as the pivot — mark the
+  non-core ones wndq-core and merge them, saving their upcoming
+  queries.
+
+The dynamic rule can never contradict an earlier verdict: a point ``q``
+already found non-core has ``|N_eps(q)| < MinPts``, while
+``q ∈ N_{eps/2}(p)`` implies ``N_eps(q) ⊇ N_{eps/2}(p)``, so the rule's
+precondition cannot hold for it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.state import MuDBSCANState
+
+__all__ = ["process_remaining_points"]
+
+
+def process_remaining_points(
+    state: MuDBSCANState,
+    dynamic_wndq: bool = True,
+    process_mask: np.ndarray | None = None,
+) -> None:
+    """Run Algorithm 6.
+
+    ``dynamic_wndq=False`` disables step (iii) (ablation 3 in
+    DESIGN.md §5) — exactness is unaffected, only the query count grows.
+
+    ``process_mask`` limits the pass to the masked rows — μDBSCAN-D
+    queries only *owned* points (halo points exist to complete owned
+    neighborhoods; their own verdicts belong to their owner rank).
+    """
+    params = state.params
+    min_pts = params.min_pts
+    counters = state.counters
+    for row in range(state.n):
+        if process_mask is not None and not process_mask[row]:
+            continue
+        if state.wndq[row]:
+            continue  # the saved query — the algorithm's headline win
+        nbrs, raw = state.murtree.query_ball(row)
+        state.queried[row] = True
+        counters.queries_run += 1
+
+        if nbrs.shape[0] < min_pts:
+            if not state.assigned[row]:
+                core_nbrs = nbrs[state.core[nbrs]]
+                if core_nbrs.size:
+                    state.union(int(core_nbrs[0]), row)  # border of 1st core
+                else:
+                    state.noise_nbrs[row] = nbrs.copy()  # provisional noise
+            # an already-assigned border keeps its first cluster; merging
+            # it with a second core would connect two clusters through a
+            # non-core point
+            continue
+
+        state.core[row] = True
+        if dynamic_wndq:
+            inner = nbrs[raw < state.half_eps_raw]
+            if inner.shape[0] >= min_pts:
+                for q in inner:
+                    qi = int(q)
+                    if not state.core[qi]:
+                        state.mark_wndq_core(qi)
+                        state.union(row, qi)
+        for q in nbrs:
+            qi = int(q)
+            if qi == row:
+                continue
+            if state.core[qi] or not state.assigned[qi]:
+                state.union(row, qi)
+        state.assigned[row] = True

@@ -1,0 +1,107 @@
+"""The common clustering-result record.
+
+Every algorithm (μDBSCAN, the sequential baselines, and the distributed
+drivers) returns a :class:`ClusteringResult`, which carries the dense
+labels, the core mask, the work counters and the phase timers — i.e.
+everything the benchmark harness needs to print the paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.params import DBSCANParams
+from repro.instrumentation.counters import Counters
+from repro.instrumentation.timers import PhaseTimer
+
+__all__ = ["ClusteringResult"]
+
+
+@dataclass
+class ClusteringResult:
+    """Outcome of one clustering run.
+
+    Attributes
+    ----------
+    labels:
+        ``(n,)`` int array; ``-1`` marks noise, clusters are ``0..k-1``
+        numbered deterministically by first appearance.
+    core_mask:
+        ``(n,)`` bool array; ``core_mask[i]`` iff point ``i`` is a core
+        point.
+    params / algorithm:
+        Provenance of the run.
+    counters / timers:
+        Work counters and phase wall-clock accumulated during the run.
+    extras:
+        Algorithm-specific payloads (e.g. μDBSCAN stores the number of
+        micro-clusters, the distributed drivers store per-rank splits).
+    """
+
+    labels: np.ndarray
+    core_mask: np.ndarray
+    params: DBSCANParams
+    algorithm: str
+    counters: Counters = field(default_factory=Counters)
+    timers: PhaseTimer = field(default_factory=PhaseTimer)
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        self.core_mask = np.asarray(self.core_mask, dtype=bool)
+        if self.labels.shape != self.core_mask.shape:
+            raise ValueError(
+                f"labels {self.labels.shape} and core_mask "
+                f"{self.core_mask.shape} must have the same shape"
+            )
+        if np.any(self.core_mask & (self.labels < 0)):
+            raise ValueError("a core point cannot be labelled noise")
+
+    def __len__(self) -> int:
+        return int(self.labels.shape[0])
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters (noise excluded)."""
+        pos = self.labels[self.labels >= 0]
+        return int(np.unique(pos).shape[0]) if pos.size else 0
+
+    @property
+    def noise_mask(self) -> np.ndarray:
+        return self.labels == -1
+
+    @property
+    def n_noise(self) -> int:
+        return int(np.count_nonzero(self.labels == -1))
+
+    @property
+    def n_core(self) -> int:
+        return int(np.count_nonzero(self.core_mask))
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Sizes of clusters ``0..k-1`` (noise excluded)."""
+        if self.n_clusters == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.bincount(self.labels[self.labels >= 0], minlength=self.n_clusters)
+
+    def core_partition(self) -> dict[int, frozenset[int]]:
+        """Cluster label -> frozenset of its *core* point indices.
+
+        This is the object the paper's exactness definition constrains
+        (border membership is order-dependent even in classical DBSCAN).
+        """
+        out: dict[int, set[int]] = {}
+        for idx in np.flatnonzero(self.core_mask):
+            out.setdefault(int(self.labels[idx]), set()).add(int(idx))
+        return {label: frozenset(members) for label, members in out.items()}
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        return (
+            f"{self.algorithm}: n={len(self)} clusters={self.n_clusters} "
+            f"core={self.n_core} noise={self.n_noise} "
+            f"(eps={self.params.eps}, MinPts={self.params.min_pts})"
+        )

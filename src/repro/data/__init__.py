@@ -1,0 +1,43 @@
+"""Dataset generators — synthetic stand-ins for the paper's workloads.
+
+The paper evaluates on Millennium-Run galaxy/halo catalogues (MPAGD*,
+DGB*, MPAGB*, FOF*), vehicular GPS traces (3DSRN), household power
+readings (HHP*) and the KDD Cup 2004 bio dataset (KDDB*).  None of
+those are redistributable here, so each gets a generator that
+reproduces the *density structure* DBSCAN cost depends on (see
+DESIGN.md §2 for the substitution rationale):
+
+* :mod:`repro.data.galaxy` — clustered halos with power-law occupancy
+  inside a periodic box (galaxy catalogues),
+* :mod:`repro.data.roads` — jittered samples along a random 3-d road
+  polyline network (3DSRN),
+* :mod:`repro.data.highdim` — latent-cluster clouds embedded in high
+  dimension (KDDB*), plus a daily-cycle appliance model (HHP*),
+* :mod:`repro.data.synthetic` — plain blobs/uniform mixtures for unit
+  tests,
+* :mod:`repro.data.registry` — the named catalogue mapping paper
+  dataset names to scaled-down generator invocations *and* the paper's
+  published numbers for side-by-side reporting.
+
+All generators are deterministic given a seed.
+"""
+
+from repro.data.synthetic import gaussian_blobs, uniform_box, blobs_with_noise
+from repro.data.galaxy import galaxy_halos
+from repro.data.roads import road_network_gps
+from repro.data.highdim import latent_cluster_cloud, household_power_like
+from repro.data.registry import DatasetSpec, REGISTRY, load_dataset, dataset_names
+
+__all__ = [
+    "gaussian_blobs",
+    "uniform_box",
+    "blobs_with_noise",
+    "galaxy_halos",
+    "road_network_gps",
+    "latent_cluster_cloud",
+    "household_power_like",
+    "DatasetSpec",
+    "REGISTRY",
+    "load_dataset",
+    "dataset_names",
+]

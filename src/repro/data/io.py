@@ -1,0 +1,42 @@
+"""Dataset file I/O for the CLI and examples.
+
+Supports ``.npy`` (preferred — zero-copy float64) and delimited text
+(``.csv``/``.txt``/``.tsv``), one point per row.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["load_points", "save_points"]
+
+
+def load_points(path: str | Path) -> np.ndarray:
+    """Load a ``(n, d)`` float64 point array from ``.npy`` or text."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no such dataset file: {path}")
+    if path.suffix == ".npy":
+        pts = np.load(path)
+    else:
+        delimiter = "\t" if path.suffix == ".tsv" else ","
+        pts = np.loadtxt(path, delimiter=delimiter, ndmin=2)
+    pts = np.asarray(pts, dtype=np.float64)
+    if pts.ndim == 1:
+        pts = pts.reshape(-1, 1)
+    if pts.ndim != 2 or pts.shape[0] == 0:
+        raise ValueError(f"{path} does not contain a (n, d) point array")
+    return pts
+
+
+def save_points(path: str | Path, points: np.ndarray) -> None:
+    """Save points as ``.npy`` or delimited text, by extension."""
+    path = Path(path)
+    pts = np.asarray(points, dtype=np.float64)
+    if path.suffix == ".npy":
+        np.save(path, pts)
+    else:
+        delimiter = "\t" if path.suffix == ".tsv" else ","
+        np.savetxt(path, pts, delimiter=delimiter)

@@ -1,0 +1,334 @@
+"""The named dataset catalogue.
+
+Each entry maps a paper dataset name to (a) a scaled-down synthetic
+stand-in — generator + arguments + default size — and (b) the paper's
+published parameters and headline numbers, so the benchmark harness can
+print *paper vs measured* rows side by side (EXPERIMENTS.md).
+
+Sizes default to laptop scale.  Scale them with the ``REPRO_SCALE``
+environment variable (a float multiplier, e.g. ``REPRO_SCALE=10``) or
+the ``scale=`` argument of :func:`load_dataset`; ε and MinPts stay
+fixed because the generators keep their density per unit volume
+roughly independent of ``n`` only through their cluster occupancy — the
+registry's ε values are calibrated at scale 1.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.data.galaxy import galaxy_halos
+from repro.data.highdim import household_power_like, latent_cluster_cloud
+from repro.data.roads import road_network_gps
+
+__all__ = ["DatasetSpec", "REGISTRY", "load_dataset", "dataset_names"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One catalogue entry.
+
+    ``paper`` holds the published numbers keyed by table/figure (free
+    form; the benches print them next to measured values).
+    """
+
+    name: str
+    description: str
+    generator: Callable[..., np.ndarray]
+    gen_kwargs: Mapping[str, Any]
+    base_n: int
+    dim: int
+    eps: float
+    min_pts: int
+    paper: Mapping[str, Any] = field(default_factory=dict)
+
+    def generate(self, scale: float | None = None, seed: int | None = None) -> np.ndarray:
+        """Materialise the dataset at ``scale`` times the base size."""
+        if scale is None:
+            scale = float(os.environ.get("REPRO_SCALE", "1.0"))
+        if scale <= 0.0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        n = max(1, int(round(self.base_n * scale)))
+        kwargs = dict(self.gen_kwargs)
+        if seed is not None:
+            kwargs["seed"] = seed
+        pts = self.generator(n=n, **kwargs)
+        assert pts.shape == (n, self.dim), (
+            f"{self.name}: generator returned {pts.shape}, expected ({n}, {self.dim})"
+        )
+        return pts
+
+
+def _spec(*args: Any, **kwargs: Any) -> DatasetSpec:
+    return DatasetSpec(*args, **kwargs)
+
+
+REGISTRY: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        # ---------------- Table II (sequential) ------------------------
+        _spec(
+            "3DSRN",
+            "3D Road Network stand-in: GPS fixes along road polylines",
+            road_network_gps,
+            {"box": 10.0, "n_hubs": 6, "walk_steps": 40, "jitter": 0.01, "seed": 301},
+            base_n=4000,
+            dim=3,
+            eps=0.1,
+            min_pts=5,
+            paper={
+                "n": "0.43M", "d": 3, "eps": 0.01, "min_pts": 5,
+                "runtime_rtree_dbscan": 49.51, "runtime_g_dbscan": 245.45,
+                "runtime_grid_dbscan": 41.97, "runtime_mu_dbscan": 22.87,
+                "n_mcs": 22353, "query_saves": 0.8099,
+                "mem_rtree_mb": 125, "mem_g_mb": 50, "mem_grid_mb": 458, "mem_mu_mb": 158,
+            },
+        ),
+        _spec(
+            "DGB0.5M3D",
+            "DGalaxiesBower2006a stand-in: clustered galaxy halos",
+            galaxy_halos,
+            {"dim": 3, "box": 100.0, "halo_scale": 0.4, "mean_occupancy": 12.0,
+             "field_fraction": 0.25, "seed": 302},
+            base_n=5000,
+            dim=3,
+            eps=1.0,
+            min_pts=5,
+            paper={
+                "n": "0.5M", "d": 3, "eps": 1, "min_pts": 5,
+                "runtime_rtree_dbscan": 37.06, "runtime_g_dbscan": 3103.57,
+                "runtime_grid_dbscan": 53.87, "runtime_mu_dbscan": 23.39,
+                "n_mcs": 99031, "query_saves": 0.4360,
+                "mem_rtree_mb": 143, "mem_g_mb": 74, "mem_grid_mb": 617, "mem_mu_mb": 261,
+            },
+        ),
+        _spec(
+            "HHP0.5M5D",
+            "Household Power stand-in: appliance regimes with daily cycles",
+            household_power_like,
+            {"dim": 5, "n_regimes": 6, "regime_spread": 0.12, "seed": 303},
+            base_n=5000,
+            dim=5,
+            eps=0.6,
+            min_pts=6,
+            paper={
+                "n": "0.5M", "d": 5, "eps": 0.6, "min_pts": 6,
+                "runtime_rtree_dbscan": 5040.36, "runtime_g_dbscan": 1079.37,
+                "runtime_grid_dbscan": 1406.51, "runtime_mu_dbscan": 795.03,
+                "n_mcs": 8625, "query_saves": 0.9349,
+            },
+        ),
+        _spec(
+            "MPAGB6M3D",
+            "MPAGalaxiesBertone2007a stand-in: galaxy halos, medium box",
+            galaxy_halos,
+            {"dim": 3, "box": 140.0, "halo_scale": 0.5, "mean_occupancy": 35.0,
+             "field_fraction": 0.15, "seed": 304},
+            base_n=8000,
+            dim=3,
+            eps=1.0,
+            min_pts=5,
+            paper={
+                "n": "6M", "d": 3, "eps": 1, "min_pts": 5,
+                "runtime_rtree_dbscan": 15922.28, "runtime_g_dbscan": float("inf"),
+                "runtime_grid_dbscan": 2704.71, "runtime_mu_dbscan": 572.28,
+                "n_mcs": 734881, "query_saves": 0.6947,
+                "mem_rtree_mb": 2178, "mem_grid_mb": 9844, "mem_mu_mb": 2530,
+            },
+        ),
+        _spec(
+            "FOF56M3D",
+            "friends-of-friends halo catalogue stand-in: rich halos",
+            galaxy_halos,
+            {"dim": 3, "box": 200.0, "halo_scale": 1.0, "mean_occupancy": 60.0,
+             "field_fraction": 0.10, "seed": 305},
+            base_n=10000,
+            dim=3,
+            eps=3.0,
+            min_pts=6,
+            paper={
+                "n": "56M", "d": 3, "eps": 3, "min_pts": 6,
+                "runtime_rtree_dbscan": 59154.04, "runtime_g_dbscan": float("inf"),
+                "runtime_grid_dbscan": 17036.34, "runtime_mu_dbscan": 6960.05,
+                "n_mcs": 782969, "query_saves": 0.9568,
+                # Table V row (32 nodes)
+                "runtime_pdsdbscan_d": 185.78, "runtime_grid_dbscan_d": 423.24,
+                "runtime_hpdbscan": 10.0, "runtime_rp_dbscan": 2030.35,
+                "runtime_mu_dbscan_d": 123.31,
+            },
+        ),
+        _spec(
+            "MPAGD100M3D",
+            "MPAGalaxiesDelucia2006a stand-in: galaxy halos, large box",
+            galaxy_halos,
+            {"dim": 3, "box": 250.0, "halo_scale": 0.5, "mean_occupancy": 45.0,
+             "field_fraction": 0.12, "seed": 306},
+            base_n=12000,
+            dim=3,
+            eps=1.0,
+            min_pts=5,
+            paper={
+                "n": "100M", "d": 3, "eps": 1, "min_pts": 5,
+                "runtime_rtree_dbscan": 18574.45, "runtime_g_dbscan": float("inf"),
+                "runtime_grid_dbscan": float("inf"), "runtime_mu_dbscan": 11329.92,
+                "n_mcs": 3268853, "query_saves": 0.8692,
+            },
+        ),
+        _spec(
+            "KDDB145K14D",
+            "KDD Cup 2004 bio stand-in, 14 of 74 feature dimensions",
+            latent_cluster_cloud,
+            {"dim": 14, "latent_dim": 6, "n_clusters": 8, "cluster_spread": 0.5,
+             "ambient_noise": 0.05, "scale": 100.0, "seed": 307},
+            base_n=3000,
+            dim=14,
+            eps=200.0,
+            min_pts=5,
+            paper={
+                "n": "145K", "d": 14, "eps": 200, "min_pts": 5,
+                "runtime_rtree_dbscan": 3604.48, "runtime_g_dbscan": 584.23,
+                "runtime_grid_dbscan": 5192.62, "runtime_mu_dbscan": 360.9,
+                "n_mcs": 906, "query_saves": 0.9634,
+                "mem_rtree_mb": 61, "mem_g_mb": 32, "mem_grid_mb": 20654, "mem_mu_mb": 67,
+                # Table V row (32 nodes)
+                "runtime_pdsdbscan_d": 126.82, "runtime_grid_dbscan_d": 483.87,
+                "runtime_rp_dbscan": 115.8, "runtime_mu_dbscan_d": 8.15,
+            },
+        ),
+        _spec(
+            "KDDB145K24D",
+            "KDD Cup 2004 bio stand-in, 24 of 74 feature dimensions",
+            latent_cluster_cloud,
+            {"dim": 24, "latent_dim": 8, "n_clusters": 8, "cluster_spread": 0.5,
+             "ambient_noise": 0.05, "scale": 100.0, "seed": 308},
+            base_n=3000,
+            dim=24,
+            eps=300.0,
+            min_pts=5,
+            paper={
+                "n": "143K", "d": 24, "eps": 600, "min_pts": 5,
+                "runtime_rtree_dbscan": 8270.85, "runtime_g_dbscan": 2612.07,
+                "runtime_grid_dbscan": float("inf"), "runtime_mu_dbscan": 2578.58,
+                "n_mcs": 655, "query_saves": 0.9660,
+            },
+        ),
+        # ---------------- Table V / VI (distributed) -------------------
+        _spec(
+            "MPAGD8M3D",
+            "MPAGD 8M stand-in for the distributed step-speedup study",
+            galaxy_halos,
+            {"dim": 3, "box": 120.0, "halo_scale": 0.5, "mean_occupancy": 40.0,
+             "field_fraction": 0.15, "seed": 309},
+            base_n=6000,
+            dim=3,
+            eps=1.0,
+            min_pts=5,
+            paper={
+                "n": "8M", "d": 3, "eps": 1, "min_pts": 5,
+                "runtime_pdsdbscan_d": 37.7, "runtime_grid_dbscan_d": 169.379,
+                "runtime_hpdbscan": 10.85, "runtime_rp_dbscan": 1832.99,
+                "runtime_mu_dbscan_d": 23.97,
+            },
+        ),
+        _spec(
+            "FOF28M14D",
+            "FOF 14-d feature catalogue stand-in (positions + velocities)",
+            galaxy_halos,
+            {"dim": 14, "box": 60.0, "halo_scale": 1.2, "mean_occupancy": 50.0,
+             "field_fraction": 0.10, "seed": 310},
+            base_n=4000,
+            dim=14,
+            eps=7.0,
+            min_pts=5,
+            paper={
+                "n": "28M", "d": 14, "eps": 7, "min_pts": 5,
+                "runtime_rp_dbscan": 6516.56, "runtime_mu_dbscan_d": 1631.58,
+            },
+        ),
+        _spec(
+            "KDDB145K74D",
+            "KDD Cup 2004 bio stand-in, all 74 feature dimensions",
+            latent_cluster_cloud,
+            {"dim": 74, "latent_dim": 12, "n_clusters": 8, "cluster_spread": 0.5,
+             "ambient_noise": 0.05, "scale": 100.0, "seed": 311},
+            base_n=2000,
+            dim=74,
+            eps=400.0,
+            min_pts=5,
+            paper={
+                "n": "145K", "d": 74, "eps": 1500, "min_pts": 5,
+                "runtime_mu_dbscan_d": 460.0,
+            },
+        ),
+        _spec(
+            "MPAGD1B3D",
+            "the billion-point headline run, scaled down",
+            galaxy_halos,
+            {"dim": 3, "box": 400.0, "halo_scale": 0.4, "mean_occupancy": 45.0,
+             "field_fraction": 0.12, "seed": 312},
+            base_n=20000,
+            dim=3,
+            eps=0.8,
+            min_pts=5,
+            paper={
+                "n": "1B", "d": 3, "eps": 0.4, "min_pts": 5,
+                "runtime_mu_dbscan_d": 2474.23,
+            },
+        ),
+        _spec(
+            "FOF500M3D",
+            "FOF 500M stand-in for the core-scaling study (Table VI)",
+            galaxy_halos,
+            {"dim": 3, "box": 300.0, "halo_scale": 1.0, "mean_occupancy": 60.0,
+             "field_fraction": 0.10, "seed": 313},
+            base_n=16000,
+            dim=3,
+            eps=3.5,
+            min_pts=5,
+            paper={
+                "n": "500M", "d": 3, "eps": 3.5, "min_pts": 5,
+                "runtime_mu_dbscan_d_32": 4229.81,
+                "runtime_mu_dbscan_d_64": 2641.03,
+                "runtime_mu_dbscan_d_128": 1800.62,
+            },
+        ),
+        _spec(
+            "MPAGD800M3D",
+            "MPAGD 800M stand-in for the core-scaling study (Table VI)",
+            galaxy_halos,
+            {"dim": 3, "box": 350.0, "halo_scale": 0.4, "mean_occupancy": 45.0,
+             "field_fraction": 0.12, "seed": 314},
+            base_n=16000,
+            dim=3,
+            eps=0.9,
+            min_pts=5,
+            paper={
+                "n": "800M", "d": 3, "eps": 0.5, "min_pts": 5,
+                "runtime_mu_dbscan_d_32": 1881.2,
+                "runtime_mu_dbscan_d_64": 977.85,
+                "runtime_mu_dbscan_d_128": 624.44,
+            },
+        ),
+    ]
+}
+
+
+def dataset_names() -> list[str]:
+    """All registered dataset names, registry order."""
+    return list(REGISTRY)
+
+
+def load_dataset(
+    name: str, scale: float | None = None, seed: int | None = None
+) -> tuple[np.ndarray, DatasetSpec]:
+    """Materialise a registry dataset; returns ``(points, spec)``."""
+    if name not in REGISTRY:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(REGISTRY)}"
+        )
+    spec = REGISTRY[name]
+    return spec.generate(scale=scale, seed=seed), spec

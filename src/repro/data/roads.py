@@ -1,0 +1,74 @@
+"""Road-network GPS traces — 3DSRN stand-in.
+
+The 3D Road Network dataset (Kaul et al. 2013) contains vehicular GPS
+fixes: longitude, latitude, altitude sampled densely *along roads*.
+Its density structure — nearly one-dimensional filaments in 3-d space
+with locally uniform linear density — is what makes it an interesting
+DBSCAN workload (elongated ε-chains, micro-clusters strung like beads).
+
+The generator grows a random road graph by biased random walks from a
+few seed hubs, then samples points along every segment with Gaussian
+GPS jitter perpendicular to the road and a smooth altitude field.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["road_network_gps"]
+
+
+def road_network_gps(
+    n: int,
+    *,
+    box: float = 10.0,
+    n_hubs: int = 6,
+    walk_steps: int = 40,
+    step: float = 0.4,
+    jitter: float = 0.01,
+    altitude_scale: float = 0.2,
+    seed: int = 0,
+) -> np.ndarray:
+    """Generate ``n`` 3-d GPS-like fixes along a synthetic road network.
+
+    Roads are polylines built from ``n_hubs`` biased random walks of
+    ``walk_steps`` segments (length ``step``, mildly correlated
+    headings).  Each fix sits at a uniform position along a random
+    segment, displaced by isotropic ``jitter`` (GPS noise), with
+    altitude a smooth sinusoidal field of the planar position.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if n_hubs < 1 or walk_steps < 1:
+        raise ValueError(
+            f"need at least one hub and one step, got {n_hubs} hubs / {walk_steps} steps"
+        )
+    rng = np.random.default_rng(seed)
+
+    segments: list[tuple[np.ndarray, np.ndarray]] = []
+    for _ in range(n_hubs):
+        pos = rng.uniform(0.2 * box, 0.8 * box, size=2)
+        heading = rng.uniform(0.0, 2.0 * np.pi)
+        for _ in range(walk_steps):
+            heading += rng.normal(0.0, 0.35)  # gentle curvature
+            nxt = pos + step * np.array([np.cos(heading), np.sin(heading)])
+            nxt = np.clip(nxt, 0.0, box)
+            segments.append((pos.copy(), nxt.copy()))
+            pos = nxt
+
+    if n == 0:
+        return np.empty((0, 3))
+    seg_a = np.stack([s[0] for s in segments])
+    seg_b = np.stack([s[1] for s in segments])
+    lengths = np.linalg.norm(seg_b - seg_a, axis=1)
+    weights = lengths / lengths.sum() if lengths.sum() > 0 else None
+    choice = rng.choice(len(segments), size=n, p=weights)
+    t = rng.random(n)[:, None]
+    planar = seg_a[choice] * (1.0 - t) + seg_b[choice] * t
+    planar += rng.normal(0.0, jitter, size=planar.shape)
+    altitude = (
+        altitude_scale
+        * (np.sin(planar[:, 0] * 2.0 * np.pi / box) + np.cos(planar[:, 1] * 2.0 * np.pi / box))
+        + rng.normal(0.0, jitter, size=n)
+    )
+    return np.column_stack([planar, altitude])

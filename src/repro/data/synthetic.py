@@ -1,0 +1,78 @@
+"""Elementary synthetic point clouds used across the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gaussian_blobs", "uniform_box", "blobs_with_noise"]
+
+
+def gaussian_blobs(
+    n: int,
+    dim: int,
+    n_blobs: int,
+    *,
+    spread: float = 0.05,
+    box: float = 1.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """``n`` points split evenly over ``n_blobs`` isotropic Gaussians.
+
+    Blob centers are drawn uniformly in ``[0, box]^dim``; each blob has
+    standard deviation ``spread * box``.
+    """
+    if n < 0 or dim < 1 or n_blobs < 1:
+        raise ValueError(f"invalid shape request n={n}, dim={dim}, n_blobs={n_blobs}")
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.0, box, size=(n_blobs, dim))
+    sizes = np.full(n_blobs, n // n_blobs, dtype=np.int64)
+    sizes[: n % n_blobs] += 1
+    parts = [
+        rng.normal(centers[b], spread * box, size=(int(sizes[b]), dim))
+        for b in range(n_blobs)
+        if sizes[b]
+    ]
+    if not parts:
+        return np.empty((0, dim))
+    pts = np.vstack(parts)
+    rng.shuffle(pts, axis=0)
+    return pts
+
+
+def uniform_box(n: int, dim: int, *, box: float = 1.0, seed: int = 0) -> np.ndarray:
+    """``n`` points uniform in ``[0, box]^dim``."""
+    if n < 0 or dim < 1:
+        raise ValueError(f"invalid shape request n={n}, dim={dim}")
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, box, size=(n, dim))
+
+
+def blobs_with_noise(
+    n: int,
+    dim: int,
+    n_blobs: int,
+    *,
+    noise_fraction: float = 0.2,
+    spread: float = 0.05,
+    box: float = 1.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Gaussian blobs plus a uniform background — the canonical DBSCAN
+    workload (dense clusters interspersed with sparse noise)."""
+    if not (0.0 <= noise_fraction <= 1.0):
+        raise ValueError(f"noise_fraction must be in [0, 1], got {noise_fraction}")
+    n_noise = int(round(n * noise_fraction))
+    n_blob = n - n_noise
+    rng = np.random.default_rng(seed)
+    parts = []
+    if n_blob:
+        parts.append(
+            gaussian_blobs(n_blob, dim, n_blobs, spread=spread, box=box, seed=seed + 1)
+        )
+    if n_noise:
+        parts.append(rng.uniform(0.0, box, size=(n_noise, dim)))
+    if not parts:
+        return np.empty((0, dim))
+    pts = np.vstack(parts)
+    rng.shuffle(pts, axis=0)
+    return pts

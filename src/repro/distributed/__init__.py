@@ -1,0 +1,37 @@
+"""μDBSCAN-D and the distributed baselines, on a simulated MPI substrate.
+
+The paper's distributed experiments run C++/MPI on a 32-node cluster.
+Here the same *algorithms* run against :mod:`repro.distributed.simmpi`,
+a thread-per-rank communicator with MPI's blocking point-to-point and
+collective semantics.  Parallel run-time is reported as
+``max over ranks of per-rank thread-CPU phase time`` plus the measured
+merge cost — the standard as-if-parallel model — and every message's
+payload bytes are counted (see DESIGN.md §2).
+
+Pipeline (Algorithm 9):
+
+1. :mod:`repro.distributed.partition` — sampling-median kd splits,
+2. :mod:`repro.distributed.halo` — ε-halo exchange,
+3. :mod:`repro.distributed.local` — restricted local μDBSCAN producing
+   a :class:`~repro.distributed.protocol.LocalFragment`,
+4. :mod:`repro.distributed.merging` — global resolution of fragments.
+"""
+
+from repro.distributed.simmpi import Communicator, run_mpi
+from repro.distributed.mudbscan_d import mu_dbscan_d
+from repro.distributed.baselines_d import (
+    pdsdbscan_d,
+    grid_dbscan_d,
+    hpdbscan_like,
+    rp_dbscan_like,
+)
+
+__all__ = [
+    "Communicator",
+    "run_mpi",
+    "mu_dbscan_d",
+    "pdsdbscan_d",
+    "grid_dbscan_d",
+    "hpdbscan_like",
+    "rp_dbscan_like",
+]

@@ -1,0 +1,83 @@
+"""ε-halo exchange (paper §V-B, the "ε-extended strip" of Fig. 4).
+
+After partitioning, each rank must answer exact ε-queries for its owned
+points, which requires every foreign point strictly within ε of its
+box.  Each rank therefore ships, to every other rank, its own points
+that fall inside that rank's ε-extended box — one ``alltoall``, no
+further communication during local clustering (the paper's point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributed.simmpi.comm import Communicator
+
+__all__ = ["HaloResult", "exchange_halo"]
+
+
+@dataclass
+class HaloResult:
+    """Foreign points within ε of this rank's box."""
+
+    points: np.ndarray  # (h, d)
+    gids: np.ndarray  # (h,)
+    owners: np.ndarray  # (h,) source rank per halo point
+
+
+def _within_eps_of_box(
+    pts: np.ndarray, low: np.ndarray, high: np.ndarray, eps: float
+) -> np.ndarray:
+    """Mask of points with distance to the closed box strictly below eps."""
+    clamped = np.clip(pts, low, high)
+    diff = pts - clamped
+    sq = np.einsum("ij,ij->i", diff, diff)
+    return sq < eps * eps
+
+
+def exchange_halo(
+    comm: Communicator,
+    points: np.ndarray,
+    gids: np.ndarray,
+    all_box_lows: np.ndarray,
+    all_box_highs: np.ndarray,
+    eps: float,
+) -> HaloResult:
+    """Run the halo exchange; returns the foreign strip for this rank."""
+    if eps <= 0.0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    pts = np.ascontiguousarray(points, dtype=np.float64)
+    ids = np.asarray(gids, dtype=np.int64)
+    dim = pts.shape[1] if pts.ndim == 2 else 0
+
+    outbound: list[tuple[np.ndarray, np.ndarray]] = []
+    for r in range(comm.size):
+        if r == comm.rank or pts.shape[0] == 0:
+            outbound.append((np.empty((0, dim)), np.empty(0, dtype=np.int64)))
+            continue
+        mask = _within_eps_of_box(pts, all_box_lows[r], all_box_highs[r], eps)
+        outbound.append((pts[mask], ids[mask]))
+
+    inbound = comm.alltoall(outbound)
+    parts_pts: list[np.ndarray] = []
+    parts_ids: list[np.ndarray] = []
+    parts_own: list[np.ndarray] = []
+    for r, (p, g) in enumerate(inbound):
+        if r == comm.rank or p.shape[0] == 0:
+            continue
+        parts_pts.append(p)
+        parts_ids.append(g)
+        parts_own.append(np.full(g.shape[0], r, dtype=np.int64))
+    if parts_pts:
+        return HaloResult(
+            points=np.vstack(parts_pts),
+            gids=np.concatenate(parts_ids),
+            owners=np.concatenate(parts_own),
+        )
+    return HaloResult(
+        points=np.empty((0, dim)),
+        gids=np.empty(0, dtype=np.int64),
+        owners=np.empty(0, dtype=np.int64),
+    )

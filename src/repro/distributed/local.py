@@ -1,0 +1,168 @@
+"""The local step of μDBSCAN-D — restricted μDBSCAN over owned + halo.
+
+Runs the full sequential μDBSCAN machinery on the concatenation of a
+rank's owned points and its ε-halo, with two ownership-aware twists
+implemented by :class:`DistributedMuDBSCANState`:
+
+* ``union(x, y)`` merges immediately only when both endpoints are
+  owned; an owned↔halo merge is *deferred* as a cross pair for the
+  global merge (the halo endpoint's true core/assignment status lives
+  at its owner), and halo↔halo merges are dropped (both owners will
+  handle them).
+* Algorithm 7's candidate mask is widened to include halo candidates
+  whatever their local core flag: a halo point that looks non-core here
+  may be core globally, and the missing core-core edge would otherwise
+  be lost by *both* ranks (each seeing the other's endpoint as
+  non-core).  The merge applies the pair under global flags, so the
+  widening never creates an illegal union.
+
+After the run, every still-unassigned provisionally-noise owned point
+emits pairs to its halo neighbors: one of them may be core globally,
+which turns the point into that cluster's border (Algorithm 8's rescue,
+distributed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mudbscan import run_mu_dbscan_state
+from repro.core.params import DBSCANParams
+from repro.core.state import MuDBSCANState
+from repro.distributed.protocol import LocalFragment
+from repro.instrumentation.counters import Counters
+from repro.instrumentation.timers import PhaseTimer
+from repro.microcluster.murtree import MuRTree
+
+__all__ = ["DistributedMuDBSCANState", "run_local_mu_dbscan"]
+
+
+class DistributedMuDBSCANState(MuDBSCANState):
+    """Ownership-aware μDBSCAN state (see module docstring)."""
+
+
+    def __init__(
+        self,
+        murtree: MuRTree,
+        params: DBSCANParams,
+        counters: Counters,
+        owned: np.ndarray,
+        gids: np.ndarray,
+    ) -> None:
+        super().__init__(murtree, params, counters)
+        if owned.shape != (self.n,) or gids.shape != (self.n,):
+            raise ValueError(
+                f"owned/gids must cover all {self.n} local points, got "
+                f"{owned.shape} / {gids.shape}"
+            )
+        self.owned = np.asarray(owned, dtype=bool)
+        self.gids = np.asarray(gids, dtype=np.int64)
+        self.cross_pairs: list[tuple[int, int]] = []
+
+    def union(self, x: int, y: int) -> None:
+        x, y = int(x), int(y)
+        xo, yo = bool(self.owned[x]), bool(self.owned[y])
+        if xo and yo:
+            super().union(x, y)
+        elif xo or yo:
+            owned_row, halo_row = (x, y) if xo else (y, x)
+            self.cross_pairs.append(
+                (int(self.gids[owned_row]), int(self.gids[halo_row]))
+            )
+        # halo-halo: both owners will see this relation themselves
+
+    def postprocess_candidate_mask(self, candidates: np.ndarray) -> np.ndarray:
+        # locally-known cores plus every halo point (globally judged)
+        return self.core[candidates] | ~self.owned[candidates]
+
+    def postprocess_unknown_mask(self, candidates: np.ndarray) -> np.ndarray:
+        # halo points not locally proven core: their ε-relations become
+        # cross pairs, never local unions
+        return ~self.owned[candidates] & ~self.core[candidates]
+
+
+def _emit_noise_rescue_pairs(state: DistributedMuDBSCANState) -> None:
+    """Distributed Algorithm 8: unresolved noise may border a remote core."""
+    for row, nbrs in state.noise_nbrs.items():
+        if not state.owned[row] or state.assigned[row] or state.core[row]:
+            continue
+        for q in nbrs[~state.owned[nbrs]]:
+            state.cross_pairs.append((int(state.gids[row]), int(state.gids[int(q)])))
+
+
+def _extract_intra_edges(state: DistributedMuDBSCANState) -> np.ndarray:
+    """(gid, gid-of-local-root) for every owned point merged locally."""
+    edges: list[tuple[int, int]] = []
+    for row in np.flatnonzero(state.owned):
+        root = state.uf.find(int(row))
+        if root != row:
+            edges.append((int(state.gids[row]), int(state.gids[root])))
+    if not edges:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.asarray(edges, dtype=np.int64)
+
+
+def run_local_mu_dbscan(
+    owned_points: np.ndarray,
+    owned_gids: np.ndarray,
+    halo_points: np.ndarray,
+    halo_gids: np.ndarray,
+    params: DBSCANParams,
+    *,
+    aux_index: str = "cached",
+    timers: PhaseTimer | None = None,
+    **mu_kwargs,
+) -> LocalFragment:
+    """Run μDBSCAN locally and package the rank's fragment."""
+    n_owned = owned_points.shape[0]
+    if halo_points.shape[0]:
+        all_points = np.vstack([owned_points, halo_points])
+        all_gids = np.concatenate(
+            [np.asarray(owned_gids, dtype=np.int64), np.asarray(halo_gids, dtype=np.int64)]
+        )
+    else:
+        all_points = np.asarray(owned_points, dtype=np.float64)
+        all_gids = np.asarray(owned_gids, dtype=np.int64)
+    owned_mask = np.zeros(all_points.shape[0], dtype=bool)
+    owned_mask[:n_owned] = True
+
+    counters = Counters()
+
+    def factory(murtree: MuRTree, p: DBSCANParams, c: Counters) -> MuDBSCANState:
+        return DistributedMuDBSCANState(murtree, p, c, owned_mask, all_gids)
+
+    state, timers = run_mu_dbscan_state(
+        all_points,
+        params,
+        aux_index=aux_index,
+        counters=counters,
+        timers=timers,
+        process_mask=owned_mask,
+        state_factory=factory,
+        **mu_kwargs,
+    )
+    assert isinstance(state, DistributedMuDBSCANState)
+    _emit_noise_rescue_pairs(state)
+
+    # duplicate pairs are common (Algorithm 6 and 7 both touch the same
+    # owned-halo edges); dedupe keeping first occurrence so border-claim
+    # order stays deterministic while the exchanged volume shrinks
+    if state.cross_pairs:
+        cross = np.asarray(list(dict.fromkeys(state.cross_pairs)), dtype=np.int64)
+    else:
+        cross = np.empty((0, 2), dtype=np.int64)
+    return LocalFragment(
+        owned_gids=all_gids[:n_owned],
+        core=state.core[:n_owned].copy(),
+        assigned=state.assigned[:n_owned].copy(),
+        intra_edges=_extract_intra_edges(state),
+        cross_pairs=cross,
+        counters=counters,
+        stats={
+            "phase_seconds": timers.as_dict(),
+            "n_micro_clusters": state.murtree.n_micro_clusters,
+            "n_halo": int(halo_points.shape[0]),
+            "n_owned": int(n_owned),
+            "n_wndq_core": len(state.wndq_corelist),
+        },
+    )

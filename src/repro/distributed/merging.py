@@ -1,0 +1,97 @@
+"""Global merge of local clusterings (paper §V-C).
+
+Each rank's fragment is exchanged (one allgather — the only collective
+of the merge, mirroring the paper's all-to-all of cross pairs), then
+every rank deterministically replays:
+
+1. all intra-rank unions (owned↔owned, already legal),
+2. the cross pairs in (rank, emission) order, interpreted under the
+   *global* core flags:
+
+   * both endpoints core  → union (a core-core ε-edge),
+   * exactly one core     → border claim: the non-core endpoint joins
+     the core's cluster iff it is not yet assigned anywhere (classical
+     DBSCAN's first-come border rule),
+   * neither core         → no-op (e.g. a noise-rescue probe whose halo
+     endpoint turned out non-core).
+
+No neighborhood query is executed here — the merge is pure union-find
+traffic, which is why the paper's merge phase stays below ~4% of the
+run (Table VII).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributed.protocol import LocalFragment
+from repro.instrumentation.counters import Counters
+from repro.unionfind.unionfind import UnionFind
+
+__all__ = ["resolve_fragments", "MergeOutcome"]
+
+
+class MergeOutcome:
+    """Global labels plus the masks the result record needs."""
+
+    __slots__ = ("labels", "core_mask", "assigned_mask", "n_cross_pairs")
+
+    def __init__(
+        self,
+        labels: np.ndarray,
+        core_mask: np.ndarray,
+        assigned_mask: np.ndarray,
+        n_cross_pairs: int,
+    ) -> None:
+        self.labels = labels
+        self.core_mask = core_mask
+        self.assigned_mask = assigned_mask
+        self.n_cross_pairs = n_cross_pairs
+
+
+def resolve_fragments(
+    fragments: list[LocalFragment],
+    n_global: int,
+    counters: Counters | None = None,
+) -> MergeOutcome:
+    """Deterministically merge per-rank fragments into global labels."""
+    counters = counters if counters is not None else Counters()
+    core = np.zeros(n_global, dtype=bool)
+    assigned = np.zeros(n_global, dtype=bool)
+    seen = np.zeros(n_global, dtype=bool)
+    for frag in fragments:
+        if np.any(seen[frag.owned_gids]):
+            raise ValueError("fragments overlap: a global id is owned twice")
+        seen[frag.owned_gids] = True
+        core[frag.owned_gids] = frag.core
+        assigned[frag.owned_gids] = frag.assigned
+    if not bool(seen.all()):
+        missing = int(n_global - np.count_nonzero(seen))
+        raise ValueError(f"fragments do not cover the dataset: {missing} ids unowned")
+
+    uf = UnionFind(n_global, counters=counters)
+    for frag in fragments:
+        for a, b in frag.intra_edges:
+            uf.union(int(a), int(b))
+
+    n_cross = 0
+    for frag in fragments:
+        for a, b in frag.cross_pairs:
+            a, b = int(a), int(b)
+            n_cross += 1
+            if core[a] and core[b]:
+                uf.union(a, b)
+            elif core[a] and not assigned[b]:
+                uf.union(a, b)
+                assigned[b] = True
+            elif core[b] and not assigned[a]:
+                uf.union(a, b)
+                assigned[a] = True
+
+    labels = uf.labels(noise_mask=~core & ~assigned)
+    return MergeOutcome(
+        labels=labels,
+        core_mask=core,
+        assigned_mask=assigned,
+        n_cross_pairs=n_cross,
+    )

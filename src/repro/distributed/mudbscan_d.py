@@ -1,0 +1,181 @@
+"""μDBSCAN-D — Algorithm 9, on the simmpi substrate.
+
+Four phases per rank (names match Table VII/VIII):
+
+1. ``partitioning``        — sampling-median kd splits (§V-A).  The
+   paper excludes data distribution from its speedup numbers; the
+   driver times it separately so benches can do the same.
+2. ``halo_exchange``       — fetch the ε-extended region (§V-B).
+3. local μDBSCAN           — ``tree_construction`` /
+   ``finding_reachable_groups`` / ``clustering`` / ``post_processing``.
+4. ``merging``             — fragment exchange and deterministic global
+   resolution (§V-C).
+
+Per-rank phases are timed with the rank thread's *CPU* clock (threads
+share the GIL, see ``PhaseTimer``); the as-if-parallel run-time of the
+job is ``max over ranks`` of local compute plus the merge, exposed via
+:func:`parallel_time`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.core.params import DBSCANParams
+from repro.core.result import ClusteringResult
+from repro.distributed.halo import exchange_halo
+from repro.distributed.local import run_local_mu_dbscan
+from repro.distributed.merging import resolve_fragments
+from repro.distributed.partition import kd_partition
+from repro.distributed.simmpi.comm import Communicator
+from repro.distributed.simmpi.launcher import run_mpi
+from repro.instrumentation.counters import Counters
+from repro.instrumentation.timers import PhaseTimer
+
+__all__ = ["mu_dbscan_d", "parallel_time", "LOCAL_PHASES"]
+
+#: the local-compute phases making up the parallel-time estimate
+LOCAL_PHASES = (
+    "tree_construction",
+    "finding_reachable_groups",
+    "clustering",
+    "post_processing",
+)
+
+
+def _rank_main(
+    comm: Communicator,
+    points: np.ndarray,
+    params: DBSCANParams,
+    sample_size: int,
+    seed: int,
+    mu_kwargs: dict[str, Any],
+) -> dict[str, Any]:
+    timers = PhaseTimer(clock=time.thread_time)
+    n_global = points.shape[0]
+
+    # block distribution stands in for the paper's parallel file read
+    blocks = np.array_split(np.arange(n_global, dtype=np.int64), comm.size)
+    my_gids = blocks[comm.rank]
+    my_points = points[my_gids]
+
+    with timers.phase("partitioning"):
+        part = kd_partition(comm, my_points, my_gids, sample_size=sample_size, seed=seed)
+    with timers.phase("halo_exchange"):
+        halo = exchange_halo(
+            comm,
+            part.points,
+            part.gids,
+            part.all_box_lows,
+            part.all_box_highs,
+            params.eps,
+        )
+
+    fragment = run_local_mu_dbscan(
+        part.points,
+        part.gids,
+        halo.points,
+        halo.gids,
+        params,
+        timers=timers,
+        **mu_kwargs,
+    )
+
+    with timers.phase("merging"):
+        # fragments fan into rank 0, which resolves once; the paper's
+        # pairwise UNION exchange produces the same components — one
+        # resolver keeps the replicated Python work out of the
+        # parallel-time estimate without changing any label
+        fragments = comm.gather(fragment, root=0)
+        outcome = None
+        if comm.rank == 0:
+            counters = Counters()
+            outcome = resolve_fragments(fragments, n_global, counters=counters)
+        comm.barrier()
+
+    return {
+        "rank": comm.rank,
+        "labels": outcome.labels if outcome is not None else None,
+        "core_mask": outcome.core_mask if outcome is not None else None,
+        "n_cross_pairs": outcome.n_cross_pairs if outcome is not None else 0,
+        "phase_seconds": timers.as_dict(),
+        "counters": fragment.counters,
+        "stats": fragment.stats,
+        "bytes_sent": comm.bytes_sent,
+        "messages_sent": comm.messages_sent,
+    }
+
+
+def mu_dbscan_d(
+    points: np.ndarray,
+    eps: float,
+    min_pts: int,
+    n_ranks: int,
+    *,
+    sample_size: int = 256,
+    seed: int = 0,
+    **mu_kwargs: Any,
+) -> ClusteringResult:
+    """Cluster ``points`` with μDBSCAN-D on ``n_ranks`` simulated ranks.
+
+    Produces exactly the clustering of sequential μDBSCAN / classical
+    DBSCAN (the test suite asserts it).  ``extras`` carries the
+    per-rank phase timings and communication volumes the distributed
+    tables report.
+    """
+    params = DBSCANParams(eps=eps, min_pts=min_pts)
+    pts = np.ascontiguousarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError(f"points must be (n, d), got shape {pts.shape}")
+
+    rank_results = run_mpi(
+        n_ranks, _rank_main, pts, params, sample_size, seed, mu_kwargs
+    )
+
+    counters = Counters()
+    per_rank_phases: list[dict[str, float]] = []
+    for rr in rank_results:
+        counters.merge(rr["counters"])
+        per_rank_phases.append(rr["phase_seconds"])
+
+    timers = PhaseTimer()
+    for phases in per_rank_phases:
+        rank_timer = PhaseTimer()
+        for name, secs in phases.items():
+            rank_timer.add(name, secs)
+        timers.merge_max(rank_timer)  # parallel time: slowest rank per phase
+
+    labels = rank_results[0]["labels"]
+    core_mask = rank_results[0]["core_mask"]
+    return ClusteringResult(
+        labels=labels,
+        core_mask=core_mask,
+        params=params,
+        algorithm="mu_dbscan_d",
+        counters=counters,
+        timers=timers,
+        extras={
+            "n_ranks": n_ranks,
+            "per_rank_phases": per_rank_phases,
+            "per_rank_stats": [rr["stats"] for rr in rank_results],
+            "n_cross_pairs": rank_results[0]["n_cross_pairs"],
+            "bytes_sent_total": sum(rr["bytes_sent"] for rr in rank_results),
+            "messages_sent_total": sum(rr["messages_sent"] for rr in rank_results),
+        },
+    )
+
+
+def parallel_time(result: ClusteringResult, include_partitioning: bool = False) -> float:
+    """As-if-parallel run-time: slowest rank's local compute + merge.
+
+    The paper excludes data distribution (``partitioning`` and
+    ``halo_exchange``) from its reported times; pass
+    ``include_partitioning=True`` to add them.
+    """
+    phases = list(LOCAL_PHASES) + ["merging"]
+    if include_partitioning:
+        phases += ["partitioning", "halo_exchange"]
+    return sum(result.timers.get(p) for p in phases)

@@ -1,0 +1,124 @@
+"""Sampling-based kd-tree spatial partitioning (paper §V-A, Fig. 4).
+
+The rank set is recursively halved ``log2(p)`` times.  At each level
+every rank group agrees on a split: the axis with the largest sampled
+spread, cut at the *sampled median* (computing the exact median of
+billions of points is what the paper avoids; a fixed-size random sample
+per rank is aggregated instead, following BD-CATS).  Ranks in the lower
+half of the group keep the points strictly below the cut and swap the
+rest with their partner in the upper half, hypercube style.  After all
+levels each rank owns an axis-aligned box; the boxes partition space.
+
+Requires ``p`` to be a power of two (as do the paper's experiments:
+4..128 ranks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributed.simmpi.comm import Communicator
+
+__all__ = ["PartitionResult", "kd_partition"]
+
+
+@dataclass
+class PartitionResult:
+    """One rank's share after spatial partitioning.
+
+    ``box_low``/``box_high`` describe the rank's region (closed below,
+    open above along every split, infinite at the domain borders);
+    ``all_boxes`` stacks every rank's box for halo planning.
+    """
+
+    points: np.ndarray
+    gids: np.ndarray
+    box_low: np.ndarray
+    box_high: np.ndarray
+    all_box_lows: np.ndarray
+    all_box_highs: np.ndarray
+
+
+def _is_power_of_two(x: int) -> bool:
+    return x >= 1 and (x & (x - 1)) == 0
+
+
+def kd_partition(
+    comm: Communicator,
+    points: np.ndarray,
+    gids: np.ndarray,
+    sample_size: int = 256,
+    seed: int = 0,
+) -> PartitionResult:
+    """Redistribute ``(points, gids)`` so each rank owns a spatial box.
+
+    ``points``/``gids`` are this rank's initial (arbitrary, e.g. block)
+    share.  Deterministic given ``seed``.
+    """
+    if not _is_power_of_two(comm.size):
+        raise ValueError(
+            f"kd_partition requires a power-of-two rank count, got {comm.size}"
+        )
+    pts = np.ascontiguousarray(points, dtype=np.float64)
+    ids = np.asarray(gids, dtype=np.int64)
+    if pts.ndim != 2:
+        raise ValueError(f"points must be (n, d), got shape {pts.shape}")
+    if ids.shape != (pts.shape[0],):
+        raise ValueError(f"gids must be ({pts.shape[0]},), got {ids.shape}")
+    dim = pts.shape[1]
+    rng = np.random.default_rng(seed + comm.rank)
+
+    box_low = np.full(dim, -np.inf)
+    box_high = np.full(dim, np.inf)
+
+    group_size = comm.size
+    while group_size > 1:
+        group_base = (comm.rank // group_size) * group_size
+        half = group_size // 2
+        in_lower = comm.rank < group_base + half
+
+        # --- agree on axis and cut from a per-rank sample -------------
+        if pts.shape[0]:
+            take = min(sample_size, pts.shape[0])
+            sample = pts[rng.choice(pts.shape[0], size=take, replace=False)]
+        else:
+            sample = np.empty((0, dim))
+        # group-wide aggregation: allgather then slice our group's part
+        gathered = comm.allgather(sample)
+        group_sample = np.vstack(
+            [gathered[r] for r in range(group_base, group_base + group_size)]
+        )
+        if group_sample.shape[0] == 0:
+            axis, cut = 0, 0.0
+        else:
+            spread = group_sample.max(axis=0) - group_sample.min(axis=0)
+            axis = int(np.argmax(spread))
+            cut = float(np.median(group_sample[:, axis]))
+
+        # --- swap the wrong-side points with the partner rank ---------
+        partner = comm.rank + half if in_lower else comm.rank - half
+        keep_mask = pts[:, axis] < cut if in_lower else pts[:, axis] >= cut
+        send_pts, send_ids = pts[~keep_mask], ids[~keep_mask]
+        comm.send((send_pts, send_ids), dest=partner, tag=10)
+        recv_pts, recv_ids = comm.recv(source=partner, tag=10)
+        pts = np.vstack([pts[keep_mask], recv_pts])
+        ids = np.concatenate([ids[keep_mask], recv_ids])
+
+        if in_lower:
+            box_high[axis] = min(box_high[axis], cut)
+        else:
+            box_low[axis] = max(box_low[axis], cut)
+        group_size = half
+
+    lows = np.stack(comm.allgather(box_low))
+    highs = np.stack(comm.allgather(box_high))
+    return PartitionResult(
+        points=pts,
+        gids=ids,
+        box_low=box_low,
+        box_high=box_high,
+        all_box_lows=lows,
+        all_box_highs=highs,
+    )

@@ -1,0 +1,63 @@
+"""The fragment protocol between local clustering and global merging.
+
+Every distributed algorithm's local step emits a
+:class:`LocalFragment`; the merge step (paper §V-C) consumes one per
+rank.  The key invariants a local step must uphold for the merge to
+reconstruct the exact clustering:
+
+* ``core`` flags for *owned* points are globally exact (the ε-halo
+  guarantees complete neighborhoods for owned points);
+* ``intra_edges`` connect owned points only, and every such union is a
+  legal DBSCAN merge given only locally-owned information;
+* ``cross_pairs`` contains, for every owned core ``x``, each halo point
+  ``y`` strictly within ε that ``x`` may need to merge with — plus, for
+  each provisionally-noise owned point, its halo neighbors (the remote
+  side may know them to be core).  The merge step applies the pairs
+  under the *global* core flags, so a pair whose halo endpoint turns
+  out non-core degrades into a border claim or a no-op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.instrumentation.counters import Counters
+
+__all__ = ["LocalFragment"]
+
+
+@dataclass
+class LocalFragment:
+    """One rank's contribution to the global merge."""
+
+    #: global ids of the points this rank owns
+    owned_gids: np.ndarray
+    #: exact core flags, aligned with ``owned_gids``
+    core: np.ndarray
+    #: locally-assigned flags (owned point already merged into a local
+    #: cluster), aligned with ``owned_gids``
+    assigned: np.ndarray
+    #: ``(k, 2)`` global-id unions among owned points
+    intra_edges: np.ndarray
+    #: ``(k, 2)`` global-id (owned, halo) merge candidates, emission order
+    cross_pairs: np.ndarray
+    #: local work counters (aggregated into the run's totals)
+    counters: Counters = field(default_factory=Counters)
+    #: free-form local statistics (phase seconds, MC counts, ...)
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.owned_gids = np.asarray(self.owned_gids, dtype=np.int64)
+        self.core = np.asarray(self.core, dtype=bool)
+        self.assigned = np.asarray(self.assigned, dtype=bool)
+        self.intra_edges = np.asarray(self.intra_edges, dtype=np.int64).reshape(-1, 2)
+        self.cross_pairs = np.asarray(self.cross_pairs, dtype=np.int64).reshape(-1, 2)
+        n = self.owned_gids.shape[0]
+        if self.core.shape != (n,) or self.assigned.shape != (n,):
+            raise ValueError(
+                f"core/assigned must align with {n} owned gids, got "
+                f"{self.core.shape} / {self.assigned.shape}"
+            )

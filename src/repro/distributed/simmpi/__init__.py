@@ -1,0 +1,18 @@
+"""simmpi — a minimal in-process MPI.
+
+Thread-per-rank execution with blocking tagged point-to-point messages
+and the collective operations the clustering drivers need (barrier,
+bcast, scatter, gather, allgather, allreduce, alltoall).  The API
+mirrors mpi4py's lowercase object interface, so the algorithm code
+reads like real MPI code and could be ported to mpi4py by swapping the
+communicator.
+
+Every payload's pickled size is counted per rank
+(``comm.bytes_sent``), giving the communication-volume numbers the
+distributed benches report.
+"""
+
+from repro.distributed.simmpi.comm import Communicator, World
+from repro.distributed.simmpi.launcher import run_mpi
+
+__all__ = ["Communicator", "World", "run_mpi"]

@@ -1,0 +1,86 @@
+"""Geometric primitives shared by every index and clustering algorithm.
+
+The paper's algorithms are phrased in terms of three geometric facts:
+
+* point-to-point distances against thresholds (``eps``, ``eps/2``,
+  ``2*eps``, ``3*eps``),
+* minimum bounding rectangles (MBRs) of R-tree nodes, and
+* whether an ``eps``-ball (or an ``eps``-extended rectangle) around a
+  query point intersects an MBR.
+
+Everything in this subpackage works on raw ``numpy`` arrays and uses
+*squared* distances internally so that no square roots are taken on the
+hot path (see DESIGN.md section 6 for the strict-inequality semantics).
+"""
+
+from repro.geometry.distance import (
+    pairwise_sq_dists,
+    sq_dists_to_point,
+    sq_dist,
+    neighbors_within,
+    count_within,
+    chunked_pairwise_apply,
+)
+from repro.geometry.mbr import (
+    mbr_of_points,
+    mbr_area,
+    mbr_margin,
+    mbr_union,
+    mbr_enlargement,
+    mbrs_overlap,
+    mbr_contains_point,
+    mbr_contains_mbr,
+    empty_mbr,
+    EMPTY_MBR_LOW,
+    EMPTY_MBR_HIGH,
+)
+from repro.geometry.metrics import (
+    Metric,
+    EuclideanMetric,
+    ManhattanMetric,
+    ChebyshevMetric,
+    get_metric,
+    EUCLIDEAN,
+    MANHATTAN,
+    CHEBYSHEV,
+)
+from repro.geometry.regions import (
+    eps_extended_rect,
+    point_rect_sq_dist,
+    sphere_intersects_rect,
+    sphere_intersects_rects,
+    rect_overlaps_rects,
+)
+
+__all__ = [
+    "pairwise_sq_dists",
+    "sq_dists_to_point",
+    "sq_dist",
+    "neighbors_within",
+    "count_within",
+    "chunked_pairwise_apply",
+    "mbr_of_points",
+    "mbr_area",
+    "mbr_margin",
+    "mbr_union",
+    "mbr_enlargement",
+    "mbrs_overlap",
+    "mbr_contains_point",
+    "mbr_contains_mbr",
+    "empty_mbr",
+    "EMPTY_MBR_LOW",
+    "EMPTY_MBR_HIGH",
+    "Metric",
+    "EuclideanMetric",
+    "ManhattanMetric",
+    "ChebyshevMetric",
+    "get_metric",
+    "EUCLIDEAN",
+    "MANHATTAN",
+    "CHEBYSHEV",
+    "eps_extended_rect",
+    "point_rect_sq_dist",
+    "sphere_intersects_rect",
+    "sphere_intersects_rects",
+    "rect_overlaps_rects",
+]

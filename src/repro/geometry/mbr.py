@@ -1,0 +1,127 @@
+"""Minimum-bounding-rectangle (MBR) algebra for R-tree style indexes.
+
+An MBR is represented as a pair of 1-d float64 arrays ``(low, high)``
+with ``low[i] <= high[i]``; batched operations take stacked ``(k, d)``
+arrays of lows and highs.  The *empty* MBR is represented by
+``low = +inf, high = -inf`` in every axis so that union with it is the
+identity and every overlap test against it is false — this lets tree
+nodes start empty without special cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "EMPTY_MBR_LOW",
+    "EMPTY_MBR_HIGH",
+    "empty_mbr",
+    "mbr_of_points",
+    "mbr_area",
+    "mbr_margin",
+    "mbr_union",
+    "mbr_enlargement",
+    "mbrs_overlap",
+    "mbr_contains_point",
+    "mbr_contains_mbr",
+]
+
+EMPTY_MBR_LOW = np.inf
+EMPTY_MBR_HIGH = -np.inf
+
+
+def empty_mbr(dim: int) -> tuple[np.ndarray, np.ndarray]:
+    """The identity element for :func:`mbr_union` in ``dim`` dimensions."""
+    if dim < 1:
+        raise ValueError(f"dim must be >= 1, got {dim}")
+    return (
+        np.full(dim, EMPTY_MBR_LOW, dtype=np.float64),
+        np.full(dim, EMPTY_MBR_HIGH, dtype=np.float64),
+    )
+
+
+def mbr_of_points(points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Tight axis-aligned bounding box of a ``(n, d)`` point array."""
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim == 1:
+        pts = pts.reshape(1, -1)
+    if pts.shape[0] == 0:
+        return empty_mbr(pts.shape[1] if pts.ndim == 2 and pts.shape[1] else 1)
+    return pts.min(axis=0), pts.max(axis=0)
+
+
+def _is_empty(low: np.ndarray, high: np.ndarray) -> bool:
+    return bool(np.any(low > high))
+
+
+def mbr_area(low: np.ndarray, high: np.ndarray) -> float:
+    """Hyper-volume of the MBR (0 for the empty MBR)."""
+    if _is_empty(low, high):
+        return 0.0
+    return float(np.prod(high - low))
+
+
+def mbr_margin(low: np.ndarray, high: np.ndarray) -> float:
+    """Sum of edge lengths (the R*-tree 'margin'); 0 for the empty MBR."""
+    if _is_empty(low, high):
+        return 0.0
+    return float(np.sum(high - low))
+
+
+def mbr_union(
+    low_a: np.ndarray,
+    high_a: np.ndarray,
+    low_b: np.ndarray,
+    high_b: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Smallest MBR covering both arguments."""
+    return np.minimum(low_a, low_b), np.maximum(high_a, high_b)
+
+
+def mbr_enlargement(
+    low: np.ndarray, high: np.ndarray, p_low: np.ndarray, p_high: np.ndarray
+) -> float:
+    """Area growth needed for ``(low, high)`` to also cover ``(p_low, p_high)``.
+
+    This is the quantity Guttman's *ChooseLeaf* minimizes.  Enlarging the
+    empty MBR costs the area of the inserted rectangle.
+    """
+    new_low, new_high = mbr_union(low, high, p_low, p_high)
+    return mbr_area(new_low, new_high) - mbr_area(low, high)
+
+
+def mbrs_overlap(
+    low_a: np.ndarray,
+    high_a: np.ndarray,
+    lows_b: np.ndarray,
+    highs_b: np.ndarray,
+) -> np.ndarray:
+    """Boolean mask: which rows of the batch ``(lows_b, highs_b)`` intersect
+    the single MBR ``(low_a, high_a)``.
+
+    Intersection is closed (touching boundaries count as overlapping),
+    which is the conservative choice for index pruning: a false positive
+    only costs an extra exact distance check, a false negative would lose
+    neighbors.
+    """
+    lows_b = np.atleast_2d(lows_b)
+    highs_b = np.atleast_2d(highs_b)
+    return np.all((lows_b <= high_a) & (highs_b >= low_a), axis=1)
+
+
+def mbr_contains_point(low: np.ndarray, high: np.ndarray, p: np.ndarray) -> bool:
+    """Closed containment test of a point in an MBR."""
+    p = np.asarray(p, dtype=np.float64)
+    return bool(np.all(low <= p) and np.all(p <= high))
+
+
+def mbr_contains_mbr(
+    low_outer: np.ndarray,
+    high_outer: np.ndarray,
+    low_inner: np.ndarray,
+    high_inner: np.ndarray,
+) -> bool:
+    """True when the inner MBR lies fully inside the outer (closed)."""
+    if _is_empty(low_inner, high_inner):
+        return True
+    return bool(np.all(low_outer <= low_inner) and np.all(high_inner <= high_outer))

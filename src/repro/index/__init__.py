@@ -1,0 +1,38 @@
+"""Spatial indexes built from scratch for the reproduction.
+
+* :class:`~repro.index.rtree.RTree` — Guttman R-tree over rectangles
+  (quadratic split), the building block of the paper's two-level μR-tree.
+* :class:`~repro.index.rtree.PointRTree` — R-tree specialised to points
+  with exact ε-ball queries (used by the R-DBSCAN baseline and as the
+  AuxR-tree inside each micro-cluster).
+* :func:`~repro.index.bulk.str_bulk_load` — Sort-Tile-Recursive packing
+  for building static trees in one pass.
+* :class:`~repro.index.kdtree.KDTree` — median-split kd-tree.
+* :class:`~repro.index.grid.UniformGrid` — ε-grid used by the
+  GridDBSCAN / HPDBSCAN baselines.
+* :class:`~repro.index.brute.BruteIndex` — exact full-scan reference.
+
+Every index answers the same strict-< ε-ball query so the clustering
+algorithms can be parameterised over them.
+"""
+
+from repro.index.base import NeighborIndex
+from repro.index.brute import BruteIndex
+from repro.index.rtree import RTree, PointRTree
+from repro.index.bulk import str_bulk_load
+from repro.index.kdtree import KDTree
+from repro.index.grid import UniformGrid
+from repro.index.knn import knn_brute, knn_rtree, knn_kdtree
+
+__all__ = [
+    "NeighborIndex",
+    "BruteIndex",
+    "RTree",
+    "PointRTree",
+    "str_bulk_load",
+    "KDTree",
+    "UniformGrid",
+    "knn_brute",
+    "knn_rtree",
+    "knn_kdtree",
+]

@@ -1,0 +1,31 @@
+"""The neighborhood-index contract shared by all spatial indexes."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class NeighborIndex(Protocol):
+    """Anything that can answer exact strict-< ε-ball queries over a fixed
+    point set.
+
+    Implementations index a ``(n, d)`` array once and then answer
+    ``query_ball(q, eps)`` with the indices of all points ``x`` such that
+    ``dist(x, q) < eps`` — including the query point itself when it is a
+    member of the indexed set (DESIGN.md section 6 semantics).
+    """
+
+    def query_ball(self, q: np.ndarray, eps: float) -> np.ndarray:
+        """Indices of indexed points strictly within ``eps`` of ``q``."""
+        ...
+
+    def count_ball(self, q: np.ndarray, eps: float) -> int:
+        """``len(query_ball(q, eps))`` without materialising the indices."""
+        ...
+
+    def __len__(self) -> int:
+        """Number of indexed points."""
+        ...

@@ -1,0 +1,53 @@
+"""Exact full-scan neighborhood index.
+
+The simplest possible :class:`~repro.index.base.NeighborIndex`: every
+query is a vectorized distance computation against the whole point set.
+It is the ground-truth oracle the test suite compares every other index
+against, and the substrate of the brute-force DBSCAN baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.distance import sq_dists_to_point
+from repro.instrumentation.counters import Counters
+
+__all__ = ["BruteIndex"]
+
+
+class BruteIndex:
+    """Full-scan ε-ball queries over a fixed ``(n, d)`` point array.
+
+    Parameters
+    ----------
+    points:
+        The points to index.  Held by reference; must not be mutated.
+    counters:
+        Optional shared :class:`Counters`; each query credits
+        ``dist_calcs`` with ``n``.
+    """
+
+    def __init__(self, points: np.ndarray, counters: Counters | None = None) -> None:
+        self.points = np.ascontiguousarray(points, dtype=np.float64)
+        if self.points.ndim != 2:
+            raise ValueError(f"points must be (n, d), got shape {self.points.shape}")
+        self.counters = counters if counters is not None else Counters()
+
+    def __len__(self) -> int:
+        return self.points.shape[0]
+
+    def query_ball(self, q: np.ndarray, eps: float) -> np.ndarray:
+        """Indices with ``dist(points[i], q) < eps`` (strict)."""
+        if eps <= 0.0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        self.counters.dist_calcs += self.points.shape[0]
+        sq = sq_dists_to_point(self.points, q)
+        return np.flatnonzero(sq < eps * eps)
+
+    def count_ball(self, q: np.ndarray, eps: float) -> int:
+        if eps <= 0.0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        self.counters.dist_calcs += self.points.shape[0]
+        sq = sq_dists_to_point(self.points, q)
+        return int(np.count_nonzero(sq < eps * eps))

@@ -1,0 +1,135 @@
+"""k-nearest-neighbor queries over the spatial indexes.
+
+DBSCAN users need kNN for one thing above all: the *k-distance plot*
+that picks ε (Ester et al.'s original recipe, used by
+:mod:`repro.neighbors`).  Implemented as classic best-first search:
+
+* a max-heap of the k best candidates so far,
+* a min-heap frontier of tree nodes keyed by their MBR's distance to
+  the query — a node whose MBR lies farther than the current k-th best
+  can be discarded unexpanded.
+
+Both tree flavours (R-tree, kd-tree) share the driver through a small
+node-expansion adapter; the brute path is a vectorized partial sort.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.geometry.distance import sq_dists_to_point
+from repro.geometry.regions import point_rect_sq_dist
+from repro.index.kdtree import KDTree
+from repro.index.rtree import PointRTree
+
+__all__ = ["knn_brute", "knn_rtree", "knn_kdtree"]
+
+
+def knn_brute(points: np.ndarray, q: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Indices and distances of the ``k`` nearest rows to ``q``.
+
+    Ties broken by index; the query point, when a member of ``points``,
+    counts as its own nearest neighbor (distance 0) — callers wanting
+    "k other points" ask for ``k + 1`` and drop the first.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError(f"points must be (n, d), got shape {pts.shape}")
+    n = pts.shape[0]
+    if not (1 <= k <= n):
+        raise ValueError(f"k must be in 1..{n}, got {k}")
+    sq = sq_dists_to_point(pts, q)
+    # stable selection: order by (distance, index)
+    part = np.argpartition(sq, k - 1)[:k]
+    order = part[np.lexsort((part, sq[part]))]
+    return order, np.sqrt(sq[order])
+
+
+def _best_first(
+    q: np.ndarray,
+    k: int,
+    root: Any,
+    expand: Callable[[Any], Iterable[tuple[float, Any]] | tuple[np.ndarray, np.ndarray]],
+    is_leaf: Callable[[Any], bool],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generic best-first kNN over a hierarchy.
+
+    ``expand(node)`` yields ``(mbr_sq_dist, child)`` for internal nodes;
+    for leaves it returns ``(ids, sq_dists)`` arrays of the contained
+    points.
+    """
+    best: list[tuple[float, int]] = []  # max-heap via negated distance
+    frontier: list[tuple[float, int, Any]] = [(0.0, 0, root)]
+    tiebreak = 1
+    while frontier:
+        node_sq, _, node = heapq.heappop(frontier)
+        if len(best) == k and node_sq >= -best[0][0]:
+            break  # nothing closer can come out of the frontier
+        if is_leaf(node):
+            ids, sqs = expand(node)
+            for pid, sq in zip(ids, sqs):
+                if len(best) < k:
+                    heapq.heappush(best, (-float(sq), int(pid)))
+                elif sq < -best[0][0]:
+                    heapq.heapreplace(best, (-float(sq), int(pid)))
+        else:
+            for child_sq, child in expand(node):
+                if len(best) < k or child_sq < -best[0][0]:
+                    heapq.heappush(frontier, (float(child_sq), tiebreak, child))
+                    tiebreak += 1
+    ordered = sorted((-neg_sq, pid) for neg_sq, pid in best)
+    ids = np.asarray([pid for _, pid in ordered], dtype=np.int64)
+    dists = np.sqrt(np.asarray([sq for sq, _ in ordered]))
+    return ids, dists
+
+
+def knn_rtree(tree: PointRTree, q: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Best-first kNN over a :class:`PointRTree`."""
+    n = len(tree)
+    if not (1 <= k <= n):
+        raise ValueError(f"k must be in 1..{n}, got {k}")
+    q = np.asarray(q, dtype=np.float64)
+
+    def is_leaf(node) -> bool:
+        return node.leaf
+
+    def expand(node):
+        if node.leaf:
+            rows = np.asarray(node.payloads, dtype=np.int64)
+            sqs = sq_dists_to_point(tree.points[rows], q)
+            tree.counters.dist_calcs += int(rows.size)
+            return tree.ids[rows], sqs
+        out = []
+        for i, child in enumerate(node.children):
+            out.append((point_rect_sq_dist(q, node.lows[i], node.highs[i]), child))
+        tree.counters.nodes_visited += 1
+        return out
+
+    return _best_first(q, k, tree._tree._root, expand, is_leaf)
+
+
+def knn_kdtree(tree: KDTree, q: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Best-first kNN over a :class:`KDTree`."""
+    n = len(tree)
+    if not (1 <= k <= n):
+        raise ValueError(f"k must be in 1..{n}, got {k}")
+    q = np.asarray(q, dtype=np.float64)
+
+    def is_leaf(node) -> bool:
+        return node.rows is not None
+
+    def expand(node):
+        if node.rows is not None:
+            rows = node.rows
+            tree.counters.dist_calcs += int(rows.size)
+            return rows, sq_dists_to_point(tree.points[rows], q)
+        tree.counters.nodes_visited += 1
+        return [
+            (point_rect_sq_dist(q, child.low, child.high), child)
+            for child in (node.left, node.right)
+        ]
+
+    return _best_first(q, k, tree._root, expand, is_leaf)

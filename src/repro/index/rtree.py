@@ -1,0 +1,480 @@
+"""Guttman R-tree with quadratic split, built from scratch.
+
+Two public classes:
+
+* :class:`RTree` indexes arbitrary *rectangles* keyed by integer
+  payloads.  The paper's first-level μR-tree is an ``RTree`` whose
+  entries are micro-clusters bounded by the box ``center ± eps`` (every
+  member lies strictly within ``eps`` of the center, so the box always
+  bounds the MC without needing updates as members are added).
+* :class:`PointRTree` indexes *points* (degenerate rectangles) and
+  answers exact strict-< ε-ball queries.  It backs the R-DBSCAN
+  baseline and the per-micro-cluster AuxR-trees.
+
+Implementation notes
+--------------------
+Nodes keep their children's MBRs in pre-allocated ``(capacity+1, d)``
+arrays so overlap tests against all children of a node are a single
+vectorized operation — the dominant cost of tree search in Python is
+per-node Python overhead, so fan-out-level vectorization matters far
+more than asymptotics here (see the hpc guides: vectorize the inner
+loop).  Splits follow Guttman's quadratic algorithm: pick the pair of
+entries wasting the most area as seeds, then greedily assign the rest
+by least enlargement, respecting the minimum fill factor.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.geometry.distance import sq_dists_to_point
+from repro.geometry.mbr import (
+    empty_mbr,
+    mbr_area,
+    mbr_union,
+)
+from repro.geometry.regions import rect_overlaps_rects, sphere_intersects_rects
+from repro.instrumentation.counters import Counters
+
+__all__ = ["RTree", "PointRTree"]
+
+
+class _Node:
+    """An R-tree node.
+
+    ``lows``/``highs`` hold the MBRs of the node's entries (children for
+    internal nodes, data rectangles for leaves) in rows ``0..n-1``.  For
+    internal nodes ``children[i]`` is the child ``_Node``; for leaves
+    ``payloads[i]`` is the caller's integer key.
+    """
+
+    __slots__ = ("leaf", "lows", "highs", "children", "payloads", "n", "parent")
+
+    def __init__(self, dim: int, capacity: int, leaf: bool) -> None:
+        self.leaf = leaf
+        # one spare row so a node can temporarily hold capacity+1 entries
+        # while a split is pending
+        self.lows = np.empty((capacity + 1, dim), dtype=np.float64)
+        self.highs = np.empty((capacity + 1, dim), dtype=np.float64)
+        self.children: list[_Node] = []
+        self.payloads: list[int] = []
+        self.n = 0
+        self.parent: _Node | None = None
+
+    def entry_mbr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Tight MBR over this node's entries (empty MBR when n == 0)."""
+        if self.n == 0:
+            return empty_mbr(self.lows.shape[1])
+        return self.lows[: self.n].min(axis=0), self.highs[: self.n].max(axis=0)
+
+    def add(self, low: np.ndarray, high: np.ndarray, item: "_Node | int") -> None:
+        self.lows[self.n] = low
+        self.highs[self.n] = high
+        if self.leaf:
+            self.payloads.append(int(item))  # type: ignore[arg-type]
+        else:
+            child = item
+            assert isinstance(child, _Node)
+            child.parent = self
+            self.children.append(child)
+        self.n += 1
+
+    def child_slot(self, child: "_Node") -> int:
+        for i, c in enumerate(self.children):
+            if c is child:
+                return i
+        raise AssertionError("child not found in parent (tree corrupted)")
+
+
+class RTree:
+    """Dynamic R-tree over rectangles with integer payloads.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality of the indexed space.
+    max_entries:
+        Node capacity ``M`` (Guttman).  Minimum fill is ``max(2, M // 3)``.
+    counters:
+        Optional shared work counters; searches credit ``nodes_visited``.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        max_entries: int = 16,
+        counters: Counters | None = None,
+    ) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        if max_entries < 4:
+            raise ValueError(f"max_entries must be >= 4, got {max_entries}")
+        self.dim = dim
+        self.max_entries = max_entries
+        self.min_entries = max(2, max_entries // 3)
+        self.counters = counters if counters is not None else Counters()
+        self._root = _Node(dim, max_entries, leaf=True)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # basic properties
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def is_empty(self) -> bool:
+        return self._size == 0
+
+    @property
+    def root_mbr(self) -> tuple[np.ndarray, np.ndarray]:
+        """MBR of everything in the tree (empty MBR when empty)."""
+        return self._root.entry_mbr()
+
+    def height(self) -> int:
+        """Number of levels (a single leaf root has height 1)."""
+        h = 1
+        node = self._root
+        while not node.leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+    def node_count(self) -> int:
+        """Total nodes, for memory accounting."""
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.leaf:
+                stack.extend(node.children)
+        return count
+
+    def iter_payloads(self) -> Iterator[int]:
+        """All stored payload keys, in unspecified order."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.leaf:
+                yield from node.payloads
+            else:
+                stack.extend(node.children)
+
+    # ------------------------------------------------------------------
+    # insertion
+
+    def insert(self, payload: int, low: np.ndarray, high: np.ndarray) -> None:
+        """Insert a rectangle ``[low, high]`` keyed by ``payload``."""
+        low = np.asarray(low, dtype=np.float64)
+        high = np.asarray(high, dtype=np.float64)
+        if low.shape != (self.dim,) or high.shape != (self.dim,):
+            raise ValueError(
+                f"rectangle must be two ({self.dim},) vectors, got "
+                f"{low.shape} / {high.shape}"
+            )
+        if np.any(low > high):
+            raise ValueError("rectangle has low > high in some axis")
+        leaf = self._choose_leaf(low, high)
+        leaf.add(low, high, payload)
+        self._size += 1
+        self._handle_overflow_and_adjust(leaf, low, high)
+
+    def _choose_leaf(self, low: np.ndarray, high: np.ndarray) -> _Node:
+        node = self._root
+        while not node.leaf:
+            n = node.n
+            lows = node.lows[:n]
+            highs = node.highs[:n]
+            new_lows = np.minimum(lows, low)
+            new_highs = np.maximum(highs, high)
+            areas = np.prod(highs - lows, axis=1)
+            new_areas = np.prod(new_highs - new_lows, axis=1)
+            enlargements = new_areas - areas
+            # least enlargement, ties broken by least area (Guttman)
+            best = np.lexsort((areas, enlargements))[0]
+            node = node.children[int(best)]
+        return node
+
+    def _handle_overflow_and_adjust(
+        self, node: _Node, low: np.ndarray, high: np.ndarray
+    ) -> None:
+        """Split overflowing nodes up the tree and refresh ancestor MBRs."""
+        while True:
+            if node.n <= self.max_entries:
+                # no split at this level: widen ancestor entries to cover
+                # the newly inserted rect and stop
+                self._adjust_upward(node)
+                return
+            sibling = self._split(node)
+            parent = node.parent
+            if parent is None:
+                new_root = _Node(self.dim, self.max_entries, leaf=False)
+                n_low, n_high = node.entry_mbr()
+                s_low, s_high = sibling.entry_mbr()
+                new_root.add(n_low, n_high, node)
+                new_root.add(s_low, s_high, sibling)
+                self._root = new_root
+                return
+            slot = parent.child_slot(node)
+            n_low, n_high = node.entry_mbr()
+            parent.lows[slot] = n_low
+            parent.highs[slot] = n_high
+            s_low, s_high = sibling.entry_mbr()
+            parent.add(s_low, s_high, sibling)
+            node = parent
+
+    def _adjust_upward(self, node: _Node) -> None:
+        child = node
+        parent = child.parent
+        while parent is not None:
+            slot = parent.child_slot(child)
+            c_low, c_high = child.entry_mbr()
+            if np.all(parent.lows[slot] <= c_low) and np.all(
+                parent.highs[slot] >= c_high
+            ):
+                return  # ancestors already cover; nothing changes higher up
+            parent.lows[slot] = np.minimum(parent.lows[slot], c_low)
+            parent.highs[slot] = np.maximum(parent.highs[slot], c_high)
+            child = parent
+            parent = child.parent
+
+    def _split(self, node: _Node) -> _Node:
+        """Guttman quadratic split; ``node`` keeps group 1, returns group 2."""
+        n = node.n
+        lows = node.lows[:n].copy()
+        highs = node.highs[:n].copy()
+        items: list[_Node | int] = list(
+            node.payloads if node.leaf else node.children
+        )
+
+        seed_a, seed_b = self._pick_seeds(lows, highs)
+        assigned = np.zeros(n, dtype=np.int8)  # 0 = pending, 1 = A, 2 = B
+        assigned[seed_a] = 1
+        assigned[seed_b] = 2
+        mbr_a = (lows[seed_a].copy(), highs[seed_a].copy())
+        mbr_b = (lows[seed_b].copy(), highs[seed_b].copy())
+        count_a, count_b = 1, 1
+
+        pending = n - 2
+        while pending:
+            remaining = np.flatnonzero(assigned == 0)
+            # force-assign when one group must absorb everything left to
+            # reach the minimum fill
+            if count_a + pending <= self.min_entries:
+                assigned[remaining] = 1
+                count_a += pending
+                for i in remaining:
+                    mbr_a = mbr_union(*mbr_a, lows[i], highs[i])
+                break
+            if count_b + pending <= self.min_entries:
+                assigned[remaining] = 2
+                count_b += pending
+                for i in remaining:
+                    mbr_b = mbr_union(*mbr_b, lows[i], highs[i])
+                break
+            # PickNext: entry with the greatest preference difference
+            grow_a = self._enlargements(mbr_a, lows[remaining], highs[remaining])
+            grow_b = self._enlargements(mbr_b, lows[remaining], highs[remaining])
+            pick = int(remaining[np.argmax(np.abs(grow_a - grow_b))])
+            pick_pos = int(np.flatnonzero(remaining == pick)[0])
+            d_a = float(grow_a[pick_pos])
+            d_b = float(grow_b[pick_pos])
+            to_a = d_a < d_b or (
+                d_a == d_b
+                and (
+                    mbr_area(*mbr_a) < mbr_area(*mbr_b)
+                    or (mbr_area(*mbr_a) == mbr_area(*mbr_b) and count_a <= count_b)
+                )
+            )
+            if to_a:
+                assigned[pick] = 1
+                count_a += 1
+                mbr_a = mbr_union(*mbr_a, lows[pick], highs[pick])
+            else:
+                assigned[pick] = 2
+                count_b += 1
+                mbr_b = mbr_union(*mbr_b, lows[pick], highs[pick])
+            pending -= 1
+
+        sibling = _Node(self.dim, self.max_entries, leaf=node.leaf)
+        # rebuild `node` in place with group A, fill sibling with group B
+        node.n = 0
+        node.children = []
+        node.payloads = []
+        for i in range(n):
+            target = node if assigned[i] == 1 else sibling
+            target.add(lows[i], highs[i], items[i])
+        return sibling
+
+    @staticmethod
+    def _pick_seeds(lows: np.ndarray, highs: np.ndarray) -> tuple[int, int]:
+        """Pair of entries wasting the most area when joined (quadratic)."""
+        n = lows.shape[0]
+        areas = np.prod(highs - lows, axis=1)
+        # pairwise union areas via broadcasting: (n, n, d)
+        union_lows = np.minimum(lows[:, None, :], lows[None, :, :])
+        union_highs = np.maximum(highs[:, None, :], highs[None, :, :])
+        union_areas = np.prod(union_highs - union_lows, axis=2)
+        waste = union_areas - areas[:, None] - areas[None, :]
+        np.fill_diagonal(waste, -np.inf)
+        flat = int(np.argmax(waste))
+        return flat // n, flat % n
+
+    @staticmethod
+    def _enlargements(
+        mbr: tuple[np.ndarray, np.ndarray], lows: np.ndarray, highs: np.ndarray
+    ) -> np.ndarray:
+        low, high = mbr
+        base = float(np.prod(high - low))
+        new_lows = np.minimum(lows, low)
+        new_highs = np.maximum(highs, high)
+        return np.prod(new_highs - new_lows, axis=1) - base
+
+    # ------------------------------------------------------------------
+    # searches (payload-level candidate queries)
+
+    def query_rect(self, low: np.ndarray, high: np.ndarray) -> list[int]:
+        """Payloads of entries whose rectangle overlaps ``[low, high]``."""
+        low = np.asarray(low, dtype=np.float64)
+        high = np.asarray(high, dtype=np.float64)
+        out: list[int] = []
+        if self._size == 0:
+            return out
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            self.counters.nodes_visited += 1
+            if node.n == 0:
+                continue
+            mask = rect_overlaps_rects(low, high, node.lows[: node.n], node.highs[: node.n])
+            hits = np.flatnonzero(mask)
+            if node.leaf:
+                out.extend(node.payloads[i] for i in hits)
+            else:
+                stack.extend(node.children[i] for i in hits)
+        return out
+
+    def query_ball_candidates(self, center: np.ndarray, radius: float) -> list[int]:
+        """Payloads whose entry rectangle intersects the closed ball
+        ``B(center, radius)``.
+
+        This is MBR-level pruning only — callers perform the exact test
+        on the candidates (e.g. centre-to-centre distance for
+        micro-cluster reachability).
+        """
+        if radius <= 0.0:
+            raise ValueError(f"radius must be positive, got {radius}")
+        center = np.asarray(center, dtype=np.float64)
+        out: list[int] = []
+        if self._size == 0:
+            return out
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            self.counters.nodes_visited += 1
+            if node.n == 0:
+                continue
+            mask = sphere_intersects_rects(
+                center, radius, node.lows[: node.n], node.highs[: node.n]
+            )
+            hits = np.flatnonzero(mask)
+            if node.leaf:
+                out.extend(node.payloads[i] for i in hits)
+            else:
+                stack.extend(node.children[i] for i in hits)
+        return out
+
+    # internal hook for the bulk loader
+    def _set_root(self, root: _Node, size: int) -> None:
+        self._root = root
+        self._size = size
+
+
+class PointRTree:
+    """R-tree over a fixed point array with exact ε-ball queries.
+
+    The tree stores each point as a degenerate rectangle.  ``query_ball``
+    walks internal nodes with the conservative ball-vs-MBR test and then
+    applies the exact strict-< distance filter to candidate points in a
+    single vectorized pass per leaf.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` array; held by reference.
+    ids:
+        Optional external identifiers to return instead of row numbers
+        (used by AuxR-trees, whose rows are global dataset indices).
+    bulk:
+        When true (default) the tree is packed with STR in one pass,
+        otherwise points are inserted one by one (exercises the dynamic
+        insert path).
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        ids: np.ndarray | None = None,
+        max_entries: int = 32,
+        counters: Counters | None = None,
+        bulk: bool = True,
+    ) -> None:
+        self.points = np.ascontiguousarray(points, dtype=np.float64)
+        if self.points.ndim != 2:
+            raise ValueError(f"points must be (n, d), got shape {self.points.shape}")
+        n, dim = self.points.shape
+        if ids is None:
+            self.ids = np.arange(n, dtype=np.int64)
+        else:
+            self.ids = np.asarray(ids, dtype=np.int64)
+            if self.ids.shape != (n,):
+                raise ValueError(
+                    f"ids must have shape ({n},), got {self.ids.shape}"
+                )
+        self.counters = counters if counters is not None else Counters()
+        self._tree = RTree(dim if n else max(dim, 1), max_entries, self.counters)
+        if n:
+            if bulk:
+                from repro.index.bulk import str_bulk_load
+
+                str_bulk_load(self._tree, self.points, self.points)
+            else:
+                for i in range(n):
+                    self._tree.insert(i, self.points[i], self.points[i])
+
+    def __len__(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def root_mbr(self) -> tuple[np.ndarray, np.ndarray]:
+        return self._tree.root_mbr
+
+    def height(self) -> int:
+        return self._tree.height()
+
+    def _candidate_rows(self, q: np.ndarray, eps: float) -> list[int]:
+        return self._tree.query_ball_candidates(q, eps)
+
+    def query_ball(self, q: np.ndarray, eps: float) -> np.ndarray:
+        """External ids of points strictly within ``eps`` of ``q``."""
+        if len(self) == 0:
+            return np.empty(0, dtype=np.int64)
+        rows = np.asarray(self._candidate_rows(q, eps), dtype=np.int64)
+        if rows.size == 0:
+            return np.empty(0, dtype=np.int64)
+        self.counters.dist_calcs += int(rows.size)
+        sq = sq_dists_to_point(self.points[rows], q)
+        return self.ids[rows[sq < eps * eps]]
+
+    def count_ball(self, q: np.ndarray, eps: float) -> int:
+        if len(self) == 0:
+            return 0
+        rows = np.asarray(self._candidate_rows(q, eps), dtype=np.int64)
+        if rows.size == 0:
+            return 0
+        self.counters.dist_calcs += int(rows.size)
+        sq = sq_dists_to_point(self.points[rows], q)
+        return int(np.count_nonzero(sq < eps * eps))

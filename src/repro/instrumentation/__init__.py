@@ -1,0 +1,20 @@
+"""Measurement plumbing: counters, phase timers, memory tracking, tables.
+
+Every claim reproduced from the paper's evaluation section is a number
+produced by this subpackage: neighborhood-query counts and saves
+(Table II), phase time split-ups (Tables III, VII, VIII), peak memory
+(Table IV), and the speedup series (Figs 5-7).
+"""
+
+from repro.instrumentation.counters import Counters
+from repro.instrumentation.timers import PhaseTimer
+from repro.instrumentation.memory import peak_memory_of
+from repro.instrumentation.report import format_table, format_percent_split
+
+__all__ = [
+    "Counters",
+    "PhaseTimer",
+    "peak_memory_of",
+    "format_table",
+    "format_percent_split",
+]

@@ -1,0 +1,80 @@
+"""Work counters threaded through indexes and clustering algorithms.
+
+The paper's headline efficiency claims are *count* claims:
+
+* "saves up to 96% of the neighborhood queries" — ratio of
+  ``queries_saved`` to total points;
+* reduced "search space and distance calculations" — ``dist_calcs``;
+* μR-tree pruning effectiveness — ``nodes_visited``.
+
+A single mutable :class:`Counters` instance is passed down from the
+algorithm driver into every index so the benches can report the same
+quantities for μDBSCAN and each baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class Counters:
+    """Additive work counters.  All fields default to zero."""
+
+    #: exact point-to-point distance evaluations
+    dist_calcs: int = 0
+    #: index tree/grid nodes touched during searches
+    nodes_visited: int = 0
+    #: full eps-neighborhood queries actually executed
+    queries_run: int = 0
+    #: eps-neighborhood queries avoided via the wndq-core mechanism
+    queries_saved: int = 0
+    #: union-find union operations performed
+    unions: int = 0
+    #: micro-clusters created (mu-DBSCAN only)
+    micro_clusters: int = 0
+    #: points that went through the unassignedList deferral (Alg. 3)
+    deferred_points: int = 0
+    #: extra named counters (algorithm-specific)
+    extra: dict[str, int] = field(default_factory=dict)
+
+    def add_extra(self, name: str, amount: int = 1) -> None:
+        """Bump a named ad-hoc counter."""
+        self.extra[name] = self.extra.get(name, 0) + amount
+
+    def merge(self, other: "Counters") -> None:
+        """Accumulate ``other`` into ``self`` (used to aggregate ranks)."""
+        for f in fields(self):
+            if f.name == "extra":
+                continue
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        for key, val in other.extra.items():
+            self.add_extra(key, val)
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for f in fields(self):
+            if f.name == "extra":
+                self.extra.clear()
+            else:
+                setattr(self, f.name, 0)
+
+    @property
+    def queries_total(self) -> int:
+        """Queries that classical DBSCAN would have run."""
+        return self.queries_run + self.queries_saved
+
+    @property
+    def query_save_fraction(self) -> float:
+        """Fraction of neighborhood queries avoided (0 when none issued)."""
+        total = self.queries_total
+        return self.queries_saved / total if total else 0.0
+
+    def as_dict(self) -> dict[str, int | float]:
+        """Flat dict view (extras inlined) for table rendering."""
+        out: dict[str, int | float] = {
+            f.name: getattr(self, f.name) for f in fields(self) if f.name != "extra"
+        }
+        out.update(self.extra)
+        out["query_save_fraction"] = self.query_save_fraction
+        return out

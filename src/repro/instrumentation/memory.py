@@ -1,0 +1,49 @@
+"""Peak-memory measurement for Table IV.
+
+The paper reports peak resident memory of each sequential algorithm.
+We use :mod:`tracemalloc`, which tracks Python-heap allocations
+(including numpy buffers routed through the Python allocator).  Absolute
+numbers differ from RSS, but the *ordering* across algorithms — the
+grid baseline's exponential cell blow-up with dimensionality vs the
+R-tree family — is what Table IV demonstrates and is preserved.
+"""
+
+from __future__ import annotations
+
+import gc
+import tracemalloc
+from typing import Any, Callable, TypeVar
+
+T = TypeVar("T")
+
+
+def peak_memory_of(fn: Callable[..., T], *args: Any, **kwargs: Any) -> tuple[T, int]:
+    """Run ``fn(*args, **kwargs)`` and return ``(result, peak_bytes)``.
+
+    Peak is measured relative to the moment the call starts, with a
+    collection beforehand so leftover garbage from previous measurements
+    does not inflate the number.
+    """
+    gc.collect()
+    already_tracing = tracemalloc.is_tracing()
+    if not already_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    base, _ = tracemalloc.get_traced_memory()
+    try:
+        result = fn(*args, **kwargs)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not already_tracing:
+            tracemalloc.stop()
+    return result, max(0, peak - base)
+
+
+def format_bytes(n: int) -> str:
+    """Human-readable byte count (binary units, one decimal)."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024.0 or unit == "TiB":
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")

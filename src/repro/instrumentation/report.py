@@ -1,0 +1,61 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benches print tables shaped like the paper's (same columns, same
+rows) so a reader can diff shapes side by side.  Only stdlib string
+formatting — no external table dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def _fmt_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or (0 < abs(value) < 0.01):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table with a separator under headers."""
+    cells = [[_fmt_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_percent_split(
+    split_by_row: Mapping[str, Mapping[str, float]],
+    phases: Sequence[str],
+    title: str | None = None,
+) -> str:
+    """Render a 'percentage split-up' table (rows = datasets, cols = phases)."""
+    headers = ["dataset"] + [str(p) for p in phases]
+    rows = []
+    for name, split in split_by_row.items():
+        rows.append([name] + [f"{split.get(p, 0.0):.2f}%" for p in phases])
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,83 @@
+"""Named phase timers for the step split-up tables.
+
+Tables III, VII and VIII of the paper report per-step execution time
+(tree construction, finding reachable groups, clustering, post
+processing, merging).  :class:`PhaseTimer` accumulates wall-clock time
+per named phase; the same phase may be entered repeatedly and times
+add up.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+
+class PhaseTimer:
+    """Accumulating timer keyed by phase name.
+
+    Use as a context manager::
+
+        timer = PhaseTimer()
+        with timer.phase("tree_construction"):
+            build()
+
+    Nested phases are allowed and timed independently (the inner phase's
+    time is *also* inside the outer one — match the paper's convention of
+    disjoint top-level phases when reporting).
+
+    ``clock`` defaults to wall clock.  The simulated-MPI ranks pass
+    :func:`time.thread_time` instead: rank threads share the GIL, so a
+    rank's *wall* time includes other ranks' compute, while its
+    thread-CPU time is exactly the work it did itself — that is the
+    quantity "max over ranks" parallel-time estimates need.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._totals: dict[str, float] = {}
+        self._clock = clock
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = self._clock()
+        try:
+            yield
+        finally:
+            elapsed = self._clock() - start
+            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+
+    def add(self, name: str, seconds: float) -> None:
+        """Manually credit ``seconds`` to a phase (used by simmpi ranks)."""
+        if seconds < 0:
+            raise ValueError(f"cannot add negative time {seconds!r} to {name!r}")
+        self._totals[name] = self._totals.get(name, 0.0) + seconds
+
+    def get(self, name: str) -> float:
+        """Total seconds recorded for ``name`` (0.0 if never entered)."""
+        return self._totals.get(name, 0.0)
+
+    def total(self) -> float:
+        """Sum over all phases."""
+        return sum(self._totals.values())
+
+    def as_dict(self) -> dict[str, float]:
+        """Phase -> seconds mapping (copy)."""
+        return dict(self._totals)
+
+    def percent_split(self) -> dict[str, float]:
+        """Phase -> percentage of the total, as the paper's tables report."""
+        total = self.total()
+        if total <= 0.0:
+            return {name: 0.0 for name in self._totals}
+        return {name: 100.0 * secs / total for name, secs in self._totals.items()}
+
+    def merge_max(self, other: "PhaseTimer") -> None:
+        """Per-phase maximum — aggregating ranks into 'parallel time'."""
+        for name, secs in other._totals.items():
+            self._totals[name] = max(self._totals.get(name, 0.0), secs)
+
+    def merge_sum(self, other: "PhaseTimer") -> None:
+        """Per-phase sum — aggregating sequential sub-steps."""
+        for name, secs in other._totals.items():
+            self._totals[name] = self._totals.get(name, 0.0) + secs

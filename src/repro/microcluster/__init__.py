@@ -1,0 +1,28 @@
+"""Micro-clusters and the two-level μR-tree (paper §IV-A/B, Fig. 1-3).
+
+A micro-cluster (MC) is an ε-ball around a chosen *center point*
+together with the dataset points assigned to it; every point belongs to
+exactly one MC.  The subpackage provides:
+
+* :class:`~repro.microcluster.microcluster.MicroCluster` — the MC
+  record, its inner circle, and the DMC/CMC/SMC classification,
+* :func:`~repro.microcluster.builder.build_micro_clusters` —
+  Algorithm 3 (including the 2ε ``unassignedList`` deferral rule),
+* :class:`~repro.microcluster.murtree.MuRTree` — the two-level index
+  with reachability-restricted exact ε-neighborhood queries,
+* :func:`~repro.microcluster.reachability.compute_reachable` —
+  Algorithm 5 (3ε center-to-center reachability lists).
+"""
+
+from repro.microcluster.microcluster import MicroCluster, MCKind
+from repro.microcluster.builder import build_micro_clusters
+from repro.microcluster.murtree import MuRTree
+from repro.microcluster.reachability import compute_reachable
+
+__all__ = [
+    "MicroCluster",
+    "MCKind",
+    "build_micro_clusters",
+    "MuRTree",
+    "compute_reachable",
+]

@@ -1,0 +1,153 @@
+"""Micro-cluster construction — Algorithm 3 (BUILD-MICRO-CLUSTERS).
+
+Points are scanned once.  For each point ``p``:
+
+1. Search the first-level R-tree for an existing MC whose *center* is
+   strictly within ``eps`` of ``p`` → join it (nearest such center, for
+   determinism; the paper takes the first encountered, which depends on
+   tree layout — either choice yields a valid MC partition).
+2. Otherwise, if some center lies within ``2 eps``, defer ``p`` to the
+   ``unassignedList``.  Creating a new MC here would carve out a ball
+   heavily overlapping an existing one; deferral keeps the MC count
+   ``m`` low, which is what makes the ``n log m`` term of the paper's
+   complexity analysis small.  Deferred points usually get absorbed by
+   MCs created later in the scan.
+3. Otherwise create a new MC centered at ``p``.
+
+A second pass re-processes the ``unassignedList``: join a center within
+``eps`` if one exists by now, else create an MC (no deferral the second
+time — every point must land somewhere).
+
+The first-level R-tree stores each MC as the fixed box ``center ± eps``:
+every member is strictly within ``eps`` of the center, so the box bounds
+the MC forever and never needs widening on insertion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.metrics import EUCLIDEAN, Metric
+from repro.index.rtree import RTree
+from repro.instrumentation.counters import Counters
+from repro.microcluster.microcluster import MicroCluster
+
+__all__ = ["build_micro_clusters"]
+
+
+def _nearest_center_within(
+    mcs: list[MicroCluster],
+    candidate_ids: list[int],
+    p: np.ndarray,
+    radius: float,
+    counters: Counters,
+    metric: Metric,
+) -> int | None:
+    """Id of the candidate MC with the closest center strictly within
+    ``radius`` of ``p``, or None."""
+    if not candidate_ids:
+        return None
+    centers = np.stack([mcs[mc_id].center for mc_id in candidate_ids])
+    counters.dist_calcs += len(candidate_ids)
+    raw = metric.raw_to_point(centers, p)
+    best = int(np.argmin(raw))
+    if raw[best] < metric.threshold(radius):
+        return candidate_ids[best]
+    return None
+
+
+def build_micro_clusters(
+    points: np.ndarray,
+    eps: float,
+    *,
+    max_entries: int = 64,
+    counters: Counters | None = None,
+    defer_2eps: bool = True,
+    metric: Metric = EUCLIDEAN,
+) -> tuple[list[MicroCluster], RTree, np.ndarray]:
+    """Run Algorithm 3 over ``points``.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` dataset.
+    eps:
+        DBSCAN ε (MC radius).
+    max_entries:
+        First-level R-tree node capacity.
+    defer_2eps:
+        The 2ε ``unassignedList`` rule.  ``False`` disables deferral
+        (ablation 1 in DESIGN.md §5): every unassignable point
+        immediately founds a new MC.
+
+    Returns
+    -------
+    ``(mcs, first_level_tree, point_mc)`` where ``mcs`` is the list of
+    frozen micro-clusters, ``first_level_tree`` indexes their
+    ``center ± eps`` boxes by ``mc_id``, and ``point_mc[i]`` is the MC id
+    of dataset point ``i``.
+    """
+    pts = np.ascontiguousarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError(f"points must be (n, d), got shape {pts.shape}")
+    if eps <= 0.0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    n, dim = pts.shape
+    counters = counters if counters is not None else Counters()
+    # candidate searches go through the (Euclidean) R-tree; a metric
+    # ball fits in a Euclidean ball scaled by this factor
+    cover = metric.l2_cover_factor(dim)
+
+    tree = RTree(dim, max_entries=max_entries, counters=counters)
+    mcs: list[MicroCluster] = []
+    point_mc = np.full(n, -1, dtype=np.int64)
+    unassigned: list[int] = []
+
+    def create_mc(row: int) -> int:
+        mc_id = len(mcs)
+        mc = MicroCluster(mc_id, row, pts[row])
+        mcs.append(mc)
+        tree.insert(mc_id, pts[row] - eps, pts[row] + eps)
+        point_mc[row] = mc_id
+        counters.micro_clusters += 1
+        return mc_id
+
+    # ---- pass 1: scan, join / defer / create --------------------------
+    for row in range(n):
+        p = pts[row]
+        if not mcs:
+            create_mc(row)
+            continue
+        # one candidate sweep at the wider radius serves both the ε-join
+        # test and the 2ε-deferral test
+        search_radius = (2.0 * eps if defer_2eps else eps) * cover
+        candidates = tree.query_ball_candidates(p, search_radius)
+        joined = _nearest_center_within(mcs, candidates, p, eps, counters, metric)
+        if joined is not None:
+            mcs[joined].add_member(row)
+            point_mc[row] = joined
+            continue
+        if defer_2eps and candidates:
+            centers = np.stack([mcs[mc_id].center for mc_id in candidates])
+            counters.dist_calcs += len(candidates)
+            raw = metric.raw_to_point(centers, p)
+            if np.any(raw < metric.threshold(2.0 * eps)):
+                unassigned.append(row)
+                counters.deferred_points += 1
+                continue
+        create_mc(row)
+
+    # ---- pass 2: place deferred points --------------------------------
+    for row in unassigned:
+        p = pts[row]
+        candidates = tree.query_ball_candidates(p, eps * cover)
+        joined = _nearest_center_within(mcs, candidates, p, eps, counters, metric)
+        if joined is not None:
+            mcs[joined].add_member(row)
+            point_mc[row] = joined
+        else:
+            create_mc(row)
+
+    for mc in mcs:
+        mc.freeze(pts, eps, metric=metric)
+    return mcs, tree, point_mc

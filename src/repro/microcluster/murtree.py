@@ -1,0 +1,300 @@
+"""The two-level μR-tree (paper Fig. 1) and its restricted ε-queries.
+
+Level 1 is an R-tree over micro-clusters (boxes ``center ± eps``);
+level 2 holds, per MC, either an AuxR-tree over the MC's points
+(``aux_index="rtree"``, the paper's structure) or a contiguous
+coordinate block scanned vectorized (``aux_index="flat"``, the default
+here — with the paper's ``r`` in the tens-to-hundreds a single numpy
+distance pass over an MC beats a Python-level tree walk, and the
+*search-space* reduction, which is what the design contributes, is
+identical).  Both modes return exactly the same neighborhoods; the test
+suite asserts it.
+
+A neighborhood query for point ``x ∈ MC(p)`` (paper §IV-B2):
+
+1. take ``MC(p)``'s reachable list (centers within 3ε, Lemma 3);
+2. *filtration*: keep only reachable MCs whose tight member-MBR
+   intersects the ball ``B(x, radius)``;
+3. exact strict-< distance test against the surviving MCs' members.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.distance import sq_dists_to_point
+from repro.geometry.metrics import EUCLIDEAN, Metric, get_metric
+from repro.geometry.regions import point_rect_sq_dist
+from repro.index.rtree import RTree, PointRTree
+from repro.instrumentation.counters import Counters
+from repro.microcluster.builder import build_micro_clusters
+from repro.microcluster.microcluster import MicroCluster
+from repro.microcluster.reachability import compute_reachable
+
+__all__ = ["MuRTree"]
+
+
+class MuRTree:
+    """Two-level micro-cluster index over a fixed dataset.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` dataset, held by reference.
+    eps:
+        DBSCAN ε — fixes the MC radius and all derived thresholds.
+    aux_index:
+        ``"cached"`` (default): each MC precomputes, once, the
+        concatenation of its reachable MCs' member coordinates, so every
+        ε-query is a *single* vectorized distance pass — this is where
+        the design's spatial locality pays off under numpy (reachable
+        sets are small and reused by every member of the MC).
+        ``"flat"``: per-reachable-MC vectorized scans with per-point
+        MBR filtration.  ``"rtree"``: per-MC AuxR-trees as in the
+        paper's Fig. 1.  All three return identical neighborhoods.
+    filtration:
+        Per-point reachable-MC filtration (step 2 above).  ``False``
+        scans every reachable MC (ablation 4 in DESIGN.md §5).
+    defer_2eps:
+        Passed to the builder (ablation 1).
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        eps: float,
+        *,
+        aux_index: str = "cached",
+        filtration: bool = True,
+        defer_2eps: bool = True,
+        max_entries: int = 64,
+        counters: Counters | None = None,
+        metric: str | Metric = EUCLIDEAN,
+    ) -> None:
+        if aux_index not in ("cached", "flat", "rtree"):
+            raise ValueError(
+                f"aux_index must be 'cached', 'flat' or 'rtree', got {aux_index!r}"
+            )
+        self.metric = get_metric(metric)
+        if aux_index == "rtree" and self.metric is not EUCLIDEAN:
+            raise ValueError(
+                "aux_index='rtree' supports the euclidean metric only; "
+                "use 'cached' or 'flat' for other metrics"
+            )
+        self.points = np.ascontiguousarray(points, dtype=np.float64)
+        if self.points.ndim != 2:
+            raise ValueError(f"points must be (n, d), got shape {self.points.shape}")
+        if eps <= 0.0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        self.eps = float(eps)
+        self.aux_index = aux_index
+        self.filtration = filtration
+        self.counters = counters if counters is not None else Counters()
+
+        self.mcs: list[MicroCluster]
+        self.level1: RTree
+        self.point_mc: np.ndarray
+        self.mcs, self.level1, self.point_mc = build_micro_clusters(
+            self.points,
+            self.eps,
+            max_entries=max_entries,
+            counters=self.counters,
+            defer_2eps=defer_2eps,
+            metric=self.metric,
+        )
+        if aux_index == "rtree":
+            for mc in self.mcs:
+                assert mc.member_rows is not None and mc.member_points is not None
+                mc.aux_tree = PointRTree(
+                    mc.member_points,
+                    ids=mc.member_rows,
+                    counters=self.counters,
+                )
+        self._reachable_done = False
+
+    @classmethod
+    def from_prebuilt(
+        cls,
+        points: np.ndarray,
+        eps: float,
+        mcs: list[MicroCluster],
+        level1: RTree,
+        point_mc: np.ndarray,
+        *,
+        aux_index: str = "cached",
+        filtration: bool = True,
+        counters: Counters | None = None,
+        metric: str | Metric = EUCLIDEAN,
+    ) -> "MuRTree":
+        """Wrap an externally-maintained micro-cluster structure.
+
+        The streaming extension (``repro.streaming``) maintains MCs and
+        the first-level tree across insertions; this constructor reuses
+        them instead of re-running Algorithm 3 — tree construction is
+        the dominant phase (Table III), so amortising it is the whole
+        point of the incremental mode.  Every MC must already be frozen.
+        """
+        self = cls.__new__(cls)
+        self.points = np.ascontiguousarray(points, dtype=np.float64)
+        if eps <= 0.0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        if aux_index not in ("cached", "flat", "rtree"):
+            raise ValueError(
+                f"aux_index must be 'cached', 'flat' or 'rtree', got {aux_index!r}"
+            )
+        self.eps = float(eps)
+        self.aux_index = aux_index
+        self.filtration = filtration
+        self.counters = counters if counters is not None else Counters()
+        self.metric = get_metric(metric)
+        self.mcs = mcs
+        self.level1 = level1
+        self.point_mc = np.asarray(point_mc, dtype=np.int64)
+        if any(not mc.frozen for mc in mcs):
+            raise ValueError("all micro-clusters must be frozen")
+        if aux_index == "rtree":
+            for mc in self.mcs:
+                if mc.aux_tree is None:
+                    mc.aux_tree = PointRTree(
+                        mc.member_points, ids=mc.member_rows, counters=self.counters
+                    )
+        # reach lists may be pre-populated by the caller (cache reuse);
+        # compute_reachability() fills whatever is missing
+        self._reachable_done = all(mc.reach_ids is not None for mc in mcs) and (
+            aux_index != "cached"
+            or all(mc.reach_points is not None for mc in mcs)
+        )
+        return self
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def n_micro_clusters(self) -> int:
+        return len(self.mcs)
+
+    @property
+    def avg_mc_size(self) -> float:
+        """The paper's ``r`` — average points per micro-cluster."""
+        if not self.mcs:
+            return 0.0
+        return len(self) / len(self.mcs)
+
+    def compute_reachability(self) -> None:
+        """Populate every MC's reachable list (Algorithm 5); idempotent.
+
+        In ``cached`` mode this also materialises each MC's concatenated
+        reachable-point block (part of the paper's "finding reachable
+        groups" phase cost, and the μR-tree's extra memory footprint)."""
+        if self._reachable_done:
+            return
+        compute_reachable(
+            self.mcs, self.level1, self.eps, self.counters, metric=self.metric
+        )
+        if self.aux_index == "cached":
+            for mc in self.mcs:
+                assert mc.reach_ids is not None
+                rows = [self.mcs[int(w)].member_rows for w in mc.reach_ids]
+                mc.reach_rows = np.concatenate([r for r in rows if r is not None])
+                mc.reach_points = np.ascontiguousarray(
+                    self.points[mc.reach_rows], dtype=np.float64
+                )
+        self._reachable_done = True
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def _filtered_reach(self, x: np.ndarray, mc_id: int, radius: float) -> list[int]:
+        """Reachable MCs of ``mc_id`` whose member-MBR the ball can touch."""
+        mc = self.mcs[mc_id]
+        if mc.reach_ids is None:
+            raise RuntimeError("call compute_reachability() before querying")
+        if not self.filtration:
+            return [int(w) for w in mc.reach_ids]
+        out: list[int] = []
+        limit = self.metric.threshold(radius)
+        for w in mc.reach_ids:
+            other = self.mcs[int(w)]
+            assert other.mbr_low is not None and other.mbr_high is not None
+            if self.metric.raw_point_rect(x, other.mbr_low, other.mbr_high) <= limit:
+                out.append(int(w))
+            else:
+                self.counters.add_extra("filtration_prunes")
+        return out
+
+    def query_ball(
+        self, row: int, radius: float | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact ε-neighborhood of dataset point ``row``.
+
+        Returns ``(rows, raw_dists)``: global indices of points strictly
+        within ``radius`` (default: the tree's ε) of the point, and their
+        *raw* metric values (squared distances for Euclidean) — callers
+        split on ``metric.threshold(eps/2)`` for the dynamic wndq-core
+        rule without recomputing.
+
+        The query point itself is included (distance 0).
+        """
+        radius = self.eps if radius is None else float(radius)
+        if radius <= 0.0:
+            raise ValueError(f"radius must be positive, got {radius}")
+        x = self.points[row]
+        mc_id = int(self.point_mc[row])
+        r_raw = self.metric.threshold(radius)
+        if self.aux_index == "cached":
+            mc = self.mcs[mc_id]
+            if mc.reach_points is None:
+                raise RuntimeError("call compute_reachability() before querying")
+            self.counters.dist_calcs += int(mc.reach_rows.shape[0])
+            raw = self.metric.raw_to_point(mc.reach_points, x)
+            mask = raw < r_raw
+            return mc.reach_rows[mask], raw[mask]
+        keep = self._filtered_reach(x, mc_id, radius)
+        rows_parts: list[np.ndarray] = []
+        sq_parts: list[np.ndarray] = []
+        if self.aux_index == "rtree":
+            for w in keep:
+                tree = self.mcs[w].aux_tree
+                assert tree is not None
+                hits = tree.query_ball(x, radius)
+                if hits.size:
+                    rows_parts.append(hits)
+            if not rows_parts:
+                return np.empty(0, dtype=np.int64), np.empty(0)
+            rows = np.concatenate(rows_parts)
+            # recompute distances for the (small) result set; the tree
+            # already counted its candidate distance work
+            sq = sq_dists_to_point(self.points[rows], x)
+            return rows, sq
+        for w in keep:
+            other = self.mcs[w]
+            assert other.member_points is not None and other.member_rows is not None
+            self.counters.dist_calcs += int(other.member_rows.shape[0])
+            raw = self.metric.raw_to_point(other.member_points, x)
+            mask = raw < r_raw
+            if mask.any():
+                rows_parts.append(other.member_rows[mask])
+                sq_parts.append(raw[mask])
+        if not rows_parts:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        return np.concatenate(rows_parts), np.concatenate(sq_parts)
+
+    def candidates_for_postprocessing(self, row: int) -> np.ndarray:
+        """Global indices of all points in the filtered reachable MCs of
+        ``row``'s MC — the candidate set Algorithm 7 computes distances
+        against (ball radius ε for the filtration step)."""
+        x = self.points[row]
+        mc_id = int(self.point_mc[row])
+        if self.aux_index == "cached":
+            mc = self.mcs[mc_id]
+            if mc.reach_rows is None:
+                raise RuntimeError("call compute_reachability() before querying")
+            return mc.reach_rows
+        keep = self._filtered_reach(x, mc_id, self.eps)
+        parts = [self.mcs[w].member_rows for w in keep]
+        parts = [p for p in parts if p is not None and p.size]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)

@@ -1,0 +1,55 @@
+"""Reachable micro-clusters — Algorithm 5 (FIND-REACHABLE-MC).
+
+``MC(q)`` is *reachable* from ``MC(p)`` when their centers are at most
+``3 eps`` apart.  Lemma 3: the ε-neighborhood of any member of ``MC(p)``
+lies entirely inside the union of ``MC(p)``'s reachable MCs, so every
+neighborhood query afterwards touches only the reachable list — this is
+the paper's first search-space reduction.
+
+The list is symmetric and includes the MC itself (center distance 0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.metrics import EUCLIDEAN, Metric
+from repro.index.rtree import RTree
+from repro.instrumentation.counters import Counters
+from repro.microcluster.microcluster import MicroCluster
+
+__all__ = ["compute_reachable"]
+
+
+def compute_reachable(
+    mcs: list[MicroCluster],
+    tree: RTree,
+    eps: float,
+    counters: Counters | None = None,
+    metric: Metric = EUCLIDEAN,
+) -> None:
+    """Populate ``mc.reach_ids`` for every MC (ids sorted ascending).
+
+    Uses the first-level tree to shortlist candidate MCs whose
+    ``center ± eps`` box touches the ball ``B(center, 3 eps)``, then the
+    exact ``<= 3 eps`` center-distance test.
+    """
+    if eps <= 0.0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    counters = counters if counters is not None else Counters()
+    limit_raw = metric.threshold(3.0 * eps)
+    for mc in mcs:
+        cover = metric.l2_cover_factor(mc.center.shape[0])
+        candidate_ids = tree.query_ball_candidates(mc.center, 3.0 * eps * cover)
+        if not candidate_ids:
+            # the MC itself is always reachable; an empty candidate list
+            # can only happen on a pathological empty tree
+            mc.reach_ids = np.asarray([mc.mc_id], dtype=np.int64)
+            continue
+        cand = np.asarray(candidate_ids, dtype=np.int64)
+        centers = np.stack([mcs[int(c)].center for c in cand])
+        counters.dist_calcs += int(cand.shape[0])
+        raw = metric.raw_to_point(centers, mc.center)
+        reach = cand[raw <= limit_raw]
+        reach.sort()
+        mc.reach_ids = reach

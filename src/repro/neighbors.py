@@ -1,0 +1,103 @@
+"""ε-selection utilities — the k-distance heuristic, batteries included.
+
+Ester et al.'s original recipe for picking DBSCAN's ε: plot every
+point's distance to its k-th nearest neighbor in sorted order and take
+ε at the "knee".  These helpers compute the k-distance curve over any
+of the repo's indexes (sampled, so they stay cheap on big data) and
+offer two knee pickers: a percentile rule of thumb and the maximum-
+curvature (kneedle-style) point of the sorted curve.
+
+Used by ``examples/road_anomaly_detection.py`` and generally handy for
+any μDBSCAN user who does not arrive with a calibrated ε.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.index.kdtree import KDTree
+from repro.index.knn import knn_kdtree
+
+__all__ = ["k_distances", "suggest_eps", "knee_point"]
+
+
+def k_distances(
+    points: np.ndarray,
+    k: int,
+    sample: int | None = 512,
+    seed: int = 0,
+) -> np.ndarray:
+    """Sorted distances to the k-th *other* point, for a sample.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` data.
+    k:
+        Typically DBSCAN's ``MinPts`` (self excluded, matching the
+        original recipe).
+    sample:
+        Number of query points to sample (None = all points).
+    """
+    pts = np.ascontiguousarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[0] == 0:
+        raise ValueError(f"points must be non-empty (n, d), got shape {pts.shape}")
+    n = pts.shape[0]
+    if not (1 <= k <= n - 1):
+        raise ValueError(f"k must be in 1..{n - 1}, got {k}")
+    if sample is None or sample >= n:
+        take = np.arange(n)
+    else:
+        if sample < 1:
+            raise ValueError(f"sample must be >= 1, got {sample}")
+        take = np.random.default_rng(seed).choice(n, size=sample, replace=False)
+    tree = KDTree(pts)
+    out = np.empty(take.shape[0])
+    for i, row in enumerate(take):
+        # k+1 including the point itself at distance 0
+        _, dists = knn_kdtree(tree, pts[row], k + 1)
+        out[i] = dists[-1]
+    out.sort()
+    return out
+
+
+def knee_point(sorted_values: np.ndarray) -> float:
+    """Value at the maximum-curvature point of an ascending curve.
+
+    Kneedle-style: normalise both axes to [0, 1] and take the point
+    farthest below the chord from first to last value.
+    """
+    vals = np.asarray(sorted_values, dtype=np.float64)
+    if vals.ndim != 1 or vals.shape[0] < 3:
+        raise ValueError("need an ascending 1-d curve of length >= 3")
+    lo, hi = float(vals[0]), float(vals[-1])
+    if hi == lo:
+        return hi
+    y = (vals - lo) / (hi - lo)
+    x = np.linspace(0.0, 1.0, vals.shape[0])
+    gap = x - y  # distance below the y=x chord (curve is ascending)
+    return float(vals[int(np.argmax(gap))])
+
+
+def suggest_eps(
+    points: np.ndarray,
+    min_pts: int,
+    method: str = "knee",
+    percentile: float = 92.0,
+    sample: int | None = 512,
+    seed: int = 0,
+) -> float:
+    """One-call ε suggestion from the k-distance curve.
+
+    ``method="knee"`` (default) picks the maximum-curvature point;
+    ``method="percentile"`` takes the given percentile — more
+    conservative (larger ε, fewer noise points).
+    """
+    curve = k_distances(points, k=min_pts, sample=sample, seed=seed)
+    if method == "knee":
+        return knee_point(curve)
+    if method == "percentile":
+        if not (0.0 < percentile < 100.0):
+            raise ValueError(f"percentile must be in (0, 100), got {percentile}")
+        return float(np.percentile(curve, percentile))
+    raise ValueError(f"method must be 'knee' or 'percentile', got {method!r}")

@@ -1,0 +1,19 @@
+"""Streaming/incremental μDBSCAN — the paper's future-work direction.
+
+§VII: *"This approach can also be adopted to fast clustering of data
+streams."*  The enabler is that micro-clusters are an **incremental**
+structure: a new point either joins an existing MC (one index probe)
+or founds one, and MC centers never move — so the expensive phase of
+μDBSCAN (tree construction, 15–70 % of run-time per Table III) can be
+amortised across batch insertions while re-clustering stays exact.
+
+:class:`~repro.streaming.incremental.IncrementalMuDBSCAN` maintains the
+micro-cluster structure, the first-level R-tree, and the reachability
+caches across ``insert()`` calls; ``cluster()`` produces exactly the
+clustering batch μDBSCAN (and hence classical DBSCAN) would produce on
+everything inserted so far.
+"""
+
+from repro.streaming.incremental import IncrementalMuDBSCAN
+
+__all__ = ["IncrementalMuDBSCAN"]

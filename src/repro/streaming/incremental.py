@@ -1,0 +1,287 @@
+"""Incremental micro-cluster maintenance with exact re-clustering.
+
+What is maintained across ``insert()`` batches:
+
+* the point buffer (appended, never moved);
+* the MC membership lists and the first-level R-tree over the fixed
+  ``center ± eps`` boxes (centers never move, so boxes never change —
+  the property the batch builder exploits holds incrementally too);
+* the **reachability cache**: an MC's reachable list depends only on
+  *centers*, so an existing list changes only when a *new* MC appears
+  within 3ε — handled symmetrically on creation;
+* the cached per-MC reachable-point blocks, invalidated only for MCs
+  whose reachable membership actually changed (dirty tracking).
+
+``cluster()`` then runs μDBSCAN's steps 2–4 (Algorithms 4–8) over the
+maintained structure — the per-point Algorithm-3 index probes, the
+dominant cost, happened at insert time and are never repeated.
+
+Exactness: the MC assignment produced this way is a valid Algorithm-3
+outcome (every member strictly within ε of its center; centers pairwise
+≥ ε apart), and μDBSCAN's Theorem 1 holds for *any* valid MC partition
+— the test suite checks equality with batch runs after every batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mudbscan import run_mu_dbscan_state
+from repro.core.params import DBSCANParams
+from repro.core.result import ClusteringResult
+from repro.geometry.distance import sq_dists_to_point
+from repro.index.rtree import RTree
+from repro.instrumentation.counters import Counters
+from repro.instrumentation.timers import PhaseTimer
+from repro.microcluster.microcluster import MCKind, MicroCluster
+from repro.microcluster.murtree import MuRTree
+
+__all__ = ["IncrementalMuDBSCAN"]
+
+
+class IncrementalMuDBSCAN:
+    """Exact DBSCAN over a growing dataset, with amortised indexing.
+
+    Parameters
+    ----------
+    eps, min_pts:
+        The density parameters (fixed for the stream's lifetime — ε
+        defines the micro-cluster geometry).
+    dim:
+        Dimensionality of the points.
+    max_entries:
+        First-level R-tree fan-out.
+
+    Usage::
+
+        inc = IncrementalMuDBSCAN(eps=0.1, min_pts=5, dim=3)
+        inc.insert(first_batch)
+        inc.insert(second_batch)
+        result = inc.cluster()      # == mu_dbscan(all points so far)
+    """
+
+    def __init__(
+        self, eps: float, min_pts: int, dim: int, max_entries: int = 64
+    ) -> None:
+        self.params = DBSCANParams(eps=eps, min_pts=min_pts)
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self.dim = dim
+        self.counters = Counters()
+        self._tree = RTree(dim, max_entries=max_entries, counters=self.counters)
+        self._chunks: list[np.ndarray] = []
+        self._points: np.ndarray = np.empty((0, dim))
+        self._members: list[list[int]] = []  # per MC, global rows (center first)
+        self._centers: list[np.ndarray] = []
+        self._center_rows: list[int] = []
+        self._point_mc: list[int] = []
+        self._reach_ids: list[list[int]] = []  # cached, center-distance 3ε
+        #: MCs whose member set (or reachable membership) changed since
+        #: the last cluster() — their frozen snapshots must be rebuilt
+        self._dirty: set[int] = set()
+        #: frozen MicroCluster snapshots reused across cluster() calls
+        self._frozen: dict[int, MicroCluster] = {}
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._point_mc)
+
+    @property
+    def n_micro_clusters(self) -> int:
+        return len(self._members)
+
+    @property
+    def points(self) -> np.ndarray:
+        """All points inserted so far (materialised view)."""
+        if self._chunks:
+            parts = [self._points] if self._points.shape[0] else []
+            self._points = np.vstack(parts + self._chunks)
+            self._chunks.clear()
+        return self._points
+
+    # ------------------------------------------------------------------
+    # insertion (Algorithm 3, incremental)
+
+    def _mark_reach_dirty(self, mc_id: int) -> None:
+        """Membership of ``mc_id`` changed: every MC that reaches it sees
+        a changed candidate block."""
+        for other in self._reach_ids[mc_id]:
+            self._dirty.add(int(other))
+
+    def _create_mc(self, row: int, p: np.ndarray) -> int:
+        eps = self.params.eps
+        mc_id = len(self._members)
+        self._members.append([row])
+        self._centers.append(p.copy())
+        self._center_rows.append(row)
+        self._tree.insert(mc_id, p - eps, p + eps)
+        self.counters.micro_clusters += 1
+        # reachability: symmetric center-distance <= 3eps
+        reach = [mc_id]
+        candidates = self._tree.query_ball_candidates(p, 3.0 * eps)
+        limit_sq = (3.0 * eps) ** 2
+        for cand in candidates:
+            cand = int(cand)
+            if cand == mc_id:
+                continue
+            d = self._centers[cand] - p
+            self.counters.dist_calcs += 1
+            if float(np.dot(d, d)) <= limit_sq:
+                reach.append(cand)
+                self._reach_ids[cand].append(mc_id)
+                self._dirty.add(cand)  # its candidate block grew
+        reach.sort()
+        self._reach_ids.append(reach)
+        self._dirty.add(mc_id)
+        return mc_id
+
+    def _try_join(self, row: int, p: np.ndarray, radius_hint: float) -> bool:
+        """Join the nearest MC with center strictly within ε; True if joined."""
+        eps = self.params.eps
+        candidates = self._tree.query_ball_candidates(p, radius_hint)
+        if not candidates:
+            return False
+        centers = np.stack([self._centers[int(c)] for c in candidates])
+        self.counters.dist_calcs += len(candidates)
+        sq = sq_dists_to_point(centers, p)
+        best = int(np.argmin(sq))
+        if sq[best] < eps * eps:
+            mc_id = int(candidates[best])
+            self._members[mc_id].append(row)
+            self._point_mc.append(mc_id)
+            self._dirty.add(mc_id)
+            self._mark_reach_dirty(mc_id)
+            return True
+        return False
+
+    def insert(self, batch: np.ndarray) -> None:
+        """Insert a batch of points (Algorithm 3 semantics per batch:
+        join / 2ε-defer within the batch / create)."""
+        pts = np.ascontiguousarray(batch, dtype=np.float64)
+        if pts.ndim == 1:
+            pts = pts.reshape(1, -1)
+        if pts.ndim != 2 or pts.shape[1] != self.dim:
+            raise ValueError(
+                f"batch must be (k, {self.dim}), got shape {np.asarray(batch).shape}"
+            )
+        base = len(self)
+        self._chunks.append(pts)
+        eps = self.params.eps
+        deferred: list[int] = []
+        for i in range(pts.shape[0]):
+            row = base + i
+            p = pts[i]
+            if self._try_join(row, p, 2.0 * eps):
+                continue
+            # 2ε rule: defer when some center is within 2ε
+            candidates = self._tree.query_ball_candidates(p, 2.0 * eps)
+            near = False
+            if candidates:
+                centers = np.stack([self._centers[int(c)] for c in candidates])
+                self.counters.dist_calcs += len(candidates)
+                sq = sq_dists_to_point(centers, p)
+                near = bool(np.any(sq < (2.0 * eps) ** 2))
+            if near:
+                deferred.append(i)
+                self._point_mc.append(-1)  # placeholder
+                self.counters.deferred_points += 1
+            else:
+                self._point_mc.append(self._create_mc(row, p))
+        for i in deferred:
+            row = base + i
+            p = pts[i]
+            if self._try_join_deferred(row, p):
+                continue
+            self._point_mc[row] = self._create_mc(row, p)
+
+    def _try_join_deferred(self, row: int, p: np.ndarray) -> bool:
+        eps = self.params.eps
+        candidates = self._tree.query_ball_candidates(p, eps)
+        if not candidates:
+            return False
+        centers = np.stack([self._centers[int(c)] for c in candidates])
+        self.counters.dist_calcs += len(candidates)
+        sq = sq_dists_to_point(centers, p)
+        best = int(np.argmin(sq))
+        if sq[best] < eps * eps:
+            mc_id = int(candidates[best])
+            self._members[mc_id].append(row)
+            self._point_mc[row] = mc_id
+            self._dirty.add(mc_id)
+            self._mark_reach_dirty(mc_id)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # clustering (Algorithms 4-8 over the maintained structure)
+
+    def _snapshot(self) -> MuRTree:
+        """Freeze dirty MCs and assemble a MuRTree over the buffer."""
+        points = self.points  # materialise
+        eps = self.params.eps
+        mcs: list[MicroCluster] = [None] * len(self._members)  # type: ignore[list-item]
+        for mc_id in range(len(self._members)):
+            cached = self._frozen.get(mc_id)
+            if cached is not None and mc_id not in self._dirty:
+                mcs[mc_id] = cached
+                continue
+            mc = MicroCluster(mc_id, self._center_rows[mc_id], self._centers[mc_id])
+            for row in self._members[mc_id][1:]:
+                mc.add_member(row)
+            mc.freeze(points, eps)
+            mc.reach_ids = np.asarray(self._reach_ids[mc_id], dtype=np.int64)
+            self._frozen[mc_id] = mc
+            mcs[mc_id] = mc
+        # cached reach blocks for dirty MCs (and MCs never built)
+        for mc_id in range(len(mcs)):
+            mc = mcs[mc_id]
+            if mc.reach_points is None or mc_id in self._dirty:
+                rows = np.concatenate(
+                    [mcs[int(w)].member_rows for w in self._reach_ids[mc_id]]
+                )
+                mc.reach_rows = rows
+                mc.reach_points = np.ascontiguousarray(points[rows])
+        self._dirty.clear()
+        return MuRTree.from_prebuilt(
+            points,
+            eps,
+            mcs,
+            self._tree,
+            np.asarray(self._point_mc, dtype=np.int64),
+            counters=self.counters,
+        )
+
+    def cluster(self) -> ClusteringResult:
+        """Exact DBSCAN clustering of everything inserted so far."""
+        if len(self) == 0:
+            raise RuntimeError("insert points before clustering")
+        timers = PhaseTimer()
+        with timers.phase("tree_construction"):
+            murtree = self._snapshot()
+        counters = Counters()
+        state, timers = run_mu_dbscan_state(
+            murtree.points,
+            self.params,
+            counters=counters,
+            timers=timers,
+            _prebuilt_murtree=murtree,
+        )
+        labels = state.uf.labels(noise_mask=state.final_noise_mask())
+        kind_counts = {kind.name: 0 for kind in MCKind}
+        for mc in murtree.mcs:
+            kind_counts[mc.kind(self.params.min_pts).name] += 1
+        return ClusteringResult(
+            labels=labels,
+            core_mask=state.core.copy(),
+            params=self.params,
+            algorithm="incremental_mu_dbscan",
+            counters=counters,
+            timers=timers,
+            extras={
+                "n_micro_clusters": murtree.n_micro_clusters,
+                "avg_mc_size": murtree.avg_mc_size,
+                "n_wndq_core": len(state.wndq_corelist),
+                "mc_kind_counts": kind_counts,
+            },
+        )

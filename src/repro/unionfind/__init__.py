@@ -1,0 +1,13 @@
+"""Disjoint-set (union-find) structures.
+
+The paper follows Patwary et al. in replacing DBSCAN's sequential
+cluster-expansion with union-find merges: every density connection is a
+``UNION``, and clusters are the final components.  The distributed
+variant resolves cross-partition unions collected during local
+clustering (``repro.unionfind.distributed``).
+"""
+
+from repro.unionfind.unionfind import UnionFind
+from repro.unionfind.distributed import GlobalLabeler, resolve_cross_edges
+
+__all__ = ["UnionFind", "GlobalLabeler", "resolve_cross_edges"]

@@ -1,0 +1,193 @@
+"""Oracle-free validation — check a clustering against DBSCAN's *definition*.
+
+:mod:`repro.validation.exactness` compares two clusterings; this module
+instead verifies a single :class:`ClusteringResult` directly against
+§II's definitions, with brute-force neighborhoods as ground truth:
+
+1. **cores** — ``core_mask[i]`` iff ``|N_eps(i)| >= MinPts``;
+2. **maximality** — no two core points strictly within ε carry
+   different labels;
+3. **connectivity** — within each cluster, the core points form one
+   connected component of the core-core ε-graph (no cluster glues two
+   density-separated groups);
+4. **noise** — a point is labelled ``-1`` iff it is not core and has no
+   core in its ε-neighborhood;
+5. **borders** — every labelled non-core point has a core of *its own
+   cluster* strictly within ε.
+
+Together these say: the result is *a* DBSCAN clustering (borders may
+attach to any adjacent cluster, exactly the freedom classical DBSCAN's
+visit order has).  Used by the property-based tests as a second,
+independent line of evidence next to the oracle comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sparse
+from scipy.sparse.csgraph import connected_components
+
+from repro.core.result import ClusteringResult
+from repro.geometry.distance import chunked_pairwise_apply
+from repro.geometry.metrics import EUCLIDEAN, Metric, get_metric
+
+__all__ = ["DefinitionReport", "validate_definition"]
+
+
+@dataclass
+class DefinitionReport:
+    """Outcome of a definition check; ``ok`` aggregates everything."""
+
+    cores_correct: bool
+    maximality: bool
+    connectivity: bool
+    noise_correct: bool
+    borders_valid: bool
+    details: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.cores_correct
+            and self.maximality
+            and self.connectivity
+            and self.noise_correct
+            and self.borders_valid
+        )
+
+    def __str__(self) -> str:
+        status = "VALID DBSCAN CLUSTERING" if self.ok else "DEFINITION VIOLATED"
+        body = "; ".join(self.details) if self.details else "all conditions met"
+        return f"{status}: {body}"
+
+
+def _neighbor_structures(
+    points: np.ndarray, eps: float, chunk_rows: int, metric: Metric
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Neighbor counts and per-point neighbor lists, brute force."""
+    n = points.shape[0]
+    counts = np.zeros(n, dtype=np.int64)
+    lists: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * n
+    eps_raw = metric.threshold(eps)
+
+    def collect(offset: int, block: np.ndarray) -> None:
+        mask = block < eps_raw
+        counts[offset : offset + block.shape[0]] = mask.sum(axis=1)
+        for r in range(block.shape[0]):
+            lists[offset + r] = np.flatnonzero(mask[r])
+
+    if metric is EUCLIDEAN:
+        chunked_pairwise_apply(points, points, collect, chunk_rows=chunk_rows)
+    else:
+        for start in range(0, n, chunk_rows):
+            collect(start, metric.raw_pairwise(points[start : start + chunk_rows], points))
+    return counts, lists
+
+
+def validate_definition(
+    points: np.ndarray,
+    result: ClusteringResult,
+    chunk_rows: int = 1024,
+    metric: str | Metric = EUCLIDEAN,
+) -> DefinitionReport:
+    """Check ``result`` against the DBSCAN definition on ``points``
+    (under the same ``metric`` the result was clustered with)."""
+    pts = np.ascontiguousarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[0] != len(result):
+        raise ValueError(
+            f"points {pts.shape} do not match the result over {len(result)} points"
+        )
+    n = pts.shape[0]
+    labels = result.labels
+    core = result.core_mask
+    min_pts = result.params.min_pts
+    details: list[str] = []
+
+    counts, lists = _neighbor_structures(
+        pts, result.params.eps, chunk_rows, get_metric(metric)
+    )
+
+    # 1. cores
+    true_core = counts >= min_pts
+    cores_correct = bool(np.array_equal(core, true_core))
+    if not cores_correct:
+        bad = np.flatnonzero(core != true_core)
+        details.append(f"core flags wrong for {bad.size} points (e.g. {bad[:5].tolist()})")
+
+    # core-core ε-graph (used by both maximality and connectivity)
+    core_rows = np.flatnonzero(true_core)
+    core_pos = {int(r): i for i, r in enumerate(core_rows)}
+    edges_i: list[int] = []
+    edges_j: list[int] = []
+    for r in core_rows:
+        for q in lists[int(r)]:
+            if true_core[q] and int(q) != int(r):
+                edges_i.append(core_pos[int(r)])
+                edges_j.append(core_pos[int(q)])
+
+    # 2. maximality
+    maximality = True
+    for ei, ej in zip(edges_i, edges_j):
+        if labels[core_rows[ei]] != labels[core_rows[ej]]:
+            maximality = False
+            details.append(
+                f"cores {int(core_rows[ei])} and {int(core_rows[ej])} are "
+                "ε-adjacent but in different clusters"
+            )
+            break
+
+    # 3. connectivity: clusters (restricted to cores) == graph components
+    connectivity = True
+    if core_rows.size:
+        graph = sparse.coo_matrix(
+            (np.ones(len(edges_i), dtype=np.int8), (edges_i, edges_j)),
+            shape=(core_rows.size, core_rows.size),
+        )
+        _, comp = connected_components(graph, directed=False)
+        # within one label, all cores must share one component
+        for label in np.unique(labels[core_rows]):
+            comps = np.unique(comp[labels[core_rows] == label])
+            if comps.size > 1:
+                connectivity = False
+                details.append(
+                    f"cluster {int(label)} contains {comps.size} density-"
+                    "separated core groups"
+                )
+                break
+
+    # 4. noise
+    has_core_neighbor = np.array(
+        [bool(true_core[lists[i]].any()) for i in range(n)]
+    )
+    should_be_noise = ~true_core & ~has_core_neighbor
+    noise_correct = bool(np.array_equal(labels == -1, should_be_noise))
+    if not noise_correct:
+        bad = np.flatnonzero((labels == -1) != should_be_noise)
+        details.append(
+            f"noise labelling wrong for {bad.size} points (e.g. {bad[:5].tolist()})"
+        )
+
+    # 5. borders
+    borders_valid = True
+    for row in np.flatnonzero((labels >= 0) & ~true_core):
+        nbrs = lists[int(row)]
+        ok = bool(
+            np.any(true_core[nbrs] & (labels[nbrs] == labels[row]))
+        )
+        if not ok:
+            borders_valid = False
+            details.append(
+                f"border {int(row)} has no same-cluster core within ε"
+            )
+            break
+
+    return DefinitionReport(
+        cores_correct=cores_correct,
+        maximality=maximality,
+        connectivity=connectivity,
+        noise_correct=noise_correct,
+        borders_valid=borders_valid,
+        details=details,
+    )

@@ -1,0 +1,162 @@
+"""The paper's exact-clustering criteria, as an executable check.
+
+§III of the paper: an algorithm produces *exact* clustering when, for a
+given dataset and parameters, it yields
+
+1. the same set of core points,
+2. the same core-point-to-cluster membership, and
+3. the same number of clusters
+
+as traditional DBSCAN.  Because cluster labels are arbitrary, (2) is
+compared as a *partition* of the core points.  We additionally check
+the noise set (the paper's "Noise" condition of Theorem 1) and — when
+the points are supplied — that every border point is attached to a
+cluster that owns a core point strictly within ε of it (border
+attachment is legitimately order-dependent, but it must be *valid*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.result import ClusteringResult
+from repro.geometry.metrics import EUCLIDEAN, Metric, get_metric
+
+__all__ = ["ExactnessReport", "check_exact", "assert_exact"]
+
+
+@dataclass
+class ExactnessReport:
+    """Outcome of an exactness comparison; ``ok`` aggregates all checks."""
+
+    same_core_points: bool
+    same_core_partition: bool
+    same_cluster_count: bool
+    same_noise: bool
+    borders_valid: bool | None = None  # None when points were not supplied
+    details: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        checks = [
+            self.same_core_points,
+            self.same_core_partition,
+            self.same_cluster_count,
+            self.same_noise,
+        ]
+        if self.borders_valid is not None:
+            checks.append(self.borders_valid)
+        return all(checks)
+
+    def __str__(self) -> str:
+        status = "EXACT" if self.ok else "MISMATCH"
+        body = "; ".join(self.details) if self.details else "all criteria met"
+        return f"{status}: {body}"
+
+
+def check_exact(
+    candidate: ClusteringResult,
+    reference: ClusteringResult,
+    points: np.ndarray | None = None,
+    metric: str | Metric = EUCLIDEAN,
+) -> ExactnessReport:
+    """Compare ``candidate`` against the ``reference`` (oracle) clustering.
+
+    ``metric`` must match the one both results were clustered under; it
+    only affects the optional border-validity check.
+    """
+    if len(candidate) != len(reference):
+        raise ValueError(
+            f"results cover different datasets: {len(candidate)} vs {len(reference)} points"
+        )
+    if candidate.params != reference.params:
+        raise ValueError(
+            f"results use different parameters: {candidate.params} vs {reference.params}"
+        )
+    details: list[str] = []
+
+    same_core = bool(np.array_equal(candidate.core_mask, reference.core_mask))
+    if not same_core:
+        extra = np.flatnonzero(candidate.core_mask & ~reference.core_mask)
+        missing = np.flatnonzero(~candidate.core_mask & reference.core_mask)
+        details.append(
+            f"core sets differ: {extra.size} spurious, {missing.size} missing "
+            f"(e.g. spurious={extra[:5].tolist()}, missing={missing[:5].tolist()})"
+        )
+
+    cand_part = set(candidate.core_partition().values())
+    ref_part = set(reference.core_partition().values())
+    same_partition = cand_part == ref_part
+    if not same_partition:
+        details.append(
+            f"core partitions differ: {len(cand_part)} vs {len(ref_part)} core groups"
+        )
+
+    same_count = candidate.n_clusters == reference.n_clusters
+    if not same_count:
+        details.append(
+            f"cluster counts differ: {candidate.n_clusters} vs {reference.n_clusters}"
+        )
+
+    same_noise = bool(np.array_equal(candidate.noise_mask, reference.noise_mask))
+    if not same_noise:
+        extra = np.flatnonzero(candidate.noise_mask & ~reference.noise_mask)
+        missing = np.flatnonzero(~candidate.noise_mask & reference.noise_mask)
+        details.append(
+            f"noise sets differ: {extra.size} spurious, {missing.size} missing "
+            f"(e.g. spurious={extra[:5].tolist()}, missing={missing[:5].tolist()})"
+        )
+
+    borders_valid: bool | None = None
+    if points is not None:
+        borders_valid = _borders_valid(
+            candidate, np.asarray(points, dtype=np.float64), details, get_metric(metric)
+        )
+
+    return ExactnessReport(
+        same_core_points=same_core,
+        same_core_partition=same_partition,
+        same_cluster_count=same_count,
+        same_noise=same_noise,
+        borders_valid=borders_valid,
+        details=details,
+    )
+
+
+def _borders_valid(
+    result: ClusteringResult, points: np.ndarray, details: list[str], metric: Metric
+) -> bool:
+    """Every border point's cluster must own a core strictly within ε of it."""
+    eps_raw = metric.threshold(result.params.eps)
+    border_rows = np.flatnonzero((result.labels >= 0) & ~result.core_mask)
+    ok = True
+    for row in border_rows:
+        label = int(result.labels[row])
+        cluster_cores = np.flatnonzero(result.core_mask & (result.labels == label))
+        if cluster_cores.size == 0:
+            details.append(f"border point {int(row)} sits in a core-less cluster {label}")
+            ok = False
+            continue
+        raw = metric.raw_to_point(points[cluster_cores], points[row])
+        if not bool(np.any(raw < eps_raw)):
+            details.append(
+                f"border point {int(row)} is not within eps of any core of its cluster {label}"
+            )
+            ok = False
+    return ok
+
+
+def assert_exact(
+    candidate: ClusteringResult,
+    reference: ClusteringResult,
+    points: np.ndarray | None = None,
+    metric: str | Metric = EUCLIDEAN,
+) -> None:
+    """Raise ``AssertionError`` with diagnostics unless exactness holds."""
+    report = check_exact(candidate, reference, points=points, metric=metric)
+    if not report.ok:
+        raise AssertionError(
+            f"{candidate.algorithm} is not exact vs {reference.algorithm}: {report}"
+        )

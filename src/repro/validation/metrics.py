@@ -1,0 +1,93 @@
+"""Clustering-agreement metrics.
+
+Used to quantify how far the *approximate* distributed baselines
+(HPDBSCAN-like merging, RP-DBSCAN-like ρ-approximation) drift from the
+exact clustering — e.g. the ~27% cluster-count difference the paper
+observed for HPDBSCAN on FOF56M3D.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import comb
+
+__all__ = [
+    "rand_index",
+    "adjusted_rand_index",
+    "cluster_count_drift",
+    "label_sets_equal",
+]
+
+
+def _contingency(labels_a: np.ndarray, labels_b: np.ndarray) -> np.ndarray:
+    """Contingency table treating noise (-1) as its own class."""
+    a = np.asarray(labels_a, dtype=np.int64)
+    b = np.asarray(labels_b, dtype=np.int64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError(f"label arrays must be matching 1-d, got {a.shape} / {b.shape}")
+    _, a_codes = np.unique(a, return_inverse=True)
+    _, b_codes = np.unique(b, return_inverse=True)
+    table = np.zeros((a_codes.max() + 1, b_codes.max() + 1), dtype=np.int64)
+    np.add.at(table, (a_codes, b_codes), 1)
+    return table
+
+
+def rand_index(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Plain Rand index over all point pairs (noise = a regular class)."""
+    table = _contingency(labels_a, labels_b)
+    n = int(table.sum())
+    if n < 2:
+        return 1.0
+    sum_cells = float(comb(table, 2).sum())
+    sum_rows = float(comb(table.sum(axis=1), 2).sum())
+    sum_cols = float(comb(table.sum(axis=0), 2).sum())
+    total = float(comb(n, 2))
+    return (total + 2.0 * sum_cells - sum_rows - sum_cols) / total
+
+
+def adjusted_rand_index(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Chance-adjusted Rand index (1 = identical partitions)."""
+    table = _contingency(labels_a, labels_b)
+    n = int(table.sum())
+    if n < 2:
+        return 1.0
+    sum_cells = float(comb(table, 2).sum())
+    sum_rows = float(comb(table.sum(axis=1), 2).sum())
+    sum_cols = float(comb(table.sum(axis=0), 2).sum())
+    total = float(comb(n, 2))
+    expected = sum_rows * sum_cols / total
+    max_index = 0.5 * (sum_rows + sum_cols)
+    if max_index == expected:
+        return 1.0
+    return (sum_cells - expected) / (max_index - expected)
+
+
+def cluster_count_drift(labels_candidate: np.ndarray, labels_exact: np.ndarray) -> float:
+    """Relative cluster-count error ``|k_cand - k_exact| / k_exact``.
+
+    This is the paper's HPDBSCAN complaint metric ("number of clusters
+    differ by approximately 27%").  Returns 0.0 when both have zero
+    clusters.
+    """
+    k_cand = np.unique(labels_candidate[labels_candidate >= 0]).size
+    k_exact = np.unique(labels_exact[labels_exact >= 0]).size
+    if k_exact == 0:
+        return 0.0 if k_cand == 0 else float("inf")
+    return abs(k_cand - k_exact) / k_exact
+
+
+def label_sets_equal(labels_a: np.ndarray, labels_b: np.ndarray) -> bool:
+    """True when the two labelings are identical up to label permutation
+    (noise must match exactly)."""
+    a = np.asarray(labels_a, dtype=np.int64)
+    b = np.asarray(labels_b, dtype=np.int64)
+    if a.shape != b.shape:
+        return False
+    if not np.array_equal(a == -1, b == -1):
+        return False
+    keep = a >= 0
+    a, b = a[keep], b[keep]
+    if a.size == 0:
+        return True
+    pairs = set(zip(a.tolist(), b.tolist()))
+    return len(pairs) == np.unique(a).size == np.unique(b).size

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for ad-hoc randomness inside tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_blobs() -> np.ndarray:
+    """~300 2-d points: three tight blobs plus uniform background."""
+    from repro.data.synthetic import blobs_with_noise
+
+    return blobs_with_noise(300, 2, 3, noise_fraction=0.25, seed=7)
+
+
+@pytest.fixture
+def medium_blobs_3d() -> np.ndarray:
+    """~600 3-d points: five blobs plus background."""
+    from repro.data.synthetic import blobs_with_noise
+
+    return blobs_with_noise(600, 3, 5, noise_fraction=0.2, seed=11)
+
+
+@pytest.fixture
+def line_points() -> np.ndarray:
+    """Points along a 1-d filament embedded in 2-d (chain topology)."""
+    t = np.linspace(0.0, 1.0, 200)
+    pts = np.column_stack([t, 0.2 * np.sin(6 * t)])
+    jitter = np.random.default_rng(3).normal(0.0, 0.004, size=pts.shape)
+    return pts + jitter

@@ -1,0 +1,131 @@
+"""Tests of the sequential baselines — each must replicate the oracle."""
+
+import numpy as np
+import pytest
+
+from repro import brute_dbscan, check_exact, g_dbscan, grid_dbscan, rtree_dbscan
+from repro.data.synthetic import blobs_with_noise, uniform_box
+
+ALGOS = [rtree_dbscan, g_dbscan, grid_dbscan]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    pts = blobs_with_noise(400, 3, 5, noise_fraction=0.3, seed=21)
+    return pts, brute_dbscan(pts, 0.12, 5)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_exact_on_blob_mixture(self, algo, workload):
+        pts, ref = workload
+        res = algo(pts, 0.12, 5)
+        report = check_exact(res, ref, points=pts)
+        assert report.ok, f"{algo.__name__}: {report}"
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_exact_on_high_dim(self, algo, rng):
+        pts = rng.normal(size=(150, 8))
+        ref = brute_dbscan(pts, 1.5, 4)
+        res = algo(pts, 1.5, 4)
+        assert check_exact(res, ref, points=pts).ok
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_exact_on_pure_noise(self, algo):
+        pts = uniform_box(150, 2, seed=33)
+        ref = brute_dbscan(pts, 0.01, 5)
+        res = algo(pts, 0.01, 5)
+        assert check_exact(res, ref, points=pts).ok
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_exact_with_duplicates(self, algo, rng):
+        base = rng.random((80, 2))
+        pts = np.vstack([base, base[:40]])
+        ref = brute_dbscan(pts, 0.15, 6)
+        res = algo(pts, 0.15, 6)
+        assert check_exact(res, ref, points=pts).ok
+
+
+class TestBruteDBSCAN:
+    def test_core_definition(self):
+        # 5 collinear points spaced 0.5 apart, eps=0.6, min_pts=3:
+        # interior points have 3 neighbors (self + 2), ends have 2
+        pts = np.array([[i * 0.5] for i in range(5)])
+        res = brute_dbscan(pts, 0.6, 3)
+        np.testing.assert_array_equal(res.core_mask, [False, True, True, True, False])
+        assert res.n_clusters == 1
+        assert res.n_noise == 0  # ends are borders of the chain
+
+    def test_two_separate_clusters(self):
+        pts = np.array([[0.0], [0.1], [0.2], [5.0], [5.1], [5.2]])
+        res = brute_dbscan(pts, 0.15, 2)
+        assert res.n_clusters == 2
+
+    def test_all_noise(self):
+        pts = np.array([[0.0], [10.0], [20.0]])
+        res = brute_dbscan(pts, 1.0, 2)
+        assert res.n_clusters == 0
+        assert res.n_noise == 3
+
+    def test_chunk_size_does_not_change_result(self, small_blobs):
+        a = brute_dbscan(small_blobs, 0.08, 5, chunk_rows=7)
+        b = brute_dbscan(small_blobs, 0.08, 5, chunk_rows=4096)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_array_equal(a.core_mask, b.core_mask)
+
+
+class TestGDBSCANSpecifics:
+    def test_group_count_reported(self, workload):
+        pts, _ = workload
+        res = g_dbscan(pts, 0.12, 5)
+        assert 0 < res.extras["n_groups"] <= pts.shape[0]
+
+    def test_noise_pruning_saves_queries(self):
+        # isolated far-apart points: candidate groups < MinPts -> pruned
+        pts = np.array([[0.0, 0.0], [10.0, 0.0], [20.0, 0.0]])
+        res = g_dbscan(pts, 0.5, 3)
+        assert res.counters.queries_saved == 3
+        assert res.counters.queries_run == 0
+
+
+class TestGridDBSCANSpecifics:
+    def test_all_core_cells_save_queries(self):
+        pts = np.random.default_rng(8).normal(0, 0.001, (50, 2))
+        res = grid_dbscan(pts, 0.5, 5)
+        assert res.counters.queries_saved > 0
+        assert res.extras["n_all_core_cells"] >= 1
+
+    def test_cell_count_grows_with_dimension(self, rng):
+        n_cells = []
+        for d in (2, 3, 4):
+            pts = rng.random((400, d))
+            res = grid_dbscan(pts, 0.3, 5)
+            n_cells.append(res.extras["n_cells"])
+        assert n_cells[0] < n_cells[1] < n_cells[2]
+
+    def test_neighbor_list_blowup_with_dimension(self, rng):
+        """The Table IV memory effect: stencil entries explode with d."""
+        entries = []
+        for d in (2, 4):
+            pts = rng.random((300, d))
+            res = grid_dbscan(pts, 0.3, 5)
+            entries.append(res.extras["neighbor_list_entries"] / res.extras["n_cells"])
+        assert entries[1] > entries[0]
+
+
+class TestQueryCounting:
+    def test_rtree_runs_n_queries(self, workload):
+        pts, _ = workload
+        res = rtree_dbscan(pts, 0.12, 5)
+        assert res.counters.queries_run == pts.shape[0]
+        assert res.counters.queries_saved == 0
+
+    def test_mu_dbscan_beats_grid_on_saves(self, workload):
+        """The paper's Table II ordering: μDBSCAN saves far more queries
+        than GridDBSCAN's all-core-cell rule."""
+        from repro import mu_dbscan
+
+        pts, _ = workload
+        mu = mu_dbscan(pts, 0.12, 5)
+        grid = grid_dbscan(pts, 0.12, 5)
+        assert mu.counters.query_save_fraction >= grid.counters.query_save_fraction

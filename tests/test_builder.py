@@ -1,0 +1,80 @@
+"""Unit tests for micro-cluster construction (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.distance import sq_dists_to_point
+from repro.instrumentation.counters import Counters
+from repro.microcluster.builder import build_micro_clusters
+
+
+class TestBuildMicroClusters:
+    def test_every_point_in_exactly_one_mc(self, small_blobs):
+        mcs, tree, point_mc = build_micro_clusters(small_blobs, eps=0.08)
+        assert (point_mc >= 0).all()
+        total = sum(len(mc) for mc in mcs)
+        assert total == small_blobs.shape[0]
+        for mc in mcs:
+            for row in mc.member_rows:
+                assert point_mc[row] == mc.mc_id
+
+    def test_members_strictly_within_eps_of_center(self, small_blobs):
+        eps = 0.08
+        mcs, _, _ = build_micro_clusters(small_blobs, eps=eps)
+        for mc in mcs:
+            sq = sq_dists_to_point(mc.member_points, mc.center)
+            assert (sq < eps * eps).all()
+
+    def test_centers_never_within_eps_of_each_other(self, small_blobs):
+        """Two MC centers closer than ε would mean the later one should
+        have joined the earlier one."""
+        eps = 0.08
+        mcs, _, _ = build_micro_clusters(small_blobs, eps=eps)
+        centers = np.stack([mc.center for mc in mcs])
+        for i in range(len(mcs)):
+            sq = sq_dists_to_point(centers, centers[i])
+            sq[i] = np.inf
+            assert (sq >= eps * eps).all()
+
+    def test_2eps_rule_reduces_mc_count(self, medium_blobs_3d):
+        eps = 0.1
+        with_defer, _, _ = build_micro_clusters(medium_blobs_3d, eps, defer_2eps=True)
+        without, _, _ = build_micro_clusters(medium_blobs_3d, eps, defer_2eps=False)
+        assert len(with_defer) <= len(without)
+
+    def test_deferral_counted(self, medium_blobs_3d):
+        counters = Counters()
+        build_micro_clusters(medium_blobs_3d, 0.1, counters=counters)
+        assert counters.deferred_points > 0
+        assert counters.micro_clusters > 0
+
+    def test_tree_payloads_match_mc_ids(self, small_blobs):
+        mcs, tree, _ = build_micro_clusters(small_blobs, eps=0.1)
+        assert sorted(tree.iter_payloads()) == [mc.mc_id for mc in mcs]
+
+    def test_all_mcs_frozen(self, small_blobs):
+        mcs, _, _ = build_micro_clusters(small_blobs, eps=0.1)
+        assert all(mc.frozen for mc in mcs)
+
+    def test_single_point(self):
+        mcs, tree, point_mc = build_micro_clusters(np.array([[1.0, 2.0]]), eps=0.5)
+        assert len(mcs) == 1
+        assert point_mc[0] == 0
+        assert len(mcs[0]) == 1
+
+    def test_duplicate_points_share_one_mc(self):
+        pts = np.tile(np.array([[0.3, 0.3]]), (10, 1))
+        mcs, _, point_mc = build_micro_clusters(pts, eps=0.5)
+        assert len(mcs) == 1
+        assert (point_mc == 0).all()
+
+    def test_far_points_each_found_mc(self):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+        mcs, _, _ = build_micro_clusters(pts, eps=0.5)
+        assert len(mcs) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="eps"):
+            build_micro_clusters(np.zeros((2, 2)), eps=0.0)
+        with pytest.raises(ValueError, match=r"\(n, d\)"):
+            build_micro_clusters(np.zeros(4), eps=1.0)

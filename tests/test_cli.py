@@ -1,0 +1,94 @@
+"""Tests for the command-line interface and dataset file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data.io import load_points, save_points
+
+
+class TestIO:
+    def test_npy_roundtrip(self, tmp_path, rng):
+        pts = rng.random((20, 3))
+        path = tmp_path / "pts.npy"
+        save_points(path, pts)
+        np.testing.assert_allclose(load_points(path), pts)
+
+    def test_csv_roundtrip(self, tmp_path, rng):
+        pts = rng.random((10, 2))
+        path = tmp_path / "pts.csv"
+        save_points(path, pts)
+        np.testing.assert_allclose(load_points(path), pts, rtol=1e-6)
+
+    def test_tsv_roundtrip(self, tmp_path, rng):
+        pts = rng.random((5, 4))
+        path = tmp_path / "pts.tsv"
+        save_points(path, pts)
+        np.testing.assert_allclose(load_points(path), pts, rtol=1e-6)
+
+    def test_single_column_text(self, tmp_path):
+        path = tmp_path / "col.csv"
+        path.write_text("1.0\n2.0\n3.0\n")
+        assert load_points(path).shape == (3, 1)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_points(tmp_path / "nope.npy")
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "bad.npy"
+        np.save(path, np.empty((0, 2)))
+        with pytest.raises(ValueError, match="point array"):
+            load_points(path)
+
+
+class TestCLI:
+    def test_datasets_lists_registry(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "3DSRN" in out and "MPAGD1B3D" in out
+
+    def test_run_on_registry_dataset(self, capsys):
+        code = main(["run", "--dataset", "3DSRN", "--scale", "0.1", "--algo", "mu"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mu_dbscan" in out and "queries" in out
+
+    def test_run_on_input_file(self, tmp_path, rng, capsys):
+        path = tmp_path / "pts.npy"
+        save_points(path, rng.random((80, 2)))
+        code = main(
+            ["run", "--input", str(path), "--eps", "0.2", "--min-pts", "4",
+             "--algo", "brute"]
+        )
+        assert code == 0
+        assert "brute_dbscan" in capsys.readouterr().out
+
+    def test_run_input_requires_params(self, tmp_path, rng):
+        path = tmp_path / "pts.npy"
+        save_points(path, rng.random((10, 2)))
+        with pytest.raises(SystemExit):
+            main(["run", "--input", str(path)])
+
+    def test_run_requires_some_workload(self):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+    def test_compare_exact_returns_zero(self):
+        assert main(["compare", "--dataset", "3DSRN", "--scale", "0.1"]) == 0
+
+    def test_distributed_runs(self, capsys):
+        code = main(
+            ["distributed", "--dataset", "3DSRN", "--scale", "0.1",
+             "--ranks", "2", "--algo", "mu-d"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mu_dbscan_d" in out and "as-if-parallel" in out
+
+    def test_eps_override(self, capsys):
+        assert main(
+            ["run", "--dataset", "3DSRN", "--scale", "0.1", "--eps", "0.2",
+             "--min-pts", "3"]
+        ) == 0
+        assert "eps=0.2" in capsys.readouterr().out

@@ -1,0 +1,157 @@
+"""Tests for the dataset generators and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.data.galaxy import galaxy_halos
+from repro.data.highdim import household_power_like, latent_cluster_cloud
+from repro.data.registry import REGISTRY, dataset_names, load_dataset
+from repro.data.roads import road_network_gps
+from repro.data.synthetic import blobs_with_noise, gaussian_blobs, uniform_box
+
+
+class TestSynthetic:
+    def test_blob_shapes(self):
+        pts = gaussian_blobs(100, 3, 4, seed=1)
+        assert pts.shape == (100, 3)
+
+    def test_determinism(self):
+        a = gaussian_blobs(50, 2, 3, seed=9)
+        b = gaussian_blobs(50, 2, 3, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = gaussian_blobs(50, 2, 3, seed=1)
+        b = gaussian_blobs(50, 2, 3, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_uniform_box_bounds(self):
+        pts = uniform_box(200, 2, box=3.0, seed=4)
+        assert pts.min() >= 0.0 and pts.max() <= 3.0
+
+    def test_blobs_with_noise_fraction(self):
+        pts = blobs_with_noise(100, 2, 2, noise_fraction=0.5, seed=0)
+        assert pts.shape == (100, 2)
+        with pytest.raises(ValueError, match="noise_fraction"):
+            blobs_with_noise(10, 2, 2, noise_fraction=1.5)
+
+    def test_zero_points(self):
+        assert gaussian_blobs(0, 2, 3).shape == (0, 2)
+        assert blobs_with_noise(0, 2, 3).shape == (0, 2)
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError, match="invalid"):
+            gaussian_blobs(10, 0, 1)
+        with pytest.raises(ValueError, match="invalid"):
+            uniform_box(-1, 2)
+
+
+class TestGalaxy:
+    def test_shape_and_box(self):
+        pts = galaxy_halos(500, 3, box=50.0, seed=2)
+        assert pts.shape == (500, 3)
+        assert pts.min() >= 0.0 and pts.max() <= 50.0  # periodic wrap
+
+    def test_is_clustered(self):
+        """Halo points must be much denser locally than uniform data."""
+        from repro.geometry.distance import pairwise_sq_dists
+
+        halos = galaxy_halos(400, 3, box=50.0, field_fraction=0.0, seed=3)
+        uniform = uniform_box(400, 3, box=50.0, seed=3)
+        # median nearest-neighbor distance is far smaller for halo data
+        def med_nn(pts):
+            sq = pairwise_sq_dists(pts)
+            np.fill_diagonal(sq, np.inf)
+            return float(np.median(np.sqrt(sq.min(axis=1))))
+
+        assert med_nn(halos) < 0.5 * med_nn(uniform)
+
+    def test_high_dim_variant(self):
+        pts = galaxy_halos(200, 14, box=30.0, seed=4)
+        assert pts.shape == (200, 14)
+
+    def test_field_fraction_bounds(self):
+        with pytest.raises(ValueError, match="field_fraction"):
+            galaxy_halos(10, 3, field_fraction=2.0)
+
+
+class TestRoads:
+    def test_shape(self):
+        pts = road_network_gps(300, seed=5)
+        assert pts.shape == (300, 3)
+
+    def test_filament_structure(self):
+        """Road points live near 1-d filaments: the covariance of a local
+        neighborhood should be dominated by one direction."""
+        pts = road_network_gps(2000, jitter=0.005, seed=6)
+        from repro.geometry.distance import sq_dists_to_point
+
+        # neighborhoods can sit at road crossings, so demand elongation
+        # for the *median* anchor rather than every anchor
+        ratios = []
+        for anchor in range(0, 200, 20):
+            sq = sq_dists_to_point(pts, pts[anchor])
+            local = pts[np.argsort(sq)[:50], :2]
+            eigs = np.sort(np.linalg.eigvalsh(np.cov(local.T)))
+            ratios.append(eigs[-1] / max(eigs[0], 1e-12))
+        assert np.median(ratios) > 5
+
+    def test_zero_points(self):
+        assert road_network_gps(0).shape == (0, 3)
+
+
+class TestHighDim:
+    def test_latent_cloud_shape(self):
+        pts = latent_cluster_cloud(200, 24, seed=7)
+        assert pts.shape == (200, 24)
+
+    def test_latent_dim_validation(self):
+        with pytest.raises(ValueError, match="latent_dim"):
+            latent_cluster_cloud(10, 4, latent_dim=8)
+
+    def test_household_power_shape(self):
+        pts = household_power_like(100, 5, seed=8)
+        assert pts.shape == (100, 5)
+
+    def test_clusters_are_separable(self):
+        """Latent clusters must survive the embedding (DBSCAN finds >1)."""
+        from repro import mu_dbscan
+
+        pts = latent_cluster_cloud(400, 14, n_clusters=4, cluster_spread=0.2, seed=9)
+        res = mu_dbscan(pts, 150.0, 5)
+        assert res.n_clusters >= 2
+
+
+class TestRegistry:
+    def test_all_names_load(self):
+        assert len(dataset_names()) >= 14
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_spec_generates_at_tiny_scale(self, name):
+        pts, spec = load_dataset(name, scale=0.05)
+        assert pts.shape[1] == spec.dim
+        assert pts.shape[0] == max(1, round(spec.base_n * 0.05))
+        assert np.isfinite(pts).all()
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("NOPE")
+
+    def test_paper_metadata_present(self):
+        spec = REGISTRY["3DSRN"]
+        assert spec.paper["n"] == "0.43M"
+        assert spec.paper["runtime_mu_dbscan"] == 22.87
+
+    def test_scale_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        pts, spec = load_dataset("3DSRN")
+        assert pts.shape[0] == round(spec.base_n * 0.1)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            load_dataset("3DSRN", scale=0.0)
+
+    def test_seed_override_changes_data(self):
+        a, _ = load_dataset("3DSRN", scale=0.05, seed=1)
+        b, _ = load_dataset("3DSRN", scale=0.05, seed=2)
+        assert not np.array_equal(a, b)

@@ -1,0 +1,124 @@
+"""Tests for the oracle-free DBSCAN-definition validator."""
+
+import numpy as np
+import pytest
+
+from repro import brute_dbscan, g_dbscan, grid_dbscan, mu_dbscan, rtree_dbscan
+from repro.core.params import DBSCANParams
+from repro.core.result import ClusteringResult
+from repro.data.synthetic import blobs_with_noise
+from repro.validation.definition import validate_definition
+
+
+@pytest.fixture(scope="module")
+def workload():
+    pts = blobs_with_noise(350, 2, 4, noise_fraction=0.3, seed=31)
+    return pts
+
+
+class TestValidatesCorrectClusterings:
+    @pytest.mark.parametrize(
+        "algo", [brute_dbscan, mu_dbscan, rtree_dbscan, g_dbscan, grid_dbscan]
+    )
+    def test_every_algorithm_passes(self, algo, workload):
+        result = algo(workload, 0.08, 5)
+        report = validate_definition(workload, result)
+        assert report.ok, f"{algo.__name__}: {report}"
+
+    def test_distributed_passes(self, workload):
+        from repro.distributed.mudbscan_d import mu_dbscan_d
+
+        result = mu_dbscan_d(workload, 0.08, 5, n_ranks=4)
+        assert validate_definition(workload, result).ok
+
+    def test_streaming_passes(self, workload):
+        from repro.streaming import IncrementalMuDBSCAN
+
+        inc = IncrementalMuDBSCAN(eps=0.08, min_pts=5, dim=2)
+        inc.insert(workload[:200])
+        inc.insert(workload[200:])
+        assert validate_definition(workload, inc.cluster()).ok
+
+
+class TestDetectsViolations:
+    def _valid(self, pts):
+        return brute_dbscan(pts, 0.08, 5)
+
+    def _forge(self, base: ClusteringResult, **overrides) -> ClusteringResult:
+        return ClusteringResult(
+            labels=overrides.get("labels", base.labels.copy()),
+            core_mask=overrides.get("core_mask", base.core_mask.copy()),
+            params=base.params,
+            algorithm="forged",
+        )
+
+    def test_flipped_core_flag_detected(self, workload):
+        base = self._valid(workload)
+        core = base.core_mask.copy()
+        idx = int(np.flatnonzero(core)[0])
+        core[idx] = False
+        report = validate_definition(workload, self._forge(base, core_mask=core))
+        assert not report.cores_correct
+
+    def test_split_cluster_detected(self, workload):
+        """Relabelling half a cluster breaks maximality."""
+        base = self._valid(workload)
+        labels = base.labels.copy()
+        target = int(np.argmax(np.bincount(labels[labels >= 0])))
+        members = np.flatnonzero(labels == target)
+        labels[members[: members.size // 2]] = labels.max() + 1
+        report = validate_definition(workload, self._forge(base, labels=labels))
+        assert not report.maximality
+
+    def test_merged_clusters_detected(self, workload):
+        """Merging two separate clusters breaks connectivity."""
+        base = self._valid(workload)
+        if base.n_clusters < 2:
+            pytest.skip("needs at least two clusters")
+        labels = base.labels.copy()
+        labels[labels == 1] = 0
+        report = validate_definition(workload, self._forge(base, labels=labels))
+        assert not report.connectivity
+
+    def test_mislabelled_noise_detected(self, workload):
+        base = self._valid(workload)
+        labels = base.labels.copy()
+        noise = np.flatnonzero(labels == -1)
+        if noise.size == 0:
+            pytest.skip("needs noise")
+        labels[noise[0]] = 0
+        core = base.core_mask.copy()
+        report = validate_definition(workload, self._forge(base, labels=labels, core_mask=core))
+        assert not (report.noise_correct and report.borders_valid)
+
+    def test_hidden_border_detected(self, workload):
+        """Marking a border point as noise violates the noise condition."""
+        base = self._valid(workload)
+        borders = np.flatnonzero((base.labels >= 0) & ~base.core_mask)
+        if borders.size == 0:
+            pytest.skip("needs a border point")
+        labels = base.labels.copy()
+        labels[borders[0]] = -1
+        report = validate_definition(workload, self._forge(base, labels=labels))
+        assert not report.noise_correct
+
+    def test_shape_mismatch_rejected(self, workload):
+        base = self._valid(workload)
+        with pytest.raises(ValueError, match="do not match"):
+            validate_definition(workload[:-1], base)
+
+
+class TestApproximateAlgorithmsFail:
+    def test_hpdbscan_like_violates_definition_somewhere(self):
+        """The approximate baselines exist to be *not* DBSCAN; on a
+        boundary-heavy workload the validator should catch it."""
+        from repro.distributed.baselines_d import hpdbscan_like
+
+        pts = blobs_with_noise(600, 2, 6, noise_fraction=0.35, seed=41)
+        found_violation = False
+        for ranks in (2, 4, 8):
+            result = hpdbscan_like(pts, 0.05, 5, n_ranks=ranks)
+            if not validate_definition(pts, result).ok:
+                found_violation = True
+                break
+        assert found_violation, "expected the approximation to show up"

@@ -1,0 +1,49 @@
+"""Integration smoke tests — every example script must run end to end.
+
+Each example is executed in a subprocess with deliberately small
+arguments; a non-zero exit or a traceback fails the test.  This keeps
+the documented entry points honest as the library evolves.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["600"]),
+    ("galaxy_clustering.py", ["800", "2"]),
+    ("road_anomaly_detection.py", ["700"]),
+    ("distributed_scaling.py", ["800", "2"]),
+    ("parameter_study.py", ["500"]),
+    ("streaming_clustering.py", ["2", "250"]),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script: str, args: list[str]) -> None:
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example missing: {path}"
+    proc = subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"{script} failed (rc={proc.returncode})\n"
+        f"stdout:\n{proc.stdout[-2000:]}\nstderr:\n{proc.stderr[-2000:]}"
+    )
+    assert "Traceback" not in proc.stderr
+
+
+def test_examples_directory_is_covered() -> None:
+    """Every example on disk has a smoke test."""
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    tested = {script for script, _ in CASES}
+    assert on_disk == tested, f"untested examples: {on_disk - tested}"

@@ -1,0 +1,108 @@
+"""Unit tests for MBR algebra."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.mbr import (
+    empty_mbr,
+    mbr_area,
+    mbr_contains_mbr,
+    mbr_contains_point,
+    mbr_enlargement,
+    mbr_margin,
+    mbr_of_points,
+    mbr_union,
+    mbrs_overlap,
+)
+
+
+class TestEmptyMbr:
+    def test_union_identity(self):
+        low, high = empty_mbr(3)
+        p_low, p_high = np.zeros(3), np.ones(3)
+        u_low, u_high = mbr_union(low, high, p_low, p_high)
+        np.testing.assert_array_equal(u_low, p_low)
+        np.testing.assert_array_equal(u_high, p_high)
+
+    def test_zero_area_and_margin(self):
+        low, high = empty_mbr(2)
+        assert mbr_area(low, high) == 0.0
+        assert mbr_margin(low, high) == 0.0
+
+    def test_overlaps_nothing(self):
+        low, high = empty_mbr(2)
+        mask = mbrs_overlap(np.zeros(2), np.ones(2), low[None], high[None])
+        assert not mask[0]
+
+    def test_invalid_dim_raises(self):
+        with pytest.raises(ValueError, match="dim"):
+            empty_mbr(0)
+
+
+class TestMbrOfPoints:
+    def test_tight_bounds(self, rng):
+        pts = rng.normal(size=(40, 3))
+        low, high = mbr_of_points(pts)
+        np.testing.assert_array_equal(low, pts.min(axis=0))
+        np.testing.assert_array_equal(high, pts.max(axis=0))
+
+    def test_single_point_degenerate(self):
+        low, high = mbr_of_points(np.array([2.0, -1.0]))
+        np.testing.assert_array_equal(low, high)
+        assert mbr_area(low, high) == 0.0
+
+
+class TestAreaMarginEnlargement:
+    def test_unit_square(self):
+        assert mbr_area(np.zeros(2), np.ones(2)) == 1.0
+        assert mbr_margin(np.zeros(2), np.ones(2)) == 2.0
+
+    def test_enlargement_zero_when_contained(self):
+        grow = mbr_enlargement(
+            np.zeros(2), np.ones(2) * 4, np.ones(2), np.ones(2) * 2
+        )
+        assert grow == 0.0
+
+    def test_enlargement_positive_when_outside(self):
+        grow = mbr_enlargement(np.zeros(2), np.ones(2), np.array([2.0, 0.0]), np.array([2.0, 1.0]))
+        assert grow == pytest.approx(1.0)  # 2x1 box minus 1x1 box
+
+
+class TestOverlap:
+    def test_touching_counts_as_overlap(self):
+        mask = mbrs_overlap(
+            np.zeros(2), np.ones(2), np.array([[1.0, 0.0]]), np.array([[2.0, 1.0]])
+        )
+        assert mask[0]
+
+    def test_disjoint(self):
+        mask = mbrs_overlap(
+            np.zeros(2), np.ones(2), np.array([[1.5, 1.5]]), np.array([[2.0, 2.0]])
+        )
+        assert not mask[0]
+
+    def test_batched_shapes(self, rng):
+        lows = rng.random((10, 3))
+        highs = lows + 0.1
+        mask = mbrs_overlap(np.zeros(3), np.ones(3) * 0.5, lows, highs)
+        assert mask.shape == (10,)
+
+
+class TestContainment:
+    def test_point_on_boundary_contained(self):
+        assert mbr_contains_point(np.zeros(2), np.ones(2), np.array([1.0, 0.5]))
+
+    def test_point_outside(self):
+        assert not mbr_contains_point(np.zeros(2), np.ones(2), np.array([1.1, 0.5]))
+
+    def test_mbr_containment(self):
+        assert mbr_contains_mbr(
+            np.zeros(2), np.ones(2) * 3, np.ones(2), np.ones(2) * 2
+        )
+        assert not mbr_contains_mbr(
+            np.zeros(2), np.ones(2), np.ones(2) * 0.5, np.ones(2) * 2
+        )
+
+    def test_empty_inner_always_contained(self):
+        e_low, e_high = empty_mbr(2)
+        assert mbr_contains_mbr(np.zeros(2), np.ones(2), e_low, e_high)

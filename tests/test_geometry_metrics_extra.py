@@ -1,0 +1,77 @@
+"""Additional property tests for the metric abstraction.
+
+These complement ``tests/test_metrics.py`` with hypothesis fuzzing of
+the three invariants every metric must satisfy for μDBSCAN's proofs to
+carry over: identity of indiscernibles under thresholds, symmetry, and
+the triangle inequality.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry.metrics import CHEBYSHEV, EUCLIDEAN, MANHATTAN
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+METRICS = [EUCLIDEAN, MANHATTAN, CHEBYSHEV]
+
+
+def _vec(dim=4):
+    return arrays(np.float64, (dim,), elements=st.floats(-50, 50, width=32))
+
+
+class TestMetricAxioms:
+    @_SETTINGS
+    @given(p=_vec(), q=_vec())
+    def test_symmetry(self, p, q):
+        for metric in METRICS:
+            a = float(metric.raw_to_point(p[None, :], q)[0])
+            b = float(metric.raw_to_point(q[None, :], p)[0])
+            assert abs(a - b) <= 1e-9 * max(1.0, abs(a))
+
+    @_SETTINGS
+    @given(p=_vec())
+    def test_identity(self, p):
+        for metric in METRICS:
+            raw = float(metric.raw_to_point(p[None, :], p)[0])
+            assert raw == 0.0
+            # zero raw value is below any positive threshold
+            assert raw < metric.threshold(1e-9)
+
+    @_SETTINGS
+    @given(p=_vec(), q=_vec(), r=_vec())
+    def test_triangle_inequality_in_true_distance(self, p, q, r):
+        """raw values are monotone transforms of true distances; check
+        the triangle inequality on the recovered distances."""
+
+        def true_dist(metric, a, b):
+            raw = float(metric.raw_to_point(a[None, :], b)[0])
+            if metric is EUCLIDEAN:
+                return float(np.sqrt(raw))
+            return raw
+
+        for metric in METRICS:
+            dpq = true_dist(metric, p, q)
+            dqr = true_dist(metric, q, r)
+            dpr = true_dist(metric, p, r)
+            assert dpr <= dpq + dqr + 1e-7
+
+    @_SETTINGS
+    @given(p=_vec(), r=st.floats(0.01, 10.0))
+    def test_threshold_monotone(self, p, r):
+        for metric in METRICS:
+            assert metric.threshold(r) < metric.threshold(r * 1.5)
+
+    @_SETTINGS
+    @given(q=_vec(2), low=_vec(2))
+    def test_point_rect_zero_inside(self, q, low):
+        high = low + 100.0
+        inside = np.clip(q, low, high)
+        for metric in METRICS:
+            assert metric.raw_point_rect(inside, low, high) == 0.0

@@ -1,0 +1,80 @@
+"""Unit tests for region predicates (sphere/rect pruning geometry)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.mbr import empty_mbr
+from repro.geometry.regions import (
+    eps_extended_rect,
+    point_rect_sq_dist,
+    rect_overlaps_rects,
+    sphere_intersects_rect,
+    sphere_intersects_rects,
+)
+
+
+class TestEpsExtendedRect:
+    def test_symmetric_around_point(self):
+        low, high = eps_extended_rect(np.array([1.0, -2.0]), 0.5)
+        np.testing.assert_allclose(low, [0.5, -2.5])
+        np.testing.assert_allclose(high, [1.5, -1.5])
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError, match="eps"):
+            eps_extended_rect(np.zeros(2), -1.0)
+
+
+class TestPointRectSqDist:
+    def test_inside_is_zero(self):
+        assert point_rect_sq_dist(np.array([0.5, 0.5]), np.zeros(2), np.ones(2)) == 0.0
+
+    def test_face_distance(self):
+        d = point_rect_sq_dist(np.array([2.0, 0.5]), np.zeros(2), np.ones(2))
+        assert d == pytest.approx(1.0)
+
+    def test_corner_distance(self):
+        d = point_rect_sq_dist(np.array([2.0, 2.0]), np.zeros(2), np.ones(2))
+        assert d == pytest.approx(2.0)
+
+    def test_empty_rect_infinite(self):
+        low, high = empty_mbr(2)
+        assert point_rect_sq_dist(np.zeros(2), low, high) == float("inf")
+
+
+class TestSphereIntersects:
+    def test_touching_is_kept(self):
+        # sphere of radius 1 centered at (2, 0.5) exactly touches x=1 face
+        assert sphere_intersects_rect(np.array([2.0, 0.5]), 1.0, np.zeros(2), np.ones(2))
+
+    def test_separated(self):
+        assert not sphere_intersects_rect(
+            np.array([3.0, 0.5]), 1.0, np.zeros(2), np.ones(2)
+        )
+
+    def test_batched_agrees_with_scalar(self, rng):
+        lows = rng.random((30, 3)) * 2
+        highs = lows + rng.random((30, 3))
+        q = rng.random(3) * 2
+        batch = sphere_intersects_rects(q, 0.7, lows, highs)
+        scalar = np.array(
+            [sphere_intersects_rect(q, 0.7, lows[i], highs[i]) for i in range(30)]
+        )
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_batched_skips_empty_mbrs(self):
+        e_low, e_high = empty_mbr(2)
+        mask = sphere_intersects_rects(
+            np.zeros(2), 10.0, np.stack([e_low]), np.stack([e_high])
+        )
+        assert not mask[0]
+
+
+class TestRectOverlapsRects:
+    def test_basic(self):
+        mask = rect_overlaps_rects(
+            np.zeros(2),
+            np.ones(2),
+            np.array([[0.5, 0.5], [2.0, 2.0]]),
+            np.array([[1.5, 1.5], [3.0, 3.0]]),
+        )
+        np.testing.assert_array_equal(mask, [True, False])

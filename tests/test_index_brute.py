@@ -1,0 +1,44 @@
+"""Unit tests for the brute-force index (the oracle of oracles)."""
+
+import numpy as np
+import pytest
+
+from repro.index.brute import BruteIndex
+from repro.instrumentation.counters import Counters
+
+
+class TestBruteIndex:
+    def test_strict_semantics(self):
+        pts = np.array([[0.0], [0.5], [1.0]])
+        idx = BruteIndex(pts)
+        np.testing.assert_array_equal(idx.query_ball(np.array([0.0]), 1.0), [0, 1])
+
+    def test_self_included(self, rng):
+        pts = rng.random((20, 2))
+        idx = BruteIndex(pts)
+        assert 3 in idx.query_ball(pts[3], 0.001).tolist()
+
+    def test_count_agrees(self, rng):
+        pts = rng.random((50, 4))
+        idx = BruteIndex(pts)
+        q = rng.random(4)
+        assert idx.count_ball(q, 0.5) == idx.query_ball(q, 0.5).shape[0]
+
+    def test_counters(self, rng):
+        counters = Counters()
+        idx = BruteIndex(rng.random((30, 2)), counters=counters)
+        idx.query_ball(np.zeros(2), 0.1)
+        idx.count_ball(np.zeros(2), 0.1)
+        assert counters.dist_calcs == 60
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match=r"\(n, d\)"):
+            BruteIndex(np.zeros(3))
+        idx = BruteIndex(np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="eps"):
+            idx.query_ball(np.zeros(2), 0.0)
+        with pytest.raises(ValueError, match="eps"):
+            idx.count_ball(np.zeros(2), -1.0)
+
+    def test_len(self, rng):
+        assert len(BruteIndex(rng.random((17, 3)))) == 17

@@ -1,0 +1,86 @@
+"""Unit tests for STR bulk loading."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.distance import neighbors_within
+from repro.index.bulk import str_bulk_load
+from repro.index.rtree import RTree
+
+
+class TestStrBulkLoad:
+    def test_loads_all_payloads(self, rng):
+        pts = rng.random((500, 2))
+        tree = RTree(dim=2, max_entries=16)
+        str_bulk_load(tree, pts, pts)
+        assert len(tree) == 500
+        assert sorted(tree.iter_payloads()) == list(range(500))
+
+    def test_custom_payloads(self, rng):
+        pts = rng.random((20, 2))
+        tree = RTree(dim=2, max_entries=8)
+        str_bulk_load(tree, pts, pts, payloads=np.arange(100, 120))
+        assert sorted(tree.iter_payloads()) == list(range(100, 120))
+
+    def test_queries_equal_dynamic_tree(self, rng):
+        pts = rng.random((400, 3))
+        bulk_tree = RTree(dim=3, max_entries=8)
+        str_bulk_load(bulk_tree, pts, pts)
+        dyn_tree = RTree(dim=3, max_entries=8)
+        for i, p in enumerate(pts):
+            dyn_tree.insert(i, p, p)
+        for _ in range(15):
+            q = rng.random(3)
+            bulk_hits = set(bulk_tree.query_ball_candidates(q, 0.2))
+            truth = set(neighbors_within(pts, q, 0.2).tolist())
+            assert truth <= bulk_hits
+            low, high = q - 0.1, q + 0.1
+            assert sorted(bulk_tree.query_rect(low, high)) == sorted(
+                dyn_tree.query_rect(low, high)
+            )
+
+    def test_bulk_tree_is_packed_tighter(self, rng):
+        """STR packing should need no more nodes than dynamic insertion."""
+        pts = rng.random((600, 2))
+        bulk_tree = RTree(dim=2, max_entries=8)
+        str_bulk_load(bulk_tree, pts, pts)
+        dyn_tree = RTree(dim=2, max_entries=8)
+        for i, p in enumerate(pts):
+            dyn_tree.insert(i, p, p)
+        assert bulk_tree.node_count() <= dyn_tree.node_count()
+
+    def test_balanced_leaf_depth(self, rng):
+        pts = rng.random((300, 2))
+        tree = RTree(dim=2, max_entries=8)
+        str_bulk_load(tree, pts, pts)
+
+        def leaf_depths(node, depth):
+            if node.leaf:
+                return [depth]
+            out = []
+            for child in node.children:
+                out.extend(leaf_depths(child, depth + 1))
+            return out
+
+        assert len(set(leaf_depths(tree._root, 0))) == 1
+
+    def test_empty_input(self):
+        tree = RTree(dim=2)
+        str_bulk_load(tree, np.empty((0, 2)), np.empty((0, 2)))
+        assert len(tree) == 0
+        assert tree.query_rect(np.zeros(2), np.ones(2)) == []
+
+    def test_single_rectangle(self):
+        tree = RTree(dim=2)
+        str_bulk_load(tree, np.array([[0.1, 0.2]]), np.array([[0.3, 0.4]]))
+        assert len(tree) == 1
+        assert tree.query_rect(np.zeros(2), np.ones(2)) == [0]
+
+    def test_shape_validation(self):
+        tree = RTree(dim=2)
+        with pytest.raises(ValueError, match="matching"):
+            str_bulk_load(tree, np.zeros((3, 2)), np.zeros((4, 2)))
+        with pytest.raises(ValueError, match="payloads"):
+            str_bulk_load(tree, np.zeros((3, 2)), np.zeros((3, 2)), payloads=np.arange(2))
+        with pytest.raises(ValueError, match=r"-d"):
+            str_bulk_load(tree, np.zeros((3, 3)), np.zeros((3, 3)))

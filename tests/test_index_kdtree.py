@@ -1,0 +1,73 @@
+"""Unit tests for the kd-tree."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.distance import neighbors_within
+from repro.index.kdtree import KDTree
+
+
+class TestKDTree:
+    def test_query_matches_brute(self, rng):
+        pts = rng.random((400, 3))
+        tree = KDTree(pts, leaf_size=16)
+        for _ in range(25):
+            q = rng.random(3)
+            got = np.sort(tree.query_ball(q, 0.2))
+            expected = np.sort(neighbors_within(pts, q, 0.2))
+            np.testing.assert_array_equal(got, expected)
+
+    def test_strict_boundary(self):
+        pts = np.array([[0.0], [1.0]])
+        tree = KDTree(pts, leaf_size=1)
+        np.testing.assert_array_equal(tree.query_ball(np.array([0.0]), 1.0), [0])
+
+    def test_count_ball(self, rng):
+        pts = rng.random((100, 2))
+        tree = KDTree(pts)
+        q = rng.random(2)
+        assert tree.count_ball(q, 0.4) == tree.query_ball(q, 0.4).shape[0]
+
+    def test_empty(self):
+        tree = KDTree(np.empty((0, 3)))
+        assert len(tree) == 0
+        assert tree.height() == 0
+        assert tree.query_ball(np.zeros(3), 1.0).shape == (0,)
+
+    def test_identical_points_all_returned(self):
+        pts = np.tile(np.array([[0.5, 0.5]]), (50, 1))
+        tree = KDTree(pts, leaf_size=4)
+        got = tree.query_ball(np.array([0.5, 0.5]), 0.1)
+        assert got.shape[0] == 50
+
+    def test_height_reasonable(self, rng):
+        pts = rng.random((1024, 2))
+        tree = KDTree(pts, leaf_size=8)
+        # 1024/8 = 128 leaves -> depth about log2(128)+1; allow slack
+        assert tree.height() <= 14
+
+    def test_skewed_data_split_fallback(self):
+        # one coordinate constant, the other heavily skewed: the median
+        # can equal the minimum, forcing the midpoint fallback
+        vals = np.concatenate([np.zeros(60), np.array([10.0])])
+        pts = np.column_stack([vals, np.zeros_like(vals)])
+        tree = KDTree(pts, leaf_size=4)
+        got = tree.query_ball(np.array([0.0, 0.0]), 0.5)
+        assert got.shape[0] == 60
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError, match="leaf_size"):
+            KDTree(np.zeros((2, 2)), leaf_size=0)
+        with pytest.raises(ValueError, match="eps"):
+            KDTree(np.zeros((2, 2))).query_ball(np.zeros(2), -1.0)
+        with pytest.raises(ValueError, match=r"\(n, d\)"):
+            KDTree(np.zeros(5))
+
+    def test_counters_track_work(self, rng):
+        from repro.instrumentation.counters import Counters
+
+        counters = Counters()
+        tree = KDTree(rng.random((100, 2)), counters=counters)
+        tree.query_ball(np.array([0.5, 0.5]), 0.2)
+        assert counters.nodes_visited > 0
+        assert counters.dist_calcs > 0

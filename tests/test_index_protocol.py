@@ -1,0 +1,56 @@
+"""Protocol conformance — every index honours the NeighborIndex contract."""
+
+import numpy as np
+import pytest
+
+from repro.index.base import NeighborIndex
+from repro.index.brute import BruteIndex
+from repro.index.grid import UniformGrid
+from repro.index.kdtree import KDTree
+from repro.index.rtree import PointRTree
+
+
+def _make(kind: str, pts: np.ndarray):
+    if kind == "brute":
+        return BruteIndex(pts)
+    if kind == "rtree":
+        return PointRTree(pts)
+    if kind == "kdtree":
+        return KDTree(pts)
+    if kind == "grid":
+        return UniformGrid(pts, cell_width=0.1)
+    raise AssertionError(kind)
+
+
+KINDS = ["brute", "rtree", "kdtree", "grid"]
+
+
+@pytest.mark.parametrize("kind", KINDS)
+class TestNeighborIndexContract:
+    def test_satisfies_protocol(self, kind, rng):
+        index = _make(kind, rng.random((30, 2)))
+        assert isinstance(index, NeighborIndex)
+
+    def test_len(self, kind, rng):
+        assert len(_make(kind, rng.random((23, 2)))) == 23
+
+    def test_all_agree_on_random_queries(self, kind, rng):
+        pts = rng.random((150, 2))
+        index = _make(kind, pts)
+        oracle = BruteIndex(pts)
+        for _ in range(10):
+            q = rng.random(2) * 1.2 - 0.1  # sometimes outside the hull
+            got = np.sort(index.query_ball(q, 0.17))
+            want = np.sort(oracle.query_ball(q, 0.17))
+            np.testing.assert_array_equal(got, want)
+
+    def test_count_equals_len_of_query(self, kind, rng):
+        pts = rng.random((80, 3)) if kind != "grid" else rng.random((80, 2))
+        index = _make(kind, pts)
+        q = pts[11]
+        assert index.count_ball(q, 0.25) == index.query_ball(q, 0.25).shape[0]
+
+    def test_query_returns_int_indices(self, kind, rng):
+        index = _make(kind, rng.random((40, 2)))
+        out = index.query_ball(np.array([0.5, 0.5]), 0.3)
+        assert out.dtype.kind == "i"

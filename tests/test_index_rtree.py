@@ -1,0 +1,194 @@
+"""Unit tests for the Guttman R-tree and the point specialisation."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.distance import neighbors_within
+from repro.index.rtree import PointRTree, RTree
+from repro.instrumentation.counters import Counters
+
+
+def _insert_points(tree: RTree, pts: np.ndarray) -> None:
+    for i, p in enumerate(pts):
+        tree.insert(i, p, p)
+
+
+class TestRTreeStructure:
+    def test_empty_tree(self):
+        tree = RTree(dim=2)
+        assert len(tree) == 0
+        assert tree.is_empty
+        assert tree.query_rect(np.zeros(2), np.ones(2)) == []
+
+    def test_size_tracks_inserts(self, rng):
+        tree = RTree(dim=3, max_entries=4)
+        pts = rng.random((100, 3))
+        _insert_points(tree, pts)
+        assert len(tree) == 100
+        assert sorted(tree.iter_payloads()) == list(range(100))
+
+    def test_height_grows_with_size(self, rng):
+        tree = RTree(dim=2, max_entries=4)
+        _insert_points(tree, rng.random((200, 2)))
+        assert tree.height() >= 3
+        assert tree.node_count() > 200 // 4
+
+    def test_root_mbr_covers_all_points(self, rng):
+        tree = RTree(dim=2, max_entries=8)
+        pts = rng.random((150, 2)) * 10
+        _insert_points(tree, pts)
+        low, high = tree.root_mbr
+        assert (low <= pts.min(axis=0)).all()
+        assert (high >= pts.max(axis=0)).all()
+
+    def test_min_capacity_enforced(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            RTree(dim=2, max_entries=3)
+
+    def test_bad_rect_rejected(self):
+        tree = RTree(dim=2)
+        with pytest.raises(ValueError, match="low > high"):
+            tree.insert(0, np.ones(2), np.zeros(2))
+        with pytest.raises(ValueError, match="rectangle"):
+            tree.insert(0, np.zeros(3), np.zeros(3))
+
+
+class TestRTreeInvariants:
+    """Structural invariants checked by walking the tree."""
+
+    @staticmethod
+    def _check(tree: RTree) -> None:
+        def walk(node, depth):
+            leaf_depths = []
+            if node.leaf:
+                assert len(node.payloads) == node.n
+                return [depth]
+            assert len(node.children) == node.n
+            for i, child in enumerate(node.children):
+                c_low, c_high = child.entry_mbr()
+                # parent entry must cover the child's actual MBR
+                assert (node.lows[i] <= c_low + 1e-12).all()
+                assert (node.highs[i] >= c_high - 1e-12).all()
+                assert child.parent is node
+                leaf_depths.extend(walk(child, depth + 1))
+            return leaf_depths
+
+        depths = walk(tree._root, 0)
+        assert len(set(depths)) == 1, "tree must be height-balanced"
+
+    def test_invariants_random_inserts(self, rng):
+        tree = RTree(dim=2, max_entries=5)
+        _insert_points(tree, rng.random((300, 2)))
+        self._check(tree)
+
+    def test_invariants_clustered_inserts(self, rng):
+        tree = RTree(dim=3, max_entries=4)
+        pts = np.vstack([rng.normal(c, 0.01, size=(50, 3)) for c in rng.random((6, 3))])
+        _insert_points(tree, pts)
+        self._check(tree)
+
+    def test_invariants_duplicate_points(self):
+        tree = RTree(dim=2, max_entries=4)
+        p = np.array([0.5, 0.5])
+        for i in range(40):
+            tree.insert(i, p, p)
+        self._check(tree)
+        assert len(tree) == 40
+
+    def test_node_fill_at_least_min_entries(self, rng):
+        tree = RTree(dim=2, max_entries=6)
+        _insert_points(tree, rng.random((500, 2)))
+
+        def walk(node, is_root):
+            if not is_root:
+                assert node.n >= tree.min_entries
+            if not node.leaf:
+                for child in node.children:
+                    walk(child, False)
+
+        walk(tree._root, True)
+
+
+class TestRTreeQueries:
+    def test_query_rect_exact(self, rng):
+        pts = rng.random((200, 2))
+        tree = RTree(dim=2, max_entries=8)
+        _insert_points(tree, pts)
+        low, high = np.array([0.2, 0.3]), np.array([0.6, 0.8])
+        got = sorted(tree.query_rect(low, high))
+        expected = sorted(
+            int(i)
+            for i in range(200)
+            if (pts[i] >= low).all() and (pts[i] <= high).all()
+        )
+        assert got == expected
+
+    def test_ball_candidates_superset(self, rng):
+        pts = rng.random((200, 3))
+        tree = RTree(dim=3, max_entries=8)
+        _insert_points(tree, pts)
+        q = rng.random(3)
+        cands = set(tree.query_ball_candidates(q, 0.3))
+        truth = set(neighbors_within(pts, q, 0.3).tolist())
+        assert truth <= cands
+
+    def test_counters_accumulate(self, rng):
+        counters = Counters()
+        tree = RTree(dim=2, max_entries=8, counters=counters)
+        _insert_points(tree, rng.random((50, 2)))
+        tree.query_ball_candidates(np.array([0.5, 0.5]), 0.2)
+        assert counters.nodes_visited > 0
+
+    def test_invalid_radius(self):
+        tree = RTree(dim=2)
+        with pytest.raises(ValueError, match="radius"):
+            tree.query_ball_candidates(np.zeros(2), 0.0)
+
+
+class TestPointRTree:
+    @pytest.mark.parametrize("bulk", [True, False])
+    def test_query_ball_matches_brute(self, rng, bulk):
+        pts = rng.random((300, 3))
+        tree = PointRTree(pts, max_entries=8, bulk=bulk)
+        for _ in range(20):
+            q = rng.random(3)
+            got = np.sort(tree.query_ball(q, 0.25))
+            expected = np.sort(neighbors_within(pts, q, 0.25))
+            np.testing.assert_array_equal(got, expected)
+
+    def test_strict_boundary_excluded(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        tree = PointRTree(pts)
+        got = tree.query_ball(np.array([0.0, 0.0]), 1.0)
+        np.testing.assert_array_equal(got, [0])
+
+    def test_external_ids_returned(self, rng):
+        pts = rng.random((40, 2))
+        ids = np.arange(1000, 1040)
+        tree = PointRTree(pts, ids=ids)
+        got = tree.query_ball(pts[7], 1e-9)
+        assert 1007 in got.tolist()
+
+    def test_count_matches_query(self, rng):
+        pts = rng.random((150, 2))
+        tree = PointRTree(pts)
+        q = rng.random(2)
+        assert tree.count_ball(q, 0.3) == tree.query_ball(q, 0.3).shape[0]
+
+    def test_empty_point_set(self):
+        tree = PointRTree(np.empty((0, 2)))
+        assert len(tree) == 0
+        assert tree.query_ball(np.zeros(2), 1.0).shape == (0,)
+        assert tree.count_ball(np.zeros(2), 1.0) == 0
+
+    def test_mismatched_ids_raise(self, rng):
+        with pytest.raises(ValueError, match="ids"):
+            PointRTree(rng.random((5, 2)), ids=np.arange(4))
+
+    def test_high_dimensional_queries(self, rng):
+        pts = rng.random((100, 12))
+        tree = PointRTree(pts, max_entries=8)
+        q = rng.random(12)
+        got = np.sort(tree.query_ball(q, 1.0))
+        expected = np.sort(neighbors_within(pts, q, 1.0))
+        np.testing.assert_array_equal(got, expected)

@@ -1,0 +1,138 @@
+"""Tests for counters, timers, memory measurement and table rendering."""
+
+import time
+
+import pytest
+
+from repro.instrumentation.counters import Counters
+from repro.instrumentation.memory import format_bytes, peak_memory_of
+from repro.instrumentation.report import format_percent_split, format_table
+from repro.instrumentation.timers import PhaseTimer
+
+
+class TestCounters:
+    def test_defaults_zero(self):
+        c = Counters()
+        assert c.dist_calcs == 0 and c.queries_run == 0
+        assert c.query_save_fraction == 0.0
+
+    def test_merge(self):
+        a = Counters(dist_calcs=5, queries_run=2)
+        a.add_extra("foo", 3)
+        b = Counters(dist_calcs=10, queries_saved=4)
+        b.add_extra("foo", 1)
+        b.add_extra("bar", 2)
+        a.merge(b)
+        assert a.dist_calcs == 15
+        assert a.queries_saved == 4
+        assert a.extra == {"foo": 4, "bar": 2}
+
+    def test_save_fraction(self):
+        c = Counters(queries_run=3, queries_saved=7)
+        assert c.queries_total == 10
+        assert c.query_save_fraction == pytest.approx(0.7)
+
+    def test_reset(self):
+        c = Counters(dist_calcs=5)
+        c.add_extra("x")
+        c.reset()
+        assert c.dist_calcs == 0 and c.extra == {}
+
+    def test_as_dict_includes_extras(self):
+        c = Counters(unions=2)
+        c.add_extra("probes", 9)
+        d = c.as_dict()
+        assert d["unions"] == 2 and d["probes"] == 9
+        assert "query_save_fraction" in d
+
+
+class TestPhaseTimer:
+    def test_accumulates(self):
+        t = PhaseTimer()
+        with t.phase("a"):
+            pass
+        with t.phase("a"):
+            pass
+        assert t.get("a") >= 0.0
+        assert t.get("missing") == 0.0
+
+    def test_percent_split_sums_to_100(self):
+        t = PhaseTimer()
+        t.add("x", 1.0)
+        t.add("y", 3.0)
+        split = t.percent_split()
+        assert split["x"] == pytest.approx(25.0)
+        assert sum(split.values()) == pytest.approx(100.0)
+
+    def test_percent_split_empty(self):
+        assert PhaseTimer().percent_split() == {}
+
+    def test_merge_max_and_sum(self):
+        a = PhaseTimer()
+        a.add("p", 1.0)
+        b = PhaseTimer()
+        b.add("p", 2.5)
+        b.add("q", 1.0)
+        a.merge_max(b)
+        assert a.get("p") == 2.5 and a.get("q") == 1.0
+        a.merge_sum(b)
+        assert a.get("p") == 5.0
+
+    def test_negative_add_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            PhaseTimer().add("p", -1.0)
+
+    def test_custom_clock(self):
+        ticks = iter([0.0, 5.0])
+        t = PhaseTimer(clock=lambda: next(ticks))
+        with t.phase("z"):
+            pass
+        assert t.get("z") == 5.0
+
+    def test_measures_real_time(self):
+        t = PhaseTimer()
+        with t.phase("sleep"):
+            time.sleep(0.01)
+        assert t.get("sleep") >= 0.009
+
+
+class TestMemory:
+    def test_peak_memory_positive_for_allocation(self):
+        def alloc():
+            return bytearray(8_000_000)
+
+        result, peak = peak_memory_of(alloc)
+        assert len(result) == 8_000_000
+        assert peak >= 7_000_000
+
+    def test_returns_function_result(self):
+        result, _ = peak_memory_of(lambda x: x * 2, 21)
+        assert result == 42
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512.0 B"
+        assert format_bytes(2048) == "2.0 KiB"
+        assert format_bytes(3 * 1024**2) == "3.0 MiB"
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["bbbb", 2.5]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a"], [["x", "y"]])
+
+    def test_nan_and_none_rendered_as_dash(self):
+        text = format_table(["v"], [[float("nan")], [None]])
+        assert text.count("-") >= 2
+
+    def test_percent_split_table(self):
+        text = format_percent_split(
+            {"ds1": {"a": 50.0, "b": 50.0}}, phases=["a", "b"]
+        )
+        assert "50.00%" in text and "ds1" in text

@@ -1,0 +1,129 @@
+"""Tests for k-nearest-neighbor queries across the indexes."""
+
+import numpy as np
+import pytest
+
+from repro.index.kdtree import KDTree
+from repro.index.knn import knn_brute, knn_kdtree, knn_rtree
+from repro.index.rtree import PointRTree
+
+
+class TestKnnBrute:
+    def test_nearest_is_self(self, rng):
+        pts = rng.random((50, 3))
+        ids, dists = knn_brute(pts, pts[7], 1)
+        assert ids[0] == 7
+        assert dists[0] == 0.0
+
+    def test_sorted_by_distance(self, rng):
+        pts = rng.random((100, 2))
+        _, dists = knn_brute(pts, rng.random(2), 10)
+        assert (np.diff(dists) >= 0).all()
+
+    def test_k_equals_n(self, rng):
+        pts = rng.random((20, 2))
+        ids, _ = knn_brute(pts, np.zeros(2), 20)
+        assert sorted(ids.tolist()) == list(range(20))
+
+    def test_invalid_k(self, rng):
+        pts = rng.random((5, 2))
+        with pytest.raises(ValueError, match="k must be"):
+            knn_brute(pts, np.zeros(2), 0)
+        with pytest.raises(ValueError, match="k must be"):
+            knn_brute(pts, np.zeros(2), 6)
+
+
+class TestTreeKnnAgreement:
+    @pytest.mark.parametrize("k", [1, 3, 10, 25])
+    def test_rtree_matches_brute(self, rng, k):
+        pts = rng.random((300, 3))
+        tree = PointRTree(pts)
+        for _ in range(10):
+            q = rng.random(3)
+            b_ids, b_d = knn_brute(pts, q, k)
+            t_ids, t_d = knn_rtree(tree, q, k)
+            np.testing.assert_allclose(t_d, b_d, rtol=1e-12)
+            # ids may differ only within exact distance ties
+            assert set(t_ids) == set(b_ids) or np.allclose(t_d, b_d)
+
+    @pytest.mark.parametrize("k", [1, 3, 10, 25])
+    def test_kdtree_matches_brute(self, rng, k):
+        pts = rng.random((300, 3))
+        tree = KDTree(pts, leaf_size=16)
+        for _ in range(10):
+            q = rng.random(3)
+            b_ids, b_d = knn_brute(pts, q, k)
+            t_ids, t_d = knn_kdtree(tree, q, k)
+            np.testing.assert_allclose(t_d, b_d, rtol=1e-12)
+
+    def test_high_dim(self, rng):
+        pts = rng.random((150, 16))
+        tree = PointRTree(pts)
+        q = rng.random(16)
+        b_ids, b_d = knn_brute(pts, q, 5)
+        _, t_d = knn_rtree(tree, q, 5)
+        np.testing.assert_allclose(t_d, b_d, rtol=1e-12)
+
+    def test_duplicates(self):
+        pts = np.tile(np.array([[0.5, 0.5]]), (10, 1))
+        tree = KDTree(pts, leaf_size=2)
+        ids, dists = knn_kdtree(tree, np.array([0.5, 0.5]), 4)
+        assert (dists == 0.0).all()
+        assert len(set(ids.tolist())) == 4
+
+    def test_invalid_k_trees(self, rng):
+        pts = rng.random((5, 2))
+        with pytest.raises(ValueError, match="k must be"):
+            knn_rtree(PointRTree(pts), np.zeros(2), 9)
+        with pytest.raises(ValueError, match="k must be"):
+            knn_kdtree(KDTree(pts), np.zeros(2), 0)
+
+
+class TestNeighborsModule:
+    def test_k_distances_sorted_and_sane(self, rng):
+        from repro.neighbors import k_distances
+
+        pts = rng.random((200, 2))
+        curve = k_distances(pts, k=4, sample=100)
+        assert curve.shape == (100,)
+        assert (np.diff(curve) >= 0).all()
+        assert (curve > 0).all()
+
+    def test_k_distances_full(self, rng):
+        from repro.neighbors import k_distances
+
+        pts = rng.random((60, 2))
+        curve = k_distances(pts, k=3, sample=None)
+        assert curve.shape == (60,)
+
+    def test_knee_point_on_elbow_curve(self):
+        from repro.neighbors import knee_point
+
+        # flat then steep: knee near the transition value
+        curve = np.concatenate([np.linspace(0.0, 0.1, 90), np.linspace(0.1, 2.0, 10)])
+        knee = knee_point(np.sort(curve))
+        assert 0.0 < knee < 0.5
+
+    def test_suggest_eps_separates_blob_scale(self):
+        from repro.data.synthetic import blobs_with_noise
+        from repro.neighbors import suggest_eps
+
+        pts = blobs_with_noise(400, 2, 4, noise_fraction=0.2, spread=0.02, seed=3)
+        eps = suggest_eps(pts, min_pts=5)
+        # within-blob NN scale is ~0.005, box scale is 1: eps must sit
+        # well between the two
+        assert 0.001 < eps < 0.5
+
+    def test_suggest_eps_methods_and_validation(self, rng):
+        from repro.neighbors import suggest_eps
+
+        pts = rng.random((100, 2))
+        knee = suggest_eps(pts, 4, method="knee")
+        pct = suggest_eps(pts, 4, method="percentile", percentile=90)
+        assert knee > 0 and pct > 0
+        with pytest.raises(ValueError, match="method"):
+            suggest_eps(pts, 4, method="magic")
+        with pytest.raises(ValueError, match="percentile"):
+            suggest_eps(pts, 4, method="percentile", percentile=101)
+        with pytest.raises(ValueError, match="k must be"):
+            suggest_eps(pts, 100)

@@ -1,0 +1,100 @@
+"""Tests for fragment resolution (the distributed merge, §V-C)."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.merging import resolve_fragments
+from repro.distributed.protocol import LocalFragment
+
+
+def _frag(gids, core, assigned, intra=(), cross=()):
+    return LocalFragment(
+        owned_gids=np.asarray(gids, dtype=np.int64),
+        core=np.asarray(core, dtype=bool),
+        assigned=np.asarray(assigned, dtype=bool),
+        intra_edges=np.asarray(list(intra), dtype=np.int64).reshape(-1, 2),
+        cross_pairs=np.asarray(list(cross), dtype=np.int64).reshape(-1, 2),
+    )
+
+
+class TestResolveFragments:
+    def test_core_core_pair_merges(self):
+        frags = [
+            _frag([0, 1], [True, True], [True, True], intra=[(0, 1)], cross=[(1, 2)]),
+            _frag([2, 3], [True, True], [True, True], intra=[(2, 3)]),
+        ]
+        out = resolve_fragments(frags, 4)
+        assert len(set(out.labels)) == 1  # one cluster
+
+    def test_border_claim_first_come(self):
+        # point 1 is non-core; cores 0 and 2 both claim it
+        frags = [
+            _frag([0], [True], [True], cross=[(0, 1)]),
+            _frag([1], [False], [False]),
+            _frag([2], [True], [True], cross=[(2, 1)]),
+        ]
+        out = resolve_fragments(frags, 3)
+        labels = out.labels
+        assert labels[1] == labels[0]  # first claim wins
+        assert labels[2] != labels[0]
+        assert out.assigned_mask[1]
+
+    def test_locally_assigned_border_not_reclaimed(self):
+        # point 1 already assigned locally to core 0's cluster
+        frags = [
+            _frag([0, 1], [True, False], [True, True], intra=[(1, 0)]),
+            _frag([2], [True], [True], cross=[(2, 1)]),
+        ]
+        out = resolve_fragments(frags, 3)
+        labels = out.labels
+        assert labels[1] == labels[0]
+        assert labels[2] != labels[0]
+
+    def test_noncore_pair_is_noop(self):
+        frags = [
+            _frag([0], [False], [False], cross=[(0, 1)]),
+            _frag([1], [False], [False]),
+        ]
+        out = resolve_fragments(frags, 2)
+        assert (out.labels == -1).all()
+
+    def test_noise_rescue_via_remote_core(self):
+        frags = [
+            _frag([0], [False], [False], cross=[(0, 1)]),
+            _frag([1], [True], [True]),
+        ]
+        out = resolve_fragments(frags, 2)
+        assert out.labels[0] == out.labels[1] >= 0
+
+    def test_overlapping_ownership_rejected(self):
+        frags = [
+            _frag([0, 1], [True, True], [True, True]),
+            _frag([1, 2], [True, True], [True, True]),
+        ]
+        with pytest.raises(ValueError, match="owned twice"):
+            resolve_fragments(frags, 3)
+
+    def test_missing_ownership_rejected(self):
+        frags = [_frag([0], [True], [True])]
+        with pytest.raises(ValueError, match="unowned"):
+            resolve_fragments(frags, 2)
+
+    def test_deterministic_order(self):
+        # same fragments, two runs -> identical labels
+        frags = [
+            _frag([0, 1], [True, False], [True, False], cross=[(0, 2), (0, 1)]),
+            _frag([2, 3], [True, False], [True, False], cross=[(2, 1)]),
+        ]
+        a = resolve_fragments(frags, 4).labels
+        b = resolve_fragments(frags, 4).labels
+        np.testing.assert_array_equal(a, b)
+
+    def test_fragment_validation(self):
+        with pytest.raises(ValueError, match="align"):
+            LocalFragment(
+                owned_gids=np.array([0, 1]),
+                core=np.array([True]),
+                assigned=np.array([True, False]),
+                intra_edges=np.empty((0, 2)),
+                cross_pairs=np.empty((0, 2)),
+            )

@@ -1,0 +1,76 @@
+"""Unit tests for the MicroCluster record and classification."""
+
+import numpy as np
+import pytest
+
+from repro.microcluster.microcluster import MCKind, MicroCluster
+
+
+def _make_mc(points: np.ndarray, center_row: int, member_rows, eps: float) -> MicroCluster:
+    mc = MicroCluster(0, center_row, points[center_row])
+    for r in member_rows:
+        if r != center_row:
+            mc.add_member(r)
+    mc.freeze(points, eps)
+    return mc
+
+
+class TestMicroCluster:
+    def test_center_is_member(self):
+        pts = np.array([[0.0, 0.0], [0.1, 0.0]])
+        mc = _make_mc(pts, 0, [0, 1], eps=1.0)
+        assert 0 in mc.member_rows.tolist()
+        assert len(mc) == 2
+
+    def test_inner_circle_strict_half_eps(self):
+        # eps=1: IC threshold 0.5 strict
+        pts = np.array([[0.0], [0.49], [0.5], [0.9]])
+        mc = _make_mc(pts, 0, [0, 1, 2, 3], eps=1.0)
+        assert set(mc.ic_rows.tolist()) == {0, 1}
+
+    def test_center_counts_in_ic(self):
+        pts = np.array([[0.0, 0.0]])
+        mc = _make_mc(pts, 0, [0], eps=1.0)
+        assert mc.ic_size == 1
+
+    def test_dmc_classification(self):
+        pts = np.vstack([np.zeros((5, 2)), np.full((2, 2), 0.8)])
+        mc = _make_mc(pts, 0, range(7), eps=1.0)
+        assert mc.kind(min_pts=5) is MCKind.DMC
+
+    def test_cmc_classification(self):
+        # 5 members but only center inside the inner circle
+        pts = np.array([[0.0, 0.0], [0.8, 0.0], [0.0, 0.8], [-0.8, 0.0], [0.0, -0.8]])
+        mc = _make_mc(pts, 0, range(5), eps=1.0)
+        assert mc.ic_size == 1
+        assert mc.kind(min_pts=5) is MCKind.CMC
+
+    def test_smc_classification(self):
+        pts = np.array([[0.0, 0.0], [0.3, 0.0]])
+        mc = _make_mc(pts, 0, range(2), eps=1.0)
+        assert mc.kind(min_pts=5) is MCKind.SMC
+
+    def test_mbr_tight_over_members(self):
+        pts = np.array([[0.0, 0.0], [0.5, -0.2], [-0.1, 0.4]])
+        mc = _make_mc(pts, 0, range(3), eps=1.0)
+        np.testing.assert_allclose(mc.mbr_low, [-0.1, -0.2])
+        np.testing.assert_allclose(mc.mbr_high, [0.5, 0.4])
+
+    def test_add_after_freeze_rejected(self):
+        pts = np.zeros((2, 2))
+        mc = _make_mc(pts, 0, [0], eps=1.0)
+        with pytest.raises(RuntimeError, match="frozen"):
+            mc.add_member(1)
+
+    def test_double_freeze_rejected(self):
+        pts = np.zeros((1, 2))
+        mc = _make_mc(pts, 0, [0], eps=1.0)
+        with pytest.raises(RuntimeError, match="frozen"):
+            mc.freeze(pts, 1.0)
+
+    def test_classification_requires_freeze(self):
+        mc = MicroCluster(0, 0, np.zeros(2))
+        with pytest.raises(RuntimeError, match="freeze"):
+            mc.kind(5)
+        with pytest.raises(RuntimeError, match="freeze"):
+            _ = mc.ic_size

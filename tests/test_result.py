@@ -1,0 +1,61 @@
+"""Unit tests for the ClusteringResult record."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import DBSCANParams
+from repro.core.result import ClusteringResult
+
+
+def _result(labels, core):
+    return ClusteringResult(
+        labels=np.asarray(labels),
+        core_mask=np.asarray(core, dtype=bool),
+        params=DBSCANParams(eps=1.0, min_pts=3),
+        algorithm="test",
+    )
+
+
+class TestClusteringResult:
+    def test_basic_counts(self):
+        res = _result([0, 0, 1, -1, 1], [True, False, True, False, False])
+        assert res.n_clusters == 2
+        assert res.n_noise == 1
+        assert res.n_core == 2
+        assert len(res) == 5
+
+    def test_cluster_sizes(self):
+        res = _result([0, 0, 1, -1], [True, False, True, False])
+        np.testing.assert_array_equal(res.cluster_sizes(), [2, 1])
+
+    def test_core_partition(self):
+        res = _result([0, 0, 1, 1], [True, True, True, False])
+        part = res.core_partition()
+        assert part == {0: frozenset({0, 1}), 1: frozenset({2})}
+
+    def test_noise_mask(self):
+        res = _result([-1, 0, -1], [False, True, False])
+        np.testing.assert_array_equal(res.noise_mask, [True, False, True])
+
+    def test_core_noise_contradiction_rejected(self):
+        with pytest.raises(ValueError, match="core point"):
+            _result([-1, 0], [True, False])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same shape"):
+            ClusteringResult(
+                labels=np.zeros(3, dtype=np.int64),
+                core_mask=np.zeros(2, dtype=bool),
+                params=DBSCANParams(eps=1.0, min_pts=3),
+                algorithm="test",
+            )
+
+    def test_empty_result(self):
+        res = _result([], [])
+        assert res.n_clusters == 0
+        assert res.cluster_sizes().shape == (0,)
+
+    def test_summary_mentions_key_numbers(self):
+        res = _result([0, -1], [True, False])
+        text = res.summary()
+        assert "clusters=1" in text and "noise=1" in text and "test" in text

@@ -1,0 +1,145 @@
+"""Tests for the incremental/streaming μDBSCAN extension."""
+
+import numpy as np
+import pytest
+
+from repro import brute_dbscan, check_exact, mu_dbscan
+from repro.data.synthetic import blobs_with_noise, uniform_box
+from repro.streaming import IncrementalMuDBSCAN
+
+
+class TestIncrementalExactness:
+    def test_exact_after_every_batch(self):
+        pts = blobs_with_noise(600, 2, 5, noise_fraction=0.3, seed=55)
+        inc = IncrementalMuDBSCAN(eps=0.07, min_pts=5, dim=2)
+        for start in range(0, 600, 150):
+            inc.insert(pts[start : start + 150])
+            so_far = pts[: start + 150]
+            res = inc.cluster()
+            ref = brute_dbscan(so_far, 0.07, 5)
+            report = check_exact(res, ref, points=so_far)
+            assert report.ok, f"after {start + 150}: {report}"
+
+    def test_single_batch_equals_batch_run(self):
+        pts = blobs_with_noise(400, 3, 4, noise_fraction=0.2, seed=56)
+        inc = IncrementalMuDBSCAN(eps=0.12, min_pts=5, dim=3)
+        inc.insert(pts)
+        res = inc.cluster()
+        ref = mu_dbscan(pts, 0.12, 5)
+        assert check_exact(res, ref, points=pts).ok
+
+    def test_point_at_a_time(self):
+        pts = uniform_box(60, 2, seed=57)
+        inc = IncrementalMuDBSCAN(eps=0.15, min_pts=3, dim=2)
+        for p in pts:
+            inc.insert(p)
+        res = inc.cluster()
+        ref = brute_dbscan(pts, 0.15, 3)
+        assert check_exact(res, ref, points=pts).ok
+
+    def test_cluster_can_be_called_repeatedly(self):
+        pts = blobs_with_noise(200, 2, 3, noise_fraction=0.2, seed=58)
+        inc = IncrementalMuDBSCAN(eps=0.1, min_pts=4, dim=2)
+        inc.insert(pts)
+        a = inc.cluster()
+        b = inc.cluster()
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_growth_changes_results_correctly(self):
+        """New points can turn noise into borders/cores across batches."""
+        # a sparse seed that becomes dense after the second batch
+        seed_pts = np.array([[0.0, 0.0], [0.05, 0.0]])
+        densifier = np.random.default_rng(59).normal(0.0, 0.01, (10, 2))
+        inc = IncrementalMuDBSCAN(eps=0.1, min_pts=5, dim=2)
+        inc.insert(seed_pts)
+        first = inc.cluster()
+        assert first.n_clusters == 0  # everything noise
+        inc.insert(densifier)
+        second = inc.cluster()
+        assert second.n_clusters == 1
+        assert second.labels[0] >= 0  # the old point joined the cluster
+
+
+class TestIncrementalStructure:
+    def test_mc_invariants_maintained(self):
+        pts = blobs_with_noise(300, 2, 4, noise_fraction=0.3, seed=60)
+        inc = IncrementalMuDBSCAN(eps=0.08, min_pts=5, dim=2)
+        inc.insert(pts[:150])
+        inc.insert(pts[150:])
+        inc.cluster()
+        all_pts = inc.points
+        eps_sq = 0.08 * 0.08
+        # membership radius + center separation, as in the batch builder
+        centers = np.stack(inc._centers)
+        for mc_id, members in enumerate(inc._members):
+            diffs = all_pts[np.asarray(members)] - centers[mc_id]
+            assert (np.einsum("ij,ij->i", diffs, diffs) < eps_sq).all()
+        for i in range(centers.shape[0]):
+            d = centers - centers[i]
+            sq = np.einsum("ij,ij->i", d, d)
+            sq[i] = np.inf
+            assert (sq >= eps_sq).all()
+
+    def test_reach_cache_matches_fresh_computation(self):
+        from repro.microcluster.murtree import MuRTree
+
+        pts = blobs_with_noise(250, 2, 3, noise_fraction=0.25, seed=61)
+        inc = IncrementalMuDBSCAN(eps=0.09, min_pts=5, dim=2)
+        inc.insert(pts[:100])
+        inc.insert(pts[100:])
+        inc.cluster()
+        fresh = MuRTree.from_prebuilt(
+            inc.points, 0.09,
+            [inc._frozen[i] for i in range(inc.n_micro_clusters)],
+            inc._tree,
+            np.asarray(inc._point_mc),
+        )
+        # cached reach lists == recomputed 3eps lists
+        from repro.microcluster.reachability import compute_reachable
+
+        cached = [np.asarray(r) for r in inc._reach_ids]
+        compute_reachable(fresh.mcs, inc._tree, 0.09)
+        for mc, old in zip(fresh.mcs, cached):
+            np.testing.assert_array_equal(np.sort(old), np.sort(mc.reach_ids))
+
+    def test_snapshot_reuses_clean_mcs(self):
+        pts = blobs_with_noise(200, 2, 3, noise_fraction=0.2, seed=62)
+        inc = IncrementalMuDBSCAN(eps=0.08, min_pts=4, dim=2)
+        inc.insert(pts)
+        inc.cluster()
+        frozen_before = dict(inc._frozen)
+        # insert a far-away point: only its (new) MC should be rebuilt
+        inc.insert(np.array([[50.0, 50.0]]))
+        inc.cluster()
+        unchanged = [
+            mc_id for mc_id, mc in frozen_before.items()
+            if inc._frozen.get(mc_id) is mc
+        ]
+        assert len(unchanged) >= len(frozen_before) - 1
+
+    def test_validation_errors(self):
+        inc = IncrementalMuDBSCAN(eps=0.1, min_pts=3, dim=2)
+        with pytest.raises(RuntimeError, match="insert"):
+            inc.cluster()
+        with pytest.raises(ValueError, match="batch"):
+            inc.insert(np.zeros((3, 5)))
+        with pytest.raises(ValueError, match="dim"):
+            IncrementalMuDBSCAN(eps=0.1, min_pts=3, dim=0)
+
+    def test_amortisation_saves_construction_time(self):
+        """After a warm start, re-clustering skips tree construction."""
+        pts = blobs_with_noise(1500, 2, 5, noise_fraction=0.2, seed=63)
+        inc = IncrementalMuDBSCAN(eps=0.05, min_pts=5, dim=2)
+        inc.insert(pts)
+        first = inc.cluster()
+        # second call with nothing new: snapshot is fully cached
+        second = inc.cluster()
+        assert (
+            second.timers.get("tree_construction")
+            < max(first.timers.get("tree_construction"), 1e-9) + 0.05
+        )
+        batch = mu_dbscan(pts, 0.05, 5)
+        # incremental snapshot must be far cheaper than full Algorithm 3
+        assert second.timers.get("tree_construction") < max(
+            0.5 * batch.timers.get("tree_construction"), 0.02
+        )

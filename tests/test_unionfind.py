@@ -1,0 +1,84 @@
+"""Unit tests for the union-find structure."""
+
+import numpy as np
+import pytest
+
+from repro.instrumentation.counters import Counters
+from repro.unionfind.unionfind import UnionFind
+
+
+class TestUnionFind:
+    def test_initial_singletons(self):
+        uf = UnionFind(5)
+        assert uf.n_sets == 5
+        assert all(uf.find(i) == i for i in range(5))
+
+    def test_union_reduces_set_count(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.n_sets == 3
+        assert not uf.union(0, 1)  # already merged
+        assert uf.n_sets == 3
+
+    def test_transitivity(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(3, 4)
+        assert uf.connected(0, 2)
+        assert uf.connected(3, 4)
+        assert not uf.connected(2, 3)
+
+    def test_roots_vectorized_matches_find(self, rng):
+        uf = UnionFind(200)
+        for _ in range(150):
+            a, b = rng.integers(0, 200, size=2)
+            uf.union(int(a), int(b))
+        roots = uf.roots()
+        for i in range(200):
+            assert roots[i] == uf.find(i)
+
+    def test_labels_dense_and_deterministic(self):
+        uf = UnionFind(6)
+        uf.union(4, 5)
+        uf.union(0, 1)
+        labels = uf.labels()
+        # first-appearance order: element 0's set gets label 0
+        assert labels[0] == labels[1] == 0
+        assert labels[2] == 1
+        assert labels[3] == 2
+        assert labels[4] == labels[5] == 3
+
+    def test_labels_with_noise_mask(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        noise = np.array([False, False, True, False])
+        labels = uf.labels(noise_mask=noise)
+        assert labels[2] == -1
+        assert labels[0] == labels[1] == 0
+        assert labels[3] == 1
+
+    def test_counters_count_effective_unions(self):
+        counters = Counters()
+        uf = UnionFind(4, counters=counters)
+        uf.union(0, 1)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        assert counters.unions == 2
+
+    def test_long_chain_no_recursion_error(self):
+        n = 50_000
+        uf = UnionFind(n)
+        for i in range(n - 1):
+            uf.union(i, i + 1)
+        assert uf.n_sets == 1
+        assert uf.find(0) == uf.find(n - 1)
+
+    def test_zero_elements(self):
+        uf = UnionFind(0)
+        assert len(uf) == 0
+        assert uf.labels().shape == (0,)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError, match="n must be"):
+            UnionFind(-1)

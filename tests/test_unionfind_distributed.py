@@ -1,0 +1,66 @@
+"""Unit tests for distributed union-find resolution."""
+
+import numpy as np
+import pytest
+
+from repro.unionfind.distributed import GlobalLabeler, resolve_cross_edges
+
+
+class TestResolveCrossEdges:
+    def test_applies_all_edge_batches(self):
+        uf = resolve_cross_edges(
+            6,
+            intra_edges=[np.array([[0, 1]]), np.array([[2, 3]])],
+            cross_edges=[np.array([[1, 2]])],
+        )
+        assert uf.connected(0, 3)
+        assert not uf.connected(0, 4)
+
+    def test_empty_batches_ok(self):
+        uf = resolve_cross_edges(3, [np.empty((0, 2))], [])
+        assert uf.n_sets == 3
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError, match=r"\(k, 2\)"):
+            resolve_cross_edges(3, [np.array([1, 2, 3])], [])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            resolve_cross_edges(3, [np.array([[0, 5]])], [])
+
+
+class TestGlobalLabeler:
+    def test_two_rank_merge(self):
+        labeler = GlobalLabeler(6)
+        labeler.add_rank(
+            owned_gids=np.array([0, 1, 2]),
+            noise_gids=np.array([2]),
+            intra_edges=np.array([[0, 1]]),
+            cross_edges=np.array([[1, 3]]),
+        )
+        labeler.add_rank(
+            owned_gids=np.array([3, 4, 5]),
+            noise_gids=np.array([5]),
+            intra_edges=np.array([[3, 4]]),
+            cross_edges=np.empty((0, 2)),
+        )
+        labels = labeler.finalize()
+        assert labels[0] == labels[1] == labels[3] == labels[4]
+        assert labels[2] == -1 and labels[5] == -1
+
+    def test_ownership_must_partition(self):
+        labeler = GlobalLabeler(4)
+        labeler.add_rank(np.array([0, 1]), np.array([]), np.empty((0, 2)), np.empty((0, 2)))
+        labeler.add_rank(np.array([1, 2]), np.array([]), np.empty((0, 2)), np.empty((0, 2)))
+        with pytest.raises(ValueError, match="partition"):
+            labeler.finalize()
+
+    def test_missing_ids_detected(self):
+        labeler = GlobalLabeler(4)
+        labeler.add_rank(np.array([0, 1, 2]), np.array([]), np.empty((0, 2)), np.empty((0, 2)))
+        with pytest.raises(ValueError, match="partition"):
+            labeler.finalize()
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError, match="n_global"):
+            GlobalLabeler(-1)

@@ -1,0 +1,126 @@
+"""Unit tests for the exactness checker and agreement metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import DBSCANParams
+from repro.core.result import ClusteringResult
+from repro.validation.exactness import assert_exact, check_exact
+from repro.validation.metrics import (
+    adjusted_rand_index,
+    cluster_count_drift,
+    label_sets_equal,
+    rand_index,
+)
+
+
+def _res(labels, core, algorithm="a", eps=1.0, min_pts=3):
+    return ClusteringResult(
+        labels=np.asarray(labels),
+        core_mask=np.asarray(core, dtype=bool),
+        params=DBSCANParams(eps=eps, min_pts=min_pts),
+        algorithm=algorithm,
+    )
+
+
+class TestCheckExact:
+    def test_identical_results_pass(self):
+        a = _res([0, 0, 1, -1], [True, True, True, False])
+        report = check_exact(a, _res([0, 0, 1, -1], [True, True, True, False]))
+        assert report.ok
+
+    def test_label_permutation_passes(self):
+        a = _res([1, 1, 0, -1], [True, True, True, False])
+        b = _res([0, 0, 1, -1], [True, True, True, False])
+        assert check_exact(a, b).ok
+
+    def test_core_set_difference_detected(self):
+        a = _res([0, 0, 0, -1], [True, True, False, False])
+        b = _res([0, 0, 0, -1], [True, True, True, False])
+        report = check_exact(a, b)
+        assert not report.ok
+        assert not report.same_core_points
+        assert "core sets differ" in str(report)
+
+    def test_partition_difference_detected(self):
+        # same cores, different grouping
+        a = _res([0, 0, 1, 1], [True, True, True, True])
+        b = _res([0, 0, 0, 0], [True, True, True, True])
+        report = check_exact(a, b)
+        assert not report.same_core_partition
+        assert not report.same_cluster_count
+
+    def test_noise_difference_detected(self):
+        a = _res([0, 0, -1], [True, True, False])
+        b = _res([0, 0, 0], [True, True, False])
+        report = check_exact(a, b)
+        assert not report.same_noise
+
+    def test_border_validity_checked_with_points(self):
+        pts = np.array([[0.0, 0.0], [0.5, 0.0], [5.0, 5.0], [5.2, 5.0]])
+        # border point 3 attached to cluster 0 whose cores are far away
+        a = _res([0, 0, 1, 0], [True, True, True, False])
+        report = check_exact(a, a, points=pts)
+        assert report.borders_valid is False
+
+    def test_valid_borders_pass(self):
+        pts = np.array([[0.0, 0.0], [0.5, 0.0]])
+        a = _res([0, 0], [True, False])
+        report = check_exact(a, a, points=pts)
+        assert report.borders_valid is True
+
+    def test_mismatched_params_rejected(self):
+        a = _res([0], [True], eps=1.0)
+        b = _res([0], [True], eps=2.0)
+        with pytest.raises(ValueError, match="parameters"):
+            check_exact(a, b)
+
+    def test_mismatched_length_rejected(self):
+        with pytest.raises(ValueError, match="different datasets"):
+            check_exact(_res([0], [True]), _res([0, 0], [True, True]))
+
+    def test_assert_exact_raises_with_details(self):
+        a = _res([0, -1], [True, False], algorithm="candidate")
+        b = _res([0, 0], [True, False], algorithm="oracle")
+        with pytest.raises(AssertionError, match="candidate is not exact"):
+            assert_exact(a, b)
+
+
+class TestMetrics:
+    def test_rand_index_identical(self):
+        labels = np.array([0, 0, 1, 1, -1])
+        assert rand_index(labels, labels) == 1.0
+        assert adjusted_rand_index(labels, labels) == 1.0
+
+    def test_rand_index_permutation_invariant(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([1, 1, 0, 0])
+        assert rand_index(a, b) == 1.0
+        assert adjusted_rand_index(a, b) == 1.0
+
+    def test_ari_near_zero_for_random(self, rng):
+        a = rng.integers(0, 5, size=500)
+        b = rng.integers(0, 5, size=500)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_cluster_count_drift(self):
+        a = np.array([0, 1, 2, -1])
+        b = np.array([0, 0, 1, -1])
+        assert cluster_count_drift(a, b) == pytest.approx(0.5)
+        assert cluster_count_drift(b, b) == 0.0
+
+    def test_cluster_count_drift_zero_reference(self):
+        none = np.array([-1, -1])
+        some = np.array([0, -1])
+        assert cluster_count_drift(none, none) == 0.0
+        assert cluster_count_drift(some, none) == float("inf")
+
+    def test_label_sets_equal(self):
+        assert label_sets_equal(np.array([0, 0, 1, -1]), np.array([5, 5, 2, -1]))
+        assert not label_sets_equal(np.array([0, 0, 1, -1]), np.array([0, 1, 1, -1]))
+        assert not label_sets_equal(np.array([0, -1]), np.array([0, 0]))
+        assert not label_sets_equal(np.array([0]), np.array([0, 0]))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="matching"):
+            rand_index(np.zeros(3), np.zeros(4))
