@@ -1,0 +1,114 @@
+"""Performance smoke test for the MC-batched neighborhood engine.
+
+Runs μDBSCAN twice on a fixed 20k-point workload — once with the
+per-point query path (``batch_queries=False``), once with the batched
+engine — and writes the per-phase timings plus the clustering-phase
+speedup to ``BENCH_batched_query.json`` next to this file.
+
+The workload (8 Gaussian blobs + 20% uniform noise in 3-d, ε=0.08,
+MinPts=60) sits in the regime the batching targets: micro-clusters of
+~20 members sharing sizable cached reachable blocks, and verdicts
+dominated by real neighborhood work rather than the dynamic wndq-core
+shortcut.  Timings are best-of-``ROUNDS`` to damp scheduler noise.
+
+Exits non-zero when the batched clustering phase is more than 10%
+slower than the per-point one — a regression gate for CI, not a
+benchmark (absolute numbers vary by host; the ratio is the contract).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.core.mudbscan import mu_dbscan
+from repro.data.synthetic import blobs_with_noise
+
+N_POINTS = 20_000
+DIM = 3
+N_BLOBS = 8
+NOISE_FRACTION = 0.2
+SEED = 1
+EPS = 0.08
+MIN_PTS = 60
+ROUNDS = 3
+#: fail when batched clustering is slower than per-point by more than this
+REGRESSION_TOLERANCE = 0.10
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_batched_query.json"
+
+
+def _best_run(batch_queries: bool) -> dict:
+    """Best-of-ROUNDS phase timings (keyed on the clustering phase)."""
+    pts = blobs_with_noise(
+        N_POINTS, DIM, N_BLOBS, noise_fraction=NOISE_FRACTION, seed=SEED
+    )
+    best: dict | None = None
+    for _ in range(ROUNDS):
+        res = mu_dbscan(pts, EPS, MIN_PTS, batch_queries=batch_queries)
+        phases = res.timers.as_dict()
+        if best is None or phases["clustering"] < best["phases"]["clustering"]:
+            best = {
+                "phases": phases,
+                "queries_run": res.counters.queries_run,
+                "queries_saved": res.counters.queries_saved,
+                "dist_calcs": res.counters.dist_calcs,
+                "n_clusters": res.n_clusters,
+                "avg_mc_size": res.extras["avg_mc_size"],
+            }
+    assert best is not None
+    return best
+
+
+def main() -> int:
+    per_point = _best_run(batch_queries=False)
+    batched = _best_run(batch_queries=True)
+
+    # identical work and identical output is part of the contract
+    for key in ("queries_run", "queries_saved", "dist_calcs", "n_clusters"):
+        if per_point[key] != batched[key]:
+            print(
+                f"FAIL: {key} differs between paths "
+                f"(per-point {per_point[key]}, batched {batched[key]})"
+            )
+            return 2
+
+    speedup = per_point["phases"]["clustering"] / batched["phases"]["clustering"]
+    report = {
+        "workload": {
+            "n_points": N_POINTS,
+            "dim": DIM,
+            "n_blobs": N_BLOBS,
+            "noise_fraction": NOISE_FRACTION,
+            "seed": SEED,
+            "eps": EPS,
+            "min_pts": MIN_PTS,
+            "rounds": ROUNDS,
+        },
+        "per_point": per_point,
+        "batched": batched,
+        "clustering_speedup": round(speedup, 3),
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"clustering: per-point {per_point['phases']['clustering']:.3f}s, "
+        f"batched {batched['phases']['clustering']:.3f}s "
+        f"-> {speedup:.2f}x (report: {OUT_PATH.name})"
+    )
+    if speedup < 1.0 - REGRESSION_TOLERANCE:
+        print(
+            f"FAIL: batched clustering slower than per-point by more than "
+            f"{REGRESSION_TOLERANCE:.0%}"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

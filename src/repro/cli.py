@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.baselines import brute_dbscan, g_dbscan, grid_dbscan, rtree_dbscan
 from repro.core.mudbscan import mu_dbscan
+from repro.microcluster.murtree import DEFAULT_BLOCK_SIZE
 from repro.core.result import ClusteringResult
 from repro.data.io import load_points
 from repro.data.registry import REGISTRY, load_dataset
@@ -96,11 +97,20 @@ def cmd_datasets(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _mu_kwargs(args: argparse.Namespace) -> dict:
+    """Batched-engine knobs, honoured by the μDBSCAN algorithms only."""
+    return {
+        "batch_queries": not args.no_batch_queries,
+        "block_size": args.block_size,
+    }
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     pts, eps, min_pts, name = _resolve_workload(args)
     algo = SEQUENTIAL_ALGOS[args.algo]
+    kwargs = _mu_kwargs(args) if args.algo == "mu" else {}
     start = time.perf_counter()
-    res = algo(pts, eps, min_pts)
+    res = algo(pts, eps, min_pts, **kwargs)
     wall = time.perf_counter() - start
     _print_result(name, res, wall)
     return 0
@@ -109,7 +119,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     pts, eps, min_pts, name = _resolve_workload(args)
     ref = brute_dbscan(pts, eps, min_pts)
-    res = SEQUENTIAL_ALGOS[args.algo](pts, eps, min_pts)
+    kwargs = _mu_kwargs(args) if args.algo == "mu" else {}
+    res = SEQUENTIAL_ALGOS[args.algo](pts, eps, min_pts, **kwargs)
     report = check_exact(res, ref, points=pts)
     print(f"{name}: {res.algorithm} vs brute oracle -> {report}")
     return 0 if report.ok else 1
@@ -118,8 +129,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_distributed(args: argparse.Namespace) -> int:
     pts, eps, min_pts, name = _resolve_workload(args)
     algo = DISTRIBUTED_ALGOS[args.algo]
+    kwargs = _mu_kwargs(args) if args.algo == "mu-d" else {}
     start = time.perf_counter()
-    res = algo(pts, eps, min_pts, n_ranks=args.ranks)
+    res = algo(pts, eps, min_pts, n_ranks=args.ranks, **kwargs)
     wall = time.perf_counter() - start
     _print_result(name, res, wall)
     if res.algorithm == "mu_dbscan_d":
@@ -142,6 +154,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", type=float, default=None, help="size multiplier")
         p.add_argument("--eps", type=float, default=None)
         p.add_argument("--min-pts", type=int, default=None)
+        p.add_argument(
+            "--no-batch-queries",
+            action="store_true",
+            help="disable the MC-batched neighborhood engine (mu / mu-d only)",
+        )
+        p.add_argument(
+            "--block-size",
+            type=int,
+            default=DEFAULT_BLOCK_SIZE,
+            help="rows per batched distance block (memory/speed trade-off)",
+        )
 
     run = sub.add_parser("run", help="run one sequential algorithm")
     add_workload_args(run)

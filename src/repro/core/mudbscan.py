@@ -27,7 +27,7 @@ from repro.geometry.metrics import EUCLIDEAN, Metric
 from repro.instrumentation.counters import Counters
 from repro.instrumentation.timers import PhaseTimer
 from repro.microcluster.microcluster import MCKind
-from repro.microcluster.murtree import MuRTree
+from repro.microcluster.murtree import DEFAULT_BLOCK_SIZE, MuRTree
 
 __all__ = ["mu_dbscan", "run_mu_dbscan_state", "MuDBSCAN"]
 
@@ -40,6 +40,8 @@ def run_mu_dbscan_state(
     filtration: bool = True,
     defer_2eps: bool = True,
     dynamic_wndq: bool = True,
+    batch_queries: bool = True,
+    block_size: int = DEFAULT_BLOCK_SIZE,
     max_entries: int = 64,
     metric: str | Metric = EUCLIDEAN,
     counters: Counters | None = None,
@@ -56,6 +58,11 @@ def run_mu_dbscan_state(
     restricts Algorithm 6 to the masked (owned) rows, and
     ``state_factory`` lets μDBSCAN-D substitute its ownership-aware
     state subclass.
+
+    ``batch_queries`` / ``block_size`` select the MC-batched
+    neighborhood engine for Algorithms 6 and 8 (state-for-state and
+    counter-for-counter equivalent to the per-point path; see
+    ``repro.core.remaining``).
     """
     counters = counters if counters is not None else Counters()
     timers = timers if timers is not None else PhaseTimer()
@@ -85,11 +92,15 @@ def run_mu_dbscan_state(
     with timers.phase("clustering"):
         process_micro_clusters(state)
         process_remaining_points(
-            state, dynamic_wndq=dynamic_wndq, process_mask=process_mask
+            state,
+            dynamic_wndq=dynamic_wndq,
+            process_mask=process_mask,
+            batch_queries=batch_queries,
+            block_size=block_size,
         )
     with timers.phase("post_processing"):
         postprocess_core(state)
-        postprocess_noise(state)
+        postprocess_noise(state, batch_queries=batch_queries)
 
     eligible = state.n if process_mask is None else int(np.count_nonzero(process_mask))
     counters.queries_saved += eligible - counters.queries_run
@@ -105,6 +116,8 @@ def mu_dbscan(
     filtration: bool = True,
     defer_2eps: bool = True,
     dynamic_wndq: bool = True,
+    batch_queries: bool = True,
+    block_size: int = DEFAULT_BLOCK_SIZE,
     max_entries: int = 64,
     metric: str | Metric = EUCLIDEAN,
     timers: PhaseTimer | None = None,
@@ -121,6 +134,12 @@ def mu_dbscan(
     aux_index, filtration, defer_2eps, dynamic_wndq, max_entries:
         Design knobs; the defaults reproduce the paper's algorithm, the
         alternatives are the DESIGN.md §5 ablations.
+    batch_queries, block_size:
+        MC-batched neighborhood engine for the clustering phase — one
+        vectorized distance block per micro-cluster instead of one
+        Python query per point (semantics and counters unchanged;
+        ``cached`` aux index only, other modes fall back per point).
+        ``block_size`` caps the rows per transient distance matrix.
     timers:
         Optional externally-constructed :class:`PhaseTimer` — pass one
         built on ``time.thread_time`` to make a sequential run directly
@@ -141,6 +160,8 @@ def mu_dbscan(
         filtration=filtration,
         defer_2eps=defer_2eps,
         dynamic_wndq=dynamic_wndq,
+        batch_queries=batch_queries,
+        block_size=block_size,
         max_entries=max_entries,
         metric=metric,
         counters=counters,
@@ -184,6 +205,8 @@ class MuDBSCAN:
         filtration: bool = True,
         defer_2eps: bool = True,
         dynamic_wndq: bool = True,
+        batch_queries: bool = True,
+        block_size: int = DEFAULT_BLOCK_SIZE,
         max_entries: int = 64,
         metric: str | Metric = EUCLIDEAN,
     ) -> None:
@@ -193,6 +216,8 @@ class MuDBSCAN:
         self.filtration = filtration
         self.defer_2eps = defer_2eps
         self.dynamic_wndq = dynamic_wndq
+        self.batch_queries = batch_queries
+        self.block_size = block_size
         self.max_entries = max_entries
         self.metric = metric
         self.result_: ClusteringResult | None = None
@@ -207,6 +232,8 @@ class MuDBSCAN:
             filtration=self.filtration,
             defer_2eps=self.defer_2eps,
             dynamic_wndq=self.dynamic_wndq,
+            batch_queries=self.batch_queries,
+            block_size=self.block_size,
             max_entries=self.max_entries,
             metric=self.metric,
         )

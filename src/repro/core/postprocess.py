@@ -134,16 +134,56 @@ def postprocess_core(state: MuDBSCANState) -> None:
                 state.union(row, qi)
 
 
-def postprocess_noise(state: MuDBSCANState) -> None:
-    """Run Algorithm 8 over the noise list (rescue mislabelled borders)."""
-    for row, nbrs in state.noise_nbrs.items():
-        if state.assigned[row] or state.core[row]:
-            # already rescued: a core point processed after this one was
-            # noise-listed found it in its own query and merged it.  A
-            # second merge here could connect two *different* clusters
-            # through this non-core point, which is not a density
-            # connection — skip.
-            continue
-        core_nbrs = nbrs[state.core[nbrs]]
-        if core_nbrs.size:
-            state.union(int(core_nbrs[0]), row)
+def postprocess_noise(state: MuDBSCANState, *, batch_queries: bool = True) -> None:
+    """Run Algorithm 8 over the noise list (rescue mislabelled borders).
+
+    The stored neighborhoods are re-checked against the *final* core
+    flags.  ``batch_queries=True`` concatenates every pending row's
+    stored list and performs the core-flag gather in one vectorized
+    pass; only rows that actually own a core neighbor pay Python-level
+    work.  The rescues are independent of each other — a rescue union
+    touches the rescued row and an (always core, hence never
+    noise-listed) neighbor, so no rescue can change another pending
+    row's skip condition — which makes the upfront skip mask exactly
+    the mask the sequential loop evaluates row by row.
+    """
+    if not state.noise_nbrs:
+        return
+    if not batch_queries:
+        for row, nbrs in state.noise_nbrs.items():
+            if state.assigned[row] or state.core[row]:
+                # already rescued: a core point processed after this one
+                # was noise-listed found it in its own query and merged
+                # it.  A second merge here could connect two *different*
+                # clusters through this non-core point, which is not a
+                # density connection — skip.
+                continue
+            core_nbrs = nbrs[state.core[nbrs]]
+            if core_nbrs.size:
+                state.union(int(core_nbrs[0]), row)
+        return
+
+    # insertion order preserved: unions happen in the same order as the
+    # sequential loop, keeping border-claim determinism bit-for-bit
+    rows = np.fromiter(state.noise_nbrs.keys(), dtype=np.int64, count=len(state.noise_nbrs))
+    live = rows[~state.assigned[rows] & ~state.core[rows]]
+    if live.size == 0:
+        return
+    lists = [state.noise_nbrs[int(r)] for r in live]
+    lens = np.fromiter((l.shape[0] for l in lists), dtype=np.int64, count=live.size)
+    if np.any(lens == 0):  # empty neighborhoods can never be rescued
+        keep = lens > 0
+        live = live[keep]
+        lists = [l for l in lists if l.shape[0]]
+        lens = lens[keep]
+    if live.size == 0:
+        return
+    flat = np.concatenate(lists)
+    is_core = state.core[flat]
+    offsets = np.zeros(live.size + 1, dtype=np.int64)
+    np.cumsum(lens, out=offsets[1:])
+    has_core = np.add.reduceat(is_core, offsets[:-1]) > 0
+    for k in np.flatnonzero(has_core):
+        seg = is_core[offsets[k] : offsets[k + 1]]
+        first = int(flat[offsets[k] + int(np.argmax(seg))])
+        state.union(first, int(live[k]))

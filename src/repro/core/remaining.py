@@ -21,6 +21,40 @@ The dynamic rule can never contradict an earlier verdict: a point ``q``
 already found non-core has ``|N_eps(q)| < MinPts``, while
 ``q ∈ N_{eps/2}(p)`` implies ``N_eps(q) ⊇ N_{eps/2}(p)``, so the rule's
 precondition cannot hold for it.
+
+Batched execution (``batch_queries=True``, the default in ``cached``
+mode)
+----------------------------------------------------------------------
+Every member of a micro-cluster shares the MC's cached reachable block
+(Lemma 3), so issuing one Python-level :meth:`MuRTree.query_ball` per
+point re-gathers the same candidates ``|MC|`` times.  The batched path
+splits *computing* neighborhoods from *consuming* verdicts:
+
+1. group the still-pending rows by MC (``point_mc``);
+2. walk the pending rows in the **original global row order**; when a
+   row's answer is not yet available, answer the next batch of its
+   MC's still-live rows with one :meth:`MuRTree.query_ball_block` call
+   (lazy sub-blocks growing geometrically — see ``_process_batched``);
+   then apply exactly the per-point verdict logic above on the
+   precomputed neighbor lists.
+
+Because the consumption order, the union order and every flag update
+are identical to the per-point path, the batched path is
+*state-for-state* equivalent: same cores, same labels, same
+``noiseList``.  Two details make the counters match too:
+
+* a row that the dynamic rule promotes mid-run is still skipped at its
+  turn (its precomputed answer is simply discarded), so
+  ``queries_run`` counts exactly the queries the per-point path runs;
+* the block query is issued with ``count_work=False`` and its
+  ``per_row_cost`` is charged to ``dist_calcs`` lazily, once per row
+  actually consumed — discarded answers cost nothing, exactly like a
+  query that was never issued.
+
+The verdicts themselves are order-independent (core status is a
+property of the geometry), which is why precomputing them is sound;
+only the *skip* decision is dynamic, and it is re-checked at
+consumption time.
 """
 
 from __future__ import annotations
@@ -28,14 +62,25 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.state import MuDBSCANState
+from repro.microcluster.murtree import DEFAULT_BLOCK_SIZE, BlockQueryResult
 
 __all__ = ["process_remaining_points"]
+
+#: first lazy sub-block per MC, and the geometric growth factor for the
+#: following ones — small first batches bound the work discarded when a
+#: core row dynamically promotes the rest of its MC (see
+#: ``_process_batched``)
+_FIRST_SUB_BLOCK = 8
+_SUB_BLOCK_GROWTH = 4
 
 
 def process_remaining_points(
     state: MuDBSCANState,
     dynamic_wndq: bool = True,
     process_mask: np.ndarray | None = None,
+    *,
+    batch_queries: bool = True,
+    block_size: int = DEFAULT_BLOCK_SIZE,
 ) -> None:
     """Run Algorithm 6.
 
@@ -45,7 +90,25 @@ def process_remaining_points(
     ``process_mask`` limits the pass to the masked rows — μDBSCAN-D
     queries only *owned* points (halo points exist to complete owned
     neighborhoods; their own verdicts belong to their owner rank).
+
+    ``batch_queries`` selects the MC-batched neighborhood engine (see
+    module docstring); it requires the ``cached`` aux index, where the
+    reachable block is shared MC-wide — other modes fall back to the
+    per-point path.  ``block_size`` bounds the transient distance
+    matrix to ``block_size x |reachable block|`` doubles.
     """
+    if batch_queries and state.murtree.aux_index == "cached":
+        _process_batched(state, dynamic_wndq, process_mask, block_size)
+    else:
+        _process_per_point(state, dynamic_wndq, process_mask)
+
+
+def _process_per_point(
+    state: MuDBSCANState,
+    dynamic_wndq: bool,
+    process_mask: np.ndarray | None,
+) -> None:
+    """The reference one-query-per-point path (paper Algorithm 6)."""
     params = state.params
     min_pts = params.min_pts
     counters = state.counters
@@ -86,3 +149,111 @@ def process_remaining_points(
             if state.core[qi] or not state.assigned[qi]:
                 state.union(row, qi)
         state.assigned[row] = True
+
+
+def _process_batched(
+    state: MuDBSCANState,
+    dynamic_wndq: bool,
+    process_mask: np.ndarray | None,
+    block_size: int,
+) -> None:
+    """MC-batched Algorithm 6: precompute per-MC, consume in row order."""
+    murtree = state.murtree
+    min_pts = state.params.min_pts
+    counters = state.counters
+
+    eligible = ~state.wndq
+    if process_mask is not None:
+        eligible &= process_mask
+    pending = np.flatnonzero(eligible)
+    if pending.size == 0:
+        return
+
+    # ---- group the pending rows by MC (shared reachable block) --------
+    mc_ids = murtree.point_mc[pending]
+    order = np.argsort(mc_ids, kind="stable")
+    sorted_rows = pending[order]
+    sorted_mcs = mc_ids[order]
+    group_starts = np.flatnonzero(
+        np.concatenate([[True], sorted_mcs[1:] != sorted_mcs[:-1]])
+    )
+    groups: dict[int, np.ndarray] = {
+        int(sorted_mcs[s]): sorted_rows[s:e]
+        for s, e in zip(group_starts, np.append(group_starts[1:], sorted_rows.size))
+    }
+
+    # ---- per-row verdicts, original global row order ------------------
+    # Sub-blocks are computed lazily, when a not-yet-answered row comes
+    # up, over the next still-live (un-promoted) members of its MC.  The
+    # sub-block size starts small and grows geometrically: in dense MCs
+    # the first consumed core row typically promotes the rest of the MC
+    # (its inner half-ball), so an eagerly-precomputed full-MC block
+    # would mostly be discarded — a small first batch bounds that waste,
+    # while promotion-free MCs quickly reach full-width blocks and keep
+    # the vectorized amortisation.  (A promotion landing between a
+    # sub-block's build and the row's turn still discards its answer,
+    # like the per-point path skips — the wndq re-check decides.)
+    wndq = state.wndq
+    point_mc = murtree.point_mc
+    half_radius = state.params.eps * 0.5
+    blocks: list[BlockQueryResult] = []
+    blk_id = np.full(state.n, -1, dtype=np.int64)
+    local_ix = np.zeros(state.n, dtype=np.int64)
+    pos: dict[int, int] = {}
+    sub_size: dict[int, int] = {}
+    core = state.core
+    assigned = state.assigned
+    for row in pending:
+        row = int(row)
+        if wndq[row]:
+            continue  # promoted mid-run by the dynamic rule: query saved
+        b = blk_id[row]
+        if b < 0:
+            mc_id = int(point_mc[row])
+            seg = groups[mc_id][pos.get(mc_id, 0) :]
+            k = sub_size.get(mc_id, _FIRST_SUB_BLOCK)
+            sub = seg[~wndq[seg]][:k]  # sub[0] == row: earlier live rows
+            # of the MC were answered by previous sub-blocks
+            pos[mc_id] = pos.get(mc_id, 0) + int(np.searchsorted(seg, sub[-1])) + 1
+            sub_size[mc_id] = k * _SUB_BLOCK_GROWTH
+            b = len(blocks)
+            blk_id[sub] = b
+            local_ix[sub] = np.arange(sub.size)
+            blocks.append(
+                murtree.query_ball_block(
+                    mc_id,
+                    sub,
+                    half_radius=half_radius,
+                    block_size=block_size,
+                    count_work=False,
+                    validate=False,  # rows were grouped by point_mc above
+                )
+            )
+        block = blocks[b]
+        i = int(local_ix[row])
+        nbrs = block.nbrs(i)
+        state.queried[row] = True
+        counters.queries_run += 1
+        counters.dist_calcs += block.per_row_cost
+
+        if block.n_eps[i] < min_pts:
+            if not assigned[row]:
+                core_nbrs = nbrs[core[nbrs]]
+                if core_nbrs.size:
+                    state.union(int(core_nbrs[0]), row)  # border of 1st core
+                else:
+                    state.noise_nbrs[row] = nbrs.copy()  # provisional noise
+            continue
+
+        core[row] = True
+        if dynamic_wndq and block.n_half[i] >= min_pts:
+            inner = block.inner(i)
+            # marking q only flips q's own core flag, so the pre-filtered
+            # set equals what the per-point loop's running check visits
+            for q in inner[~core[inner]]:
+                qi = int(q)
+                state.mark_wndq_core(qi)
+                state.union(row, qi)
+        merge = nbrs[(core[nbrs] | ~assigned[nbrs]) & (nbrs != row)]
+        state.union_many(row, merge)
+        assigned[row] = True

@@ -75,6 +75,43 @@ class MuDBSCANState:
         self.assigned[x] = True
         self.assigned[y] = True
 
+    def union_many(self, x: int, others: np.ndarray) -> None:
+        """Merge ``x`` with every row of ``others`` — exactly equivalent
+        to ``union(x, q)`` in sequence, batched.
+
+        The batched clustering engine funnels a core point's whole merge
+        list through here: the root of ``x``'s set is tracked across the
+        loop instead of re-found per pair, the loop runs over plain ints,
+        and the ``assigned`` flags are set vectorized.  Same merge
+        sequence, same rank/tie-breaking evolution, same effective-merge
+        count — the distributed state overrides this with a per-pair loop
+        because owned↔halo pairs must be deferred, not unioned.
+        """
+        if not others.size:
+            return
+        uf = self.uf
+        parent = uf._parent
+        rank = uf._rank
+        rx = uf.find(int(x))
+        effective = 0
+        for q in others.tolist():
+            ry = q
+            while parent[ry] != ry:
+                parent[ry] = ry = parent[parent[ry]]
+            if ry == rx:
+                continue
+            if rank[rx] < rank[ry]:
+                rx, ry = ry, rx
+            parent[ry] = rx
+            if rank[rx] == rank[ry]:
+                rank[rx] += 1
+            effective += 1
+        if effective:
+            uf._n_sets -= effective
+            self.counters.unions += effective
+        self.assigned[x] = True
+        self.assigned[others] = True
+
     def postprocess_candidate_mask(self, candidates: np.ndarray) -> np.ndarray:
         """Which Algorithm-7 candidates a wndq-core may merge with
         (non-batched path).

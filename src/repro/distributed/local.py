@@ -32,7 +32,7 @@ from repro.core.state import MuDBSCANState
 from repro.distributed.protocol import LocalFragment
 from repro.instrumentation.counters import Counters
 from repro.instrumentation.timers import PhaseTimer
-from repro.microcluster.murtree import MuRTree
+from repro.microcluster.murtree import DEFAULT_BLOCK_SIZE, MuRTree
 
 __all__ = ["DistributedMuDBSCANState", "run_local_mu_dbscan"]
 
@@ -70,6 +70,11 @@ class DistributedMuDBSCANState(MuDBSCANState):
                 (int(self.gids[owned_row]), int(self.gids[halo_row]))
             )
         # halo-halo: both owners will see this relation themselves
+
+    def union_many(self, x: int, others: np.ndarray) -> None:
+        # per pair: each owned-halo edge must become its own cross pair
+        for q in others.tolist():
+            self.union(x, q)
 
     def postprocess_candidate_mask(self, candidates: np.ndarray) -> np.ndarray:
         # locally-known cores plus every halo point (globally judged)
@@ -110,10 +115,18 @@ def run_local_mu_dbscan(
     params: DBSCANParams,
     *,
     aux_index: str = "cached",
+    batch_queries: bool = True,
+    block_size: int = DEFAULT_BLOCK_SIZE,
     timers: PhaseTimer | None = None,
     **mu_kwargs,
 ) -> LocalFragment:
-    """Run μDBSCAN locally and package the rank's fragment."""
+    """Run μDBSCAN locally and package the rank's fragment.
+
+    ``batch_queries`` / ``block_size`` select the MC-batched
+    neighborhood engine for the rank's owned rows (``process_mask``
+    composes with batching: the per-MC blocks only cover owned members,
+    halo points stay query-free).
+    """
     n_owned = owned_points.shape[0]
     if halo_points.shape[0]:
         all_points = np.vstack([owned_points, halo_points])
@@ -135,6 +148,8 @@ def run_local_mu_dbscan(
         all_points,
         params,
         aux_index=aux_index,
+        batch_queries=batch_queries,
+        block_size=block_size,
         counters=counters,
         timers=timers,
         process_mask=owned_mask,

@@ -35,25 +35,28 @@ from repro.microcluster.microcluster import MicroCluster
 __all__ = ["build_micro_clusters"]
 
 
-def _nearest_center_within(
-    mcs: list[MicroCluster],
-    candidate_ids: list[int],
-    p: np.ndarray,
-    radius: float,
-    counters: Counters,
-    metric: Metric,
-) -> int | None:
-    """Id of the candidate MC with the closest center strictly within
-    ``radius`` of ``p``, or None."""
-    if not candidate_ids:
-        return None
-    centers = np.stack([mcs[mc_id].center for mc_id in candidate_ids])
-    counters.dist_calcs += len(candidate_ids)
-    raw = metric.raw_to_point(centers, p)
-    best = int(np.argmin(raw))
-    if raw[best] < metric.threshold(radius):
-        return candidate_ids[best]
-    return None
+class _CenterArray:
+    """Growing preallocated ``(m, d)`` array of MC centers.
+
+    Algorithm 3 needs the centers of every candidate MC at every point;
+    restacking them per point from the ``MicroCluster`` objects costs a
+    Python-level loop each time, while one amortised-doubling buffer
+    answers with a single fancy index."""
+
+    def __init__(self, dim: int) -> None:
+        self._buf = np.empty((64, dim), dtype=np.float64)
+        self._m = 0
+
+    def append(self, center: np.ndarray) -> None:
+        if self._m == self._buf.shape[0]:
+            grown = np.empty((2 * self._m, self._buf.shape[1]), dtype=np.float64)
+            grown[: self._m] = self._buf
+            self._buf = grown
+        self._buf[self._m] = center
+        self._m += 1
+
+    def take(self, ids: np.ndarray) -> np.ndarray:
+        return self._buf[ids]
 
 
 def build_micro_clusters(
@@ -100,13 +103,17 @@ def build_micro_clusters(
 
     tree = RTree(dim, max_entries=max_entries, counters=counters)
     mcs: list[MicroCluster] = []
+    centers = _CenterArray(dim)
     point_mc = np.full(n, -1, dtype=np.int64)
     unassigned: list[int] = []
+    eps_raw = metric.threshold(eps)
+    two_eps_raw = metric.threshold(2.0 * eps)
 
     def create_mc(row: int) -> int:
         mc_id = len(mcs)
         mc = MicroCluster(mc_id, row, pts[row])
         mcs.append(mc)
+        centers.append(pts[row])
         tree.insert(mc_id, pts[row] - eps, pts[row] + eps)
         point_mc[row] = mc_id
         counters.micro_clusters += 1
@@ -119,19 +126,21 @@ def build_micro_clusters(
             create_mc(row)
             continue
         # one candidate sweep at the wider radius serves both the ε-join
-        # test and the 2ε-deferral test
+        # test and the 2ε-deferral test, and one distance pass over the
+        # candidates' centers answers both
         search_radius = (2.0 * eps if defer_2eps else eps) * cover
         candidates = tree.query_ball_candidates(p, search_radius)
-        joined = _nearest_center_within(mcs, candidates, p, eps, counters, metric)
-        if joined is not None:
-            mcs[joined].add_member(row)
-            point_mc[row] = joined
-            continue
-        if defer_2eps and candidates:
-            centers = np.stack([mcs[mc_id].center for mc_id in candidates])
-            counters.dist_calcs += len(candidates)
-            raw = metric.raw_to_point(centers, p)
-            if np.any(raw < metric.threshold(2.0 * eps)):
+        if candidates:
+            cand = np.asarray(candidates, dtype=np.int64)
+            counters.dist_calcs += cand.size
+            raw = metric.raw_to_point(centers.take(cand), p)
+            best = int(np.argmin(raw))
+            if raw[best] < eps_raw:
+                joined = candidates[best]  # nearest center within ε
+                mcs[joined].add_member(row)
+                point_mc[row] = joined
+                continue
+            if defer_2eps and raw[best] < two_eps_raw:
                 unassigned.append(row)
                 counters.deferred_points += 1
                 continue
@@ -141,12 +150,16 @@ def build_micro_clusters(
     for row in unassigned:
         p = pts[row]
         candidates = tree.query_ball_candidates(p, eps * cover)
-        joined = _nearest_center_within(mcs, candidates, p, eps, counters, metric)
-        if joined is not None:
-            mcs[joined].add_member(row)
-            point_mc[row] = joined
-        else:
-            create_mc(row)
+        if candidates:
+            cand = np.asarray(candidates, dtype=np.int64)
+            counters.dist_calcs += cand.size
+            raw = metric.raw_to_point(centers.take(cand), p)
+            best = int(np.argmin(raw))
+            if raw[best] < eps_raw:
+                mcs[candidates[best]].add_member(row)
+                point_mc[row] = candidates[best]
+                continue
+        create_mc(row)
 
     for mc in mcs:
         mc.freeze(pts, eps, metric=metric)

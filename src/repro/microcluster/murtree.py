@@ -31,7 +31,96 @@ from repro.microcluster.builder import build_micro_clusters
 from repro.microcluster.microcluster import MicroCluster
 from repro.microcluster.reachability import compute_reachable
 
-__all__ = ["MuRTree"]
+__all__ = ["MuRTree", "BlockQueryResult", "DEFAULT_BLOCK_SIZE"]
+
+#: default row budget per batched distance block — bounds the transient
+#: ``block_size x |reachable block|`` matrix of one ``query_ball_block``
+#: chunk (see docs/TUNING.md)
+DEFAULT_BLOCK_SIZE = 1024
+
+
+def _flatten(parts: list[np.ndarray], dtype) -> np.ndarray:
+    if not parts:
+        return np.empty(0, dtype=dtype)
+    if len(parts) == 1:
+        return parts[0]
+    return np.concatenate(parts)
+
+
+class BlockQueryResult:
+    """Answers of one batched per-MC ε-neighborhood query.
+
+    Every member of a micro-cluster shares the MC's cached reachable
+    block (Lemma 3), so :meth:`MuRTree.query_ball_block` answers many
+    queries with one ``(rows x block)`` distance matrix.  Results are
+    stored flat (one concatenated neighbor array plus offsets) so the
+    per-row views handed back by :meth:`nbrs` / :meth:`raw` /
+    :meth:`inner` are O(1) slices, not copies.
+
+    Attributes
+    ----------
+    rows:
+        The queried dataset rows, in the order given to the query.
+    n_eps, n_half:
+        Per-row neighbor counts ``|N_eps|`` and ``|N_{eps/2}|``
+        (strict ``<``, the query point included in both).
+    per_row_cost:
+        Exact distance evaluations charged per answered row — callers
+        running *lazy* work accounting (``count_work=False``) add this
+        to ``Counters.dist_calcs`` once per row they actually consume,
+        which keeps the books identical to the per-point query path.
+    """
+
+    __slots__ = (
+        "rows",
+        "n_eps",
+        "n_half",
+        "per_row_cost",
+        "_nbr_flat",
+        "_raw_flat",
+        "_offsets",
+        "_h_raw",
+    )
+
+    def __init__(
+        self,
+        rows: np.ndarray,
+        nbr_flat: np.ndarray,
+        raw_flat: np.ndarray,
+        offsets: np.ndarray,
+        n_eps: np.ndarray,
+        n_half: np.ndarray,
+        h_raw: float,
+        per_row_cost: int,
+    ) -> None:
+        self.rows = rows
+        self._nbr_flat = nbr_flat
+        self._raw_flat = raw_flat
+        self._offsets = offsets
+        self._h_raw = h_raw
+        self.n_eps = n_eps
+        self.n_half = n_half
+        self.per_row_cost = int(per_row_cost)
+
+    def __len__(self) -> int:
+        return int(self.rows.shape[0])
+
+    def nbrs(self, i: int) -> np.ndarray:
+        """Global neighbor indices of the ``i``-th queried row."""
+        return self._nbr_flat[self._offsets[i] : self._offsets[i + 1]]
+
+    def raw(self, i: int) -> np.ndarray:
+        """Raw metric values aligned with :meth:`nbrs`."""
+        return self._raw_flat[self._offsets[i] : self._offsets[i + 1]]
+
+    def inner(self, i: int) -> np.ndarray:
+        """Neighbors of row ``i`` strictly within the half radius.
+
+        Derived lazily from the ε-result (the half ball is a subset of
+        the ε-ball), so only the few rows the dynamic wndq-core rule
+        actually fires on pay for the materialised list."""
+        s, e = self._offsets[i], self._offsets[i + 1]
+        return self._nbr_flat[s:e][self._raw_flat[s:e] < self._h_raw]
 
 
 class MuRTree:
@@ -57,6 +146,13 @@ class MuRTree:
         scans every reachable MC (ablation 4 in DESIGN.md §5).
     defer_2eps:
         Passed to the builder (ablation 1).
+    aux_bulk:
+        ``aux_index="rtree"`` only: pack each AuxR-tree with the STR
+        bulk loader (default) instead of one-by-one Guttman inserts —
+        membership is final when the trees are built, so a static
+        packing is both faster and tighter.  ``False`` exercises the
+        dynamic insert path (and is what the index microbenchmark
+        compares against).
     """
 
     def __init__(
@@ -70,6 +166,7 @@ class MuRTree:
         max_entries: int = 64,
         counters: Counters | None = None,
         metric: str | Metric = EUCLIDEAN,
+        aux_bulk: bool = True,
     ) -> None:
         if aux_index not in ("cached", "flat", "rtree"):
             raise ValueError(
@@ -109,6 +206,7 @@ class MuRTree:
                     mc.member_points,
                     ids=mc.member_rows,
                     counters=self.counters,
+                    bulk=aux_bulk,
                 )
         self._reachable_done = False
 
@@ -280,6 +378,152 @@ class MuRTree:
         if not rows_parts:
             return np.empty(0, dtype=np.int64), np.empty(0)
         return np.concatenate(rows_parts), np.concatenate(sq_parts)
+
+    def query_ball_block(
+        self,
+        mc_id: int,
+        rows: np.ndarray,
+        radius: float | None = None,
+        *,
+        half_radius: float | None = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        count_work: bool = True,
+        validate: bool = True,
+    ) -> BlockQueryResult:
+        """Batched exact ε-neighborhoods for many members of one MC.
+
+        All ``rows`` must belong to micro-cluster ``mc_id``: they then
+        share the MC's reachable set (Lemma 3), so in ``cached`` mode the
+        whole batch is answered by ``ceil(len(rows) / block_size)``
+        vectorized ``(chunk x |cached block|)`` distance-matrix passes
+        instead of one Python-level :meth:`query_ball` per point.  Each
+        answer is exactly what :meth:`query_ball` returns for that row
+        (same strict-< semantics, same self-inclusion), plus the
+        ``|N_{eps/2}|`` count / inner neighbor list the dynamic
+        wndq-core rule needs — derived from the same matrix, no second
+        distance pass.
+
+        Parameters
+        ----------
+        rows:
+            Dataset rows to query, all members of ``mc_id``.
+        radius:
+            Ball radius (default: the tree's ε).
+        half_radius:
+            Inner-ball radius for the ``n_half`` counts (default
+            ``radius / 2`` — the wndq-core rule's ball).
+        block_size:
+            Row budget per distance block; bounds the transient matrix
+            to ``block_size x |cached block|`` doubles.
+        count_work:
+            When True, charge ``len(rows) x |block|`` distance
+            evaluations to the shared counters now.  ``False`` defers
+            the accounting to the caller (see
+            :attr:`BlockQueryResult.per_row_cost`) — only supported in
+            ``cached`` mode, where the per-row cost is uniform.
+        validate:
+            Check that every row is a member of ``mc_id``.  Callers
+            that group rows by ``point_mc`` themselves (the clustering
+            engine) pass ``False`` to skip the redundant pass.
+
+        In ``flat`` / ``rtree`` modes the reachable-MC *filtration* is
+        inherently per-point, so this method degrades to a per-row
+        :meth:`query_ball` loop (identical results and counters); the
+        vectorized win is a ``cached``-mode property.
+        """
+        radius = self.eps if radius is None else float(radius)
+        if radius <= 0.0:
+            raise ValueError(f"radius must be positive, got {radius}")
+        half_radius = radius * 0.5 if half_radius is None else float(half_radius)
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        rows_arr = np.asarray(rows, dtype=np.int64)
+        if rows_arr.ndim != 1:
+            raise ValueError(f"rows must be 1-d, got shape {rows_arr.shape}")
+        if (
+            validate
+            and rows_arr.size
+            and not np.all(self.point_mc[rows_arr] == mc_id)
+        ):
+            raise ValueError(f"all rows must belong to micro-cluster {mc_id}")
+        r_raw = self.metric.threshold(radius)
+        h_raw = self.metric.threshold(half_radius)
+
+        if self.aux_index != "cached":
+            if not count_work:
+                raise ValueError(
+                    "count_work=False (lazy accounting) requires aux_index='cached'"
+                )
+            return self._query_ball_block_fallback(rows_arr, radius, h_raw)
+
+        mc = self.mcs[mc_id]
+        if mc.reach_points is None:
+            raise RuntimeError("call compute_reachability() before querying")
+        cand_rows = mc.reach_rows
+        cand_pts = mc.reach_points
+        per_row_cost = int(cand_rows.shape[0])
+        if count_work:
+            self.counters.dist_calcs += rows_arr.size * per_row_cost
+
+        nbr_parts: list[np.ndarray] = []
+        raw_parts: list[np.ndarray] = []
+        count_parts: list[np.ndarray] = []
+        for start in range(0, rows_arr.size, block_size):
+            chunk = rows_arr[start : start + block_size]
+            raw_mat = self.metric.raw_pairwise(self.points[chunk], cand_pts)
+            eps_mask = raw_mat < r_raw
+            # boolean gather walks the matrix row-major — the same
+            # ascending candidate order query_ball returns per row
+            raw_parts.append(raw_mat[eps_mask])
+            nbr_parts.append(cand_rows[eps_mask.nonzero()[1]])
+            count_parts.append(np.count_nonzero(eps_mask, axis=1))
+
+        counts = _flatten(count_parts, np.int64)
+        raw_flat = _flatten(raw_parts, np.float64)
+        offsets = np.zeros(rows_arr.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        # |N_eps/2| per row from the already-gathered ε-values (the half
+        # ball is a subset of the ε-ball) — no second full-matrix pass
+        half_cum = np.zeros(raw_flat.size + 1, dtype=np.int64)
+        np.cumsum(raw_flat < h_raw, out=half_cum[1:])
+        n_half = half_cum[offsets[1:]] - half_cum[offsets[:-1]]
+        return BlockQueryResult(
+            rows_arr,
+            _flatten(nbr_parts, np.int64),
+            raw_flat,
+            offsets,
+            counts,
+            n_half,
+            h_raw,
+            per_row_cost,
+        )
+
+    def _query_ball_block_fallback(
+        self, rows: np.ndarray, radius: float, h_raw: float
+    ) -> BlockQueryResult:
+        """Per-row assembly for the non-cached modes (eager counters)."""
+        nbr_parts: list[np.ndarray] = []
+        raw_parts: list[np.ndarray] = []
+        counts = np.zeros(rows.size, dtype=np.int64)
+        n_half = np.zeros(rows.size, dtype=np.int64)
+        for i, row in enumerate(rows):
+            nbrs, raw = self.query_ball(int(row), radius)
+            nbr_parts.append(nbrs)
+            raw_parts.append(raw)
+            counts[i] = nbrs.shape[0]
+            n_half[i] = int(np.count_nonzero(raw < h_raw))
+        offsets = np.zeros(rows.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return BlockQueryResult(
+            rows,
+            _flatten(nbr_parts, np.int64),
+            _flatten(raw_parts, np.float64),
+            offsets,
+            counts,
+            n_half,
+            h_raw,
+            per_row_cost=0,  # work was already charged per query
+        )
 
     def candidates_for_postprocessing(self, row: int) -> np.ndarray:
         """Global indices of all points in the filtered reachable MCs of

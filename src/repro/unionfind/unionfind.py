@@ -29,13 +29,16 @@ class UnionFind:
     def __init__(self, n: int, counters: Counters | None = None) -> None:
         if n < 0:
             raise ValueError(f"n must be >= 0, got {n}")
-        self._parent = np.arange(n, dtype=np.int64)
-        self._rank = np.zeros(n, dtype=np.int8)
+        # plain Python containers: find/union are called once per merge
+        # candidate from interpreted loops, where list indexing is several
+        # times cheaper than numpy scalar indexing
+        self._parent = list(range(n))
+        self._rank = bytearray(n)
         self._n_sets = n
         self.counters = counters if counters is not None else Counters()
 
     def __len__(self) -> int:
-        return int(self._parent.shape[0])
+        return len(self._parent)
 
     @property
     def n_sets(self) -> int:
@@ -46,8 +49,7 @@ class UnionFind:
         """Representative of ``x``'s set (with path halving)."""
         parent = self._parent
         while parent[x] != x:
-            parent[x] = parent[parent[x]]
-            x = int(parent[x])
+            parent[x] = x = parent[parent[x]]
         return x
 
     def union(self, x: int, y: int) -> bool:
@@ -70,14 +72,14 @@ class UnionFind:
 
     def roots(self) -> np.ndarray:
         """Representative of every element, fully compressed (vectorized)."""
-        parent = self._parent.copy()
+        parent = np.asarray(self._parent, dtype=np.int64)
         # pointer jumping: O(log n) rounds of full-array jumps
         while True:
             grand = parent[parent]
             if np.array_equal(grand, parent):
                 break
             parent = grand
-        self._parent = parent  # keep the compression
+        self._parent = parent.tolist()  # keep the compression
         return parent
 
     def labels(self, noise_mask: np.ndarray | None = None) -> np.ndarray:
