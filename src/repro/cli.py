@@ -26,6 +26,7 @@ from repro.microcluster.murtree import DEFAULT_BLOCK_SIZE
 from repro.core.result import ClusteringResult
 from repro.data.io import load_points
 from repro.data.registry import REGISTRY, load_dataset
+from repro.distributed.backends import BACKENDS
 from repro.distributed.baselines_d import (
     grid_dbscan_d,
     hpdbscan_like,
@@ -130,6 +131,10 @@ def cmd_distributed(args: argparse.Namespace) -> int:
     pts, eps, min_pts, name = _resolve_workload(args)
     algo = DISTRIBUTED_ALGOS[args.algo]
     kwargs = _mu_kwargs(args) if args.algo == "mu-d" else {}
+    if args.algo == "mu-d":
+        kwargs["backend"] = args.backend
+    elif args.backend != "thread":
+        raise SystemExit(f"--backend {args.backend} is only supported by --algo mu-d")
     start = time.perf_counter()
     res = algo(pts, eps, min_pts, n_ranks=args.ranks, **kwargs)
     wall = time.perf_counter() - start
@@ -178,6 +183,13 @@ def build_parser() -> argparse.ArgumentParser:
     add_workload_args(dist)
     dist.add_argument("--algo", choices=sorted(DISTRIBUTED_ALGOS), default="mu-d")
     dist.add_argument("--ranks", type=int, default=4)
+    dist.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="thread",
+        help="execution substrate: thread-sim (exact, GIL-bound) or "
+        "process workers over shared memory (real parallelism; mu-d only)",
+    )
     return parser
 
 

@@ -1,12 +1,17 @@
-"""μDBSCAN-D and the distributed baselines, on a simulated MPI substrate.
+"""μDBSCAN-D and the distributed baselines, on pluggable backends.
 
 The paper's distributed experiments run C++/MPI on a 32-node cluster.
-Here the same *algorithms* run against :mod:`repro.distributed.simmpi`,
-a thread-per-rank communicator with MPI's blocking point-to-point and
-collective semantics.  Parallel run-time is reported as
-``max over ranks of per-rank thread-CPU phase time`` plus the measured
+Here the same *algorithms* run against
+:mod:`repro.distributed.backends`, a communicator abstraction with
+MPI's blocking point-to-point and collective semantics and two
+substrates: thread-per-rank (``"thread"``, the historical ``simmpi`` —
+exact semantics and byte accounting, GIL-bound) and process-per-rank
+(``"process"`` — spawned workers reading the dataset from shared
+memory, real wall-clock parallelism).  Parallel run-time is reported
+as ``max over ranks of per-rank CPU phase time`` plus the measured
 merge cost — the standard as-if-parallel model — and every message's
-payload bytes are counted (see DESIGN.md §2).
+payload bytes are counted identically on both backends (see DESIGN.md
+§2 and docs/DISTRIBUTED.md).
 
 Pipeline (Algorithm 9):
 
@@ -17,7 +22,7 @@ Pipeline (Algorithm 9):
 4. :mod:`repro.distributed.merging` — global resolution of fragments.
 """
 
-from repro.distributed.simmpi import Communicator, run_mpi
+from repro.distributed.backends import Communicator, launch, run_mpi
 from repro.distributed.mudbscan_d import mu_dbscan_d
 from repro.distributed.baselines_d import (
     pdsdbscan_d,
@@ -28,6 +33,7 @@ from repro.distributed.baselines_d import (
 
 __all__ = [
     "Communicator",
+    "launch",
     "run_mpi",
     "mu_dbscan_d",
     "pdsdbscan_d",

@@ -1,0 +1,88 @@
+"""Pluggable execution backends for the distributed algorithms.
+
+The algorithm layer talks to two things only:
+
+* :class:`~repro.distributed.backends.base.Communicator` — blocking
+  tagged point-to-point plus the textbook collectives, with identical
+  byte/message accounting on every backend;
+* :func:`launch` — run a rank function on ``n_ranks`` ranks of the
+  chosen backend and collect per-rank results.
+
+Backends:
+
+``thread`` (default)
+    One daemon thread per rank inside the calling interpreter
+    (the original ``simmpi`` substrate).  Zero start-up cost and
+    zero serialisation, but GIL-bound: use it for correctness,
+    semantics and byte accounting, not wall-clock speed.
+``process``
+    One spawned OS process per rank, the dataset in a shared-memory
+    segment, messages over OS pipes.  Real parallelism; payloads must
+    be picklable and rank start-up costs a fresh interpreter each.
+
+See ``docs/DISTRIBUTED.md`` for when to pick which.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.distributed.backends.base import Communicator
+from repro.distributed.backends.thread import (
+    ThreadCommunicator,
+    World,
+    WorldShutdownError,
+    launch_threads,
+    run_mpi,
+)
+from repro.distributed.backends.process import ProcessCommunicator, launch_processes
+
+__all__ = [
+    "BACKENDS",
+    "Communicator",
+    "ProcessCommunicator",
+    "ThreadCommunicator",
+    "World",
+    "WorldShutdownError",
+    "launch",
+    "launch_threads",
+    "launch_processes",
+    "run_mpi",
+]
+
+#: backend name -> launcher with the (n_ranks, fn, args, kwargs, shared) ABI
+BACKENDS: dict[str, Callable[..., list[Any]]] = {
+    "thread": launch_threads,
+    "process": launch_processes,
+}
+
+
+def launch(
+    n_ranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    backend: str = "thread",
+    shared: dict[str, np.ndarray] | None = None,
+    **kwargs: Any,
+) -> list[Any]:
+    """Run ``fn`` on ``n_ranks`` ranks of ``backend``; results in rank order.
+
+    ``fn`` is called per rank as ``fn(comm, *args, **kwargs)`` — or
+    ``fn(comm, shared, *args, **kwargs)`` when a ``shared`` dict of
+    numpy arrays is given; each backend makes those arrays visible to
+    every rank at single-copy cost (by reference in-process, via
+    shared memory across processes).  For the ``process`` backend,
+    ``fn`` must be a picklable top-level callable and its arguments
+    picklable.  The first failing rank's exception is re-raised with
+    the rank identified; a failure never leaves live rank threads,
+    worker processes or shared segments behind.
+    """
+    try:
+        backend_launch = BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; available: {sorted(BACKENDS)}"
+        ) from None
+    return backend_launch(n_ranks, fn, args, kwargs, shared)

@@ -1,0 +1,208 @@
+"""The communicator protocol every execution backend implements.
+
+The algorithm layer (``mudbscan_d``, ``partition``, ``halo``,
+``baselines_d``) is written against this class alone: blocking tagged
+point-to-point plus the collectives, with MPI's per-``(src, dst, tag)``
+FIFO ordering.  A backend supplies the transport (thread mailboxes, OS
+pipes, ...) by implementing ``_transport_send`` / ``_transport_recv``;
+everything above the transport — collectives, byte accounting, rank
+validation — lives here so every backend reports *identical*
+``bytes_sent`` / ``messages_sent`` for the same algorithm run.
+
+Byte accounting: payloads are measured by their pickled size at the
+sender.  For numpy arrays this tracks the real buffer size closely and
+is the number the distributed tables report as communication volume.
+The pickled bytes are handed to the transport so a cross-process
+backend serialises each payload exactly once.
+
+Clocks: each backend names the per-rank CPU clock its ranks should
+time phases with (``clock``).  Thread-sim ranks share the GIL, so only
+``time.thread_time`` isolates a rank's own work; process ranks own a
+whole interpreter and use ``time.process_time``.
+"""
+
+from __future__ import annotations
+
+import abc
+import io
+import pickle
+import time
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+__all__ = ["Communicator", "payload_bytes"]
+
+#: tag reserved for collective plumbing; user tags must differ
+_COLLECTIVE_TAG = -1
+
+
+class _CanonicalPickler(pickle.Pickler):
+    """Pickler whose output size is independent of array *identity*.
+
+    Arrays that travelled through a process boundary carry fresh
+    ``np.dtype`` instances, while arrays born in one interpreter share
+    the interned singleton — pickle memoises by identity, so the same
+    value-level payload would measure a few dozen bytes larger on a
+    cross-process backend (visible when a collective re-ships received
+    arrays, e.g. ``allgather``'s root bcast).  Substituting the interned
+    dtype into every plain ndarray's reduce state makes the measured
+    size a pure function of the payload's value on every backend.
+    """
+
+    def reducer_override(self, obj: Any) -> Any:
+        if type(obj) is np.ndarray:
+            reduced = obj.__reduce__()
+            if isinstance(reduced, tuple) and len(reduced) == 3:
+                fn, args, state = reduced
+                if (
+                    isinstance(state, tuple)
+                    and len(state) == 5
+                    and isinstance(state[2], np.dtype)
+                    and state[2].names is None
+                ):
+                    state = state[:2] + (np.dtype(state[2].str),) + state[3:]
+                return fn, args, state
+        return NotImplemented
+
+
+def payload_bytes(obj: Any) -> tuple[int, bytes | None]:
+    """``(pickled size, pickled bytes)`` of a payload.
+
+    Unpicklable payloads stay legal for in-process backends; they count
+    zero bytes and carry ``None`` as their serialised form (a
+    cross-process transport must reject them).
+    """
+    try:
+        buf = io.BytesIO()
+        _CanonicalPickler(buf, protocol=pickle.HIGHEST_PROTOCOL).dump(obj)
+    except Exception:
+        return 0, None
+    data = buf.getvalue()
+    return len(data), data
+
+
+class Communicator(abc.ABC):
+    """One rank's endpoint (mpi4py-flavoured lowercase API subset).
+
+    Not thread-safe across ranks by construction: each rank owns
+    exactly one communicator.
+    """
+
+    #: per-rank CPU clock appropriate for this backend's ranks
+    clock: Callable[[], float] = staticmethod(time.thread_time)
+
+    def __init__(self, rank: int, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"world size must be >= 1, got {size}")
+        if not (0 <= rank < size):
+            raise ValueError(f"rank {rank} outside world of size {size}")
+        self.rank = rank
+        self.size = size
+        #: payload bytes this rank pushed into the network
+        self.bytes_sent = 0
+        #: number of point-to-point messages sent (collective plumbing included)
+        self.messages_sent = 0
+
+    # ------------------------------------------------------------------
+    # transport (backend-specific)
+
+    @abc.abstractmethod
+    def _transport_send(self, obj: Any, data: bytes | None, dest: int, tag: int) -> None:
+        """Deliver ``obj`` (pickled form ``data``) to ``(dest, tag)``."""
+
+    @abc.abstractmethod
+    def _transport_recv(self, source: int, tag: int) -> Any:
+        """Block until the next message on ``(source, tag)`` arrives."""
+
+    # ------------------------------------------------------------------
+    # point-to-point
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking-semantics send (buffered: never deadlocks in-process)."""
+        if not (0 <= dest < self.size):
+            raise ValueError(f"dest {dest} outside world of size {self.size}")
+        nbytes, data = payload_bytes(obj)
+        self.bytes_sent += nbytes
+        self.messages_sent += 1
+        self._transport_send(obj, data, dest, tag)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking receive of the next message on ``(source, tag)``."""
+        if not (0 <= source < self.size):
+            raise ValueError(f"source {source} outside world of size {self.size}")
+        return self._transport_recv(source, tag)
+
+    # ------------------------------------------------------------------
+    # collectives (root-based fan-in/fan-out over p2p)
+
+    def barrier(self) -> None:
+        """All ranks reach this call before any returns."""
+        self.gather(None, root=0)
+        self.bcast(None, root=0)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Root's object, delivered to every rank."""
+        if self.rank == root:
+            for dst in range(self.size):
+                if dst != root:
+                    self.send(obj, dst, tag=_COLLECTIVE_TAG)
+            return obj
+        return self.recv(root, tag=_COLLECTIVE_TAG)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """List of every rank's object at root (rank order); None elsewhere."""
+        if self.rank == root:
+            out: list[Any] = []
+            for src in range(self.size):
+                out.append(obj if src == root else self.recv(src, tag=_COLLECTIVE_TAG))
+            return out
+        self.send(obj, root, tag=_COLLECTIVE_TAG)
+        return None
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        """Root distributes ``objs[i]`` to rank ``i``; returns own share."""
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError(
+                    f"scatter at root needs exactly {self.size} objects, got "
+                    f"{None if objs is None else len(objs)}"
+                )
+            for dst in range(self.size):
+                if dst != root:
+                    self.send(objs[dst], dst, tag=_COLLECTIVE_TAG)
+            return objs[root]
+        return self.recv(root, tag=_COLLECTIVE_TAG)
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Every rank receives the full rank-ordered list."""
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any] | None = None) -> Any:
+        """Fold every rank's object with ``op`` (default ``+``)."""
+        gathered = self.allgather(obj)
+        if op is None:
+            total = gathered[0]
+            for item in gathered[1:]:
+                total = total + item
+            return total
+        total = gathered[0]
+        for item in gathered[1:]:
+            total = op(total, item)
+        return total
+
+    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+        """Rank ``i`` sends ``objs[j]`` to rank ``j``; returns what every
+        rank sent to it, rank ordered."""
+        if len(objs) != self.size:
+            raise ValueError(
+                f"alltoall needs exactly {self.size} objects, got {len(objs)}"
+            )
+        for dst in range(self.size):
+            if dst != self.rank:
+                self.send(objs[dst], dst, tag=_COLLECTIVE_TAG)
+        out: list[Any] = []
+        for src in range(self.size):
+            out.append(objs[self.rank] if src == self.rank else self.recv(src, tag=_COLLECTIVE_TAG))
+        return out

@@ -37,8 +37,8 @@ from repro.distributed.halo import exchange_halo
 from repro.distributed.merging import resolve_fragments
 from repro.distributed.partition import kd_partition
 from repro.distributed.protocol import LocalFragment
-from repro.distributed.simmpi.comm import Communicator
-from repro.distributed.simmpi.launcher import run_mpi
+from repro.distributed.backends.base import Communicator
+from repro.distributed.backends.thread import run_mpi
 from repro.geometry.distance import pairwise_sq_dists, sq_dists_to_point
 from repro.index.grid import UniformGrid
 from repro.index.rtree import PointRTree

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.distributed.simmpi.comm import Communicator
+from repro.distributed.backends.base import Communicator
 
 __all__ = ["HaloResult", "exchange_halo"]
 

@@ -1,4 +1,4 @@
-"""μDBSCAN-D — Algorithm 9, on the simmpi substrate.
+"""μDBSCAN-D — Algorithm 9, on a pluggable execution backend.
 
 Four phases per rank (names match Table VII/VIII):
 
@@ -11,27 +11,31 @@ Four phases per rank (names match Table VII/VIII):
 4. ``merging``             — fragment exchange and deterministic global
    resolution (§V-C).
 
-Per-rank phases are timed with the rank thread's *CPU* clock (threads
-share the GIL, see ``PhaseTimer``); the as-if-parallel run-time of the
-job is ``max over ranks`` of local compute plus the merge, exposed via
-:func:`parallel_time`.
+The rank function is a picklable top-level callable written against
+the backend-agnostic :class:`~repro.distributed.backends.base.Communicator`,
+so the same code runs thread-per-rank (``backend="thread"``, the
+default — exact semantics, GIL-bound) or process-per-rank
+(``backend="process"`` — real parallelism, dataset in shared memory).
+Per-rank phases are timed with the backend's per-rank CPU clock
+(``comm.clock``: thread-CPU under the GIL, process-CPU for workers);
+the as-if-parallel run-time of the job is ``max over ranks`` of local
+compute plus the merge, exposed via :func:`parallel_time`.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Any
 
 import numpy as np
 
 from repro.core.params import DBSCANParams
 from repro.core.result import ClusteringResult
+from repro.distributed.backends import launch
+from repro.distributed.backends.base import Communicator
 from repro.distributed.halo import exchange_halo
 from repro.distributed.local import run_local_mu_dbscan
 from repro.distributed.merging import resolve_fragments
 from repro.distributed.partition import kd_partition
-from repro.distributed.simmpi.comm import Communicator
-from repro.distributed.simmpi.launcher import run_mpi
 from repro.instrumentation.counters import Counters
 from repro.instrumentation.timers import PhaseTimer
 
@@ -48,16 +52,18 @@ LOCAL_PHASES = (
 
 def _rank_main(
     comm: Communicator,
-    points: np.ndarray,
+    shared: dict[str, np.ndarray],
     params: DBSCANParams,
     sample_size: int,
     seed: int,
     mu_kwargs: dict[str, Any],
 ) -> dict[str, Any]:
-    timers = PhaseTimer(clock=time.thread_time)
+    points = shared["points"]
+    timers = PhaseTimer(clock=comm.clock)
     n_global = points.shape[0]
 
-    # block distribution stands in for the paper's parallel file read
+    # block distribution stands in for the paper's parallel file read;
+    # the slice below is each rank's only read of the shared dataset
     blocks = np.array_split(np.arange(n_global, dtype=np.int64), comm.size)
     my_gids = blocks[comm.rank]
     my_points = points[my_gids]
@@ -115,24 +121,33 @@ def mu_dbscan_d(
     min_pts: int,
     n_ranks: int,
     *,
+    backend: str = "thread",
     sample_size: int = 256,
     seed: int = 0,
     **mu_kwargs: Any,
 ) -> ClusteringResult:
-    """Cluster ``points`` with μDBSCAN-D on ``n_ranks`` simulated ranks.
+    """Cluster ``points`` with μDBSCAN-D on ``n_ranks`` ranks of ``backend``.
 
     Produces exactly the clustering of sequential μDBSCAN / classical
-    DBSCAN (the test suite asserts it).  ``extras`` carries the
-    per-rank phase timings and communication volumes the distributed
-    tables report.
+    DBSCAN (the test suite asserts it), on every backend — labels,
+    counters and communication volume are backend-invariant for the
+    same seed.  ``extras`` carries the per-rank phase timings and
+    communication volumes the distributed tables report.
     """
     params = DBSCANParams(eps=eps, min_pts=min_pts)
     pts = np.ascontiguousarray(points, dtype=np.float64)
     if pts.ndim != 2:
         raise ValueError(f"points must be (n, d), got shape {pts.shape}")
 
-    rank_results = run_mpi(
-        n_ranks, _rank_main, pts, params, sample_size, seed, mu_kwargs
+    rank_results = launch(
+        n_ranks,
+        _rank_main,
+        params,
+        sample_size,
+        seed,
+        mu_kwargs,
+        backend=backend,
+        shared={"points": pts},
     )
 
     counters = Counters()
@@ -159,6 +174,7 @@ def mu_dbscan_d(
         timers=timers,
         extras={
             "n_ranks": n_ranks,
+            "backend": backend,
             "per_rank_phases": per_rank_phases,
             "per_rank_stats": [rr["stats"] for rr in rank_results],
             "n_cross_pairs": rank_results[0]["n_cross_pairs"],

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.distributed.simmpi.comm import Communicator
+from repro.distributed.backends.base import Communicator
 
 __all__ = ["PartitionResult", "kd_partition"]
 

@@ -1,18 +1,21 @@
-"""simmpi — a minimal in-process MPI.
+"""simmpi — compatibility shim over :mod:`repro.distributed.backends`.
 
-Thread-per-rank execution with blocking tagged point-to-point messages
-and the collective operations the clustering drivers need (barrier,
-bcast, scatter, gather, allgather, allreduce, alltoall).  The API
-mirrors mpi4py's lowercase object interface, so the algorithm code
-reads like real MPI code and could be ported to mpi4py by swapping the
-communicator.
+The thread-per-rank simulated MPI that used to live here is now the
+``thread`` backend of the pluggable execution-backend package; this
+package keeps the historical import paths and names working:
 
-Every payload's pickled size is counted per rank
-(``comm.bytes_sent``), giving the communication-volume numbers the
-distributed benches report.
+* ``repro.distributed.simmpi.Communicator`` / ``World`` / ``run_mpi``
+* ``repro.distributed.simmpi.comm`` and ``.launcher`` submodules
+
+New code should import from :mod:`repro.distributed.backends` (and use
+:func:`repro.distributed.backends.launch` to pick a backend).
 """
 
-from repro.distributed.simmpi.comm import Communicator, World
-from repro.distributed.simmpi.launcher import run_mpi
+from repro.distributed.backends.thread import (
+    ThreadCommunicator as Communicator,
+    World,
+    WorldShutdownError,
+    run_mpi,
+)
 
-__all__ = ["Communicator", "World", "run_mpi"]
+__all__ = ["Communicator", "World", "WorldShutdownError", "run_mpi"]

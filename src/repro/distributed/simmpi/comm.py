@@ -1,161 +1,16 @@
-"""The simulated-MPI world and per-rank communicator.
+"""Compatibility shim — the communicator now lives in the backends package.
 
-Point-to-point: every ``(src, dst, tag)`` triple owns a FIFO queue, so
-message order is preserved per channel exactly as MPI guarantees, and a
-``recv`` blocks until the matching ``send`` lands.  Collectives are
-built from point-to-point in the textbook way (root-gather + bcast),
-which keeps semantics obviously correct; performance of the collectives
-themselves is not part of anything the paper measures.
-
-Byte accounting: payloads are measured by their pickled size at the
-sender.  For numpy arrays this tracks the real buffer size closely and
-is the number the distributed tables report as communication volume.
+``Communicator`` here is the thread backend's communicator
+(:class:`repro.distributed.backends.thread.ThreadCommunicator`) under
+its historical name; the collectives and byte accounting it used to
+implement are shared by every backend via
+:class:`repro.distributed.backends.base.Communicator`.
 """
 
-from __future__ import annotations
+from repro.distributed.backends.thread import (
+    ThreadCommunicator as Communicator,
+    World,
+    WorldShutdownError,
+)
 
-import pickle
-import queue
-import threading
-from typing import Any, Callable, Sequence
-
-__all__ = ["World", "Communicator"]
-
-#: tag reserved for collective plumbing; user tags must differ
-_COLLECTIVE_TAG = -1
-
-
-class World:
-    """Shared state of one simulated MPI job (mailboxes + rank count)."""
-
-    def __init__(self, size: int) -> None:
-        if size < 1:
-            raise ValueError(f"world size must be >= 1, got {size}")
-        self.size = size
-        self._boxes: dict[tuple[int, int, int], queue.SimpleQueue] = {}
-        self._boxes_lock = threading.Lock()
-
-    def mailbox(self, src: int, dst: int, tag: int) -> queue.SimpleQueue:
-        key = (src, dst, tag)
-        box = self._boxes.get(key)
-        if box is None:
-            with self._boxes_lock:
-                box = self._boxes.setdefault(key, queue.SimpleQueue())
-        return box
-
-
-def _payload_bytes(obj: Any) -> int:
-    try:
-        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
-    except Exception:
-        return 0  # unpicklable payloads stay legal in-process; count nothing
-
-
-class Communicator:
-    """One rank's endpoint (mpi4py-flavoured lowercase API subset).
-
-    Not thread-safe across ranks by construction: each rank thread owns
-    exactly one communicator.
-    """
-
-    def __init__(self, world: World, rank: int) -> None:
-        if not (0 <= rank < world.size):
-            raise ValueError(f"rank {rank} outside world of size {world.size}")
-        self.world = world
-        self.rank = rank
-        self.size = world.size
-        #: payload bytes this rank pushed into the network
-        self.bytes_sent = 0
-        #: number of point-to-point messages sent (collective plumbing included)
-        self.messages_sent = 0
-
-    # ------------------------------------------------------------------
-    # point-to-point
-
-    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        """Blocking-semantics send (buffered: never deadlocks in-process)."""
-        if not (0 <= dest < self.size):
-            raise ValueError(f"dest {dest} outside world of size {self.size}")
-        self.bytes_sent += _payload_bytes(obj)
-        self.messages_sent += 1
-        self.world.mailbox(self.rank, dest, tag).put(obj)
-
-    def recv(self, source: int, tag: int = 0) -> Any:
-        """Blocking receive of the next message on ``(source, tag)``."""
-        if not (0 <= source < self.size):
-            raise ValueError(f"source {source} outside world of size {self.size}")
-        return self.world.mailbox(source, self.rank, tag).get()
-
-    # ------------------------------------------------------------------
-    # collectives (root-based fan-in/fan-out over p2p)
-
-    def barrier(self) -> None:
-        """All ranks reach this call before any returns."""
-        self.gather(None, root=0)
-        self.bcast(None, root=0)
-
-    def bcast(self, obj: Any, root: int = 0) -> Any:
-        """Root's object, delivered to every rank."""
-        if self.rank == root:
-            for dst in range(self.size):
-                if dst != root:
-                    self.send(obj, dst, tag=_COLLECTIVE_TAG)
-            return obj
-        return self.recv(root, tag=_COLLECTIVE_TAG)
-
-    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
-        """List of every rank's object at root (rank order); None elsewhere."""
-        if self.rank == root:
-            out: list[Any] = []
-            for src in range(self.size):
-                out.append(obj if src == root else self.recv(src, tag=_COLLECTIVE_TAG))
-            return out
-        self.send(obj, root, tag=_COLLECTIVE_TAG)
-        return None
-
-    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
-        """Root distributes ``objs[i]`` to rank ``i``; returns own share."""
-        if self.rank == root:
-            if objs is None or len(objs) != self.size:
-                raise ValueError(
-                    f"scatter at root needs exactly {self.size} objects, got "
-                    f"{None if objs is None else len(objs)}"
-                )
-            for dst in range(self.size):
-                if dst != root:
-                    self.send(objs[dst], dst, tag=_COLLECTIVE_TAG)
-            return objs[root]
-        return self.recv(root, tag=_COLLECTIVE_TAG)
-
-    def allgather(self, obj: Any) -> list[Any]:
-        """Every rank receives the full rank-ordered list."""
-        gathered = self.gather(obj, root=0)
-        return self.bcast(gathered, root=0)
-
-    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any] | None = None) -> Any:
-        """Fold every rank's object with ``op`` (default ``+``)."""
-        gathered = self.allgather(obj)
-        if op is None:
-            total = gathered[0]
-            for item in gathered[1:]:
-                total = total + item
-            return total
-        total = gathered[0]
-        for item in gathered[1:]:
-            total = op(total, item)
-        return total
-
-    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
-        """Rank ``i`` sends ``objs[j]`` to rank ``j``; returns what every
-        rank sent to it, rank ordered."""
-        if len(objs) != self.size:
-            raise ValueError(
-                f"alltoall needs exactly {self.size} objects, got {len(objs)}"
-            )
-        for dst in range(self.size):
-            if dst != self.rank:
-                self.send(objs[dst], dst, tag=_COLLECTIVE_TAG)
-        out: list[Any] = []
-        for src in range(self.size):
-            out.append(objs[self.rank] if src == self.rank else self.recv(src, tag=_COLLECTIVE_TAG))
-        return out
+__all__ = ["World", "Communicator", "WorldShutdownError"]

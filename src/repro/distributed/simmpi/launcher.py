@@ -1,67 +1,10 @@
-"""Thread-per-rank launcher for simmpi jobs.
+"""Compatibility shim — the launcher now lives in the backends package.
 
-``run_mpi(n_ranks, fn, ...)`` is the in-process analogue of
-``mpiexec -n <p> python script.py``: it spawns one thread per rank,
-hands each a :class:`Communicator`, and returns the per-rank return
-values in rank order.  Exceptions in any rank are re-raised in the
-caller (with the rank identified) after all threads have been joined,
-so a crashing rank can't leave daemon threads blocked on dead
-mailboxes unreported.
+``run_mpi`` remains the thread backend's convenience entry point
+(:func:`repro.distributed.backends.thread.run_mpi`); use
+:func:`repro.distributed.backends.launch` to choose a backend.
 """
 
-from __future__ import annotations
-
-import threading
-from typing import Any, Callable
-
-from repro.distributed.simmpi.comm import Communicator, World
+from repro.distributed.backends.thread import run_mpi
 
 __all__ = ["run_mpi"]
-
-
-def run_mpi(
-    n_ranks: int,
-    fn: Callable[..., Any],
-    *args: Any,
-    **kwargs: Any,
-) -> list[Any]:
-    """Execute ``fn(comm, *args, **kwargs)`` on ``n_ranks`` simulated ranks.
-
-    Returns ``[fn's return value of rank 0, rank 1, ...]``.  The first
-    rank exception (lowest rank) is re-raised, chained to the original.
-    """
-    if n_ranks < 1:
-        raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
-    world = World(n_ranks)
-    results: list[Any] = [None] * n_ranks
-    errors: list[BaseException | None] = [None] * n_ranks
-
-    def runner(rank: int) -> None:
-        comm = Communicator(world, rank)
-        try:
-            results[rank] = fn(comm, *args, **kwargs)
-        except BaseException as exc:  # noqa: BLE001 — reported to caller
-            errors[rank] = exc
-
-    threads = [
-        threading.Thread(target=runner, args=(r,), name=f"simmpi-rank-{r}", daemon=True)
-        for r in range(n_ranks)
-    ]
-    for t in threads:
-        t.start()
-    # A rank that died can leave peers blocked on recv forever; join with
-    # a heartbeat and bail out when a failure is recorded.
-    pending = list(threads)
-    while pending:
-        alive: list[threading.Thread] = []
-        for t in pending:
-            t.join(timeout=0.25)
-            if t.is_alive():
-                alive.append(t)
-        pending = alive
-        if pending and any(errors):
-            break  # peers may be deadlocked on the dead rank — stop waiting
-    for rank, err in enumerate(errors):
-        if err is not None:
-            raise RuntimeError(f"simmpi rank {rank} failed: {err!r}") from err
-    return results
