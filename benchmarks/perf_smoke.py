@@ -8,6 +8,13 @@ every run and gate the expensive one separately:
   batched query path) and writes ``BENCH_batched_query.json``.  Exits
   non-zero when the batched clustering phase regresses by more than
   10% — a regression gate for CI, not a benchmark.
+* **--serving** — the online-prediction case.  Fits the 20k workload
+  into a :class:`repro.serving.FittedModel`, measures single-point
+  latency through the :class:`QueryEngine` (p50/p99 over the latency
+  window) and batched vs per-point prediction throughput, and writes
+  ``BENCH_serving.json``.  Exits non-zero when the batched path drops
+  below 2× the per-point rate — batching is the serving subsystem's
+  reason to exist.
 * **--parallel** — the execution-backend wall-clock case.  Runs
   sequential μDBSCAN, then μDBSCAN-D on the ``process`` backend at 2
   and 4 ranks, on the same 20k workload, and writes
@@ -26,6 +33,7 @@ shortcut.  Timings are best-of-``ROUNDS`` to damp scheduler noise.
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py              # batched gate
+    PYTHONPATH=src python benchmarks/perf_smoke.py --serving    # prediction
     PYTHONPATH=src python benchmarks/perf_smoke.py --parallel   # wall clock
 """
 
@@ -61,9 +69,16 @@ PARALLEL_RANKS = (2, 4)
 PARALLEL_SPEEDUP_GATE = 1.5
 PARALLEL_ROUNDS = 2
 
+#: serving case: query counts and the batched-throughput requirement
+SERVING_N_QUERIES = 2048
+SERVING_SINGLE_POINT_REQUESTS = 400
+SERVING_SPEEDUP_GATE = 2.0
+SERVING_ROUNDS = 3
+
 _ROOT = Path(__file__).resolve().parent.parent
 OUT_PATH = _ROOT / "BENCH_batched_query.json"
 PARALLEL_OUT_PATH = _ROOT / "BENCH_parallel_wall.json"
+SERVING_OUT_PATH = _ROOT / "BENCH_serving.json"
 
 
 def _workload():
@@ -152,7 +167,118 @@ def run_batched_case() -> int:
 
 
 # ---------------------------------------------------------------------------
-# case 2: process-backend wall-clock speedup
+# case 2: online serving latency + batched throughput
+
+
+def _serving_queries(pts: np.ndarray) -> np.ndarray:
+    """Realistic query mix: near-data points plus background misses."""
+    rng = np.random.default_rng(SEED + 1)
+    take = rng.choice(pts.shape[0], size=SERVING_N_QUERIES, replace=True)
+    near = pts[take] + rng.normal(0.0, 0.5 * EPS, (SERVING_N_QUERIES, pts.shape[1]))
+    miss = rng.uniform(-0.5, 1.5, (SERVING_N_QUERIES // 8, pts.shape[1]))
+    queries = np.vstack([near, miss])
+    rng.shuffle(queries)
+    return queries[:SERVING_N_QUERIES]
+
+
+def run_serving_case() -> int:
+    from repro.serving import QueryEngine, brute_predict, fit_model, predict_model
+
+    pts = _workload()
+    fit_start = time.perf_counter()
+    model = fit_model(pts, EPS, MIN_PTS)
+    fit_wall = time.perf_counter() - fit_start
+    model.murtree  # build the serving index outside the timed regions
+    queries = _serving_queries(pts)
+    print(
+        f"fit: {fit_wall:.3f}s, {model.n_micro_clusters} MCs; "
+        f"query mix: {queries.shape[0]} points"
+    )
+
+    # correctness spot check before timing anything
+    sample = queries[:: max(1, queries.shape[0] // 128)]
+    got = predict_model(model, sample)
+    want = brute_predict(
+        pts, model.labels, model.core_mask, EPS, MIN_PTS, sample
+    )
+    if not np.array_equal(got.labels, want.labels):
+        print("FAIL: pruned prediction disagrees with the brute oracle")
+        return 2
+
+    # batched throughput: the whole mix in one predict call
+    batched_wall = float("inf")
+    for _ in range(SERVING_ROUNDS):
+        start = time.perf_counter()
+        predict_model(model, queries)
+        batched_wall = min(batched_wall, time.perf_counter() - start)
+    batched_qps = queries.shape[0] / batched_wall
+
+    # per-point throughput: same queries answered one by one
+    n_single = min(SERVING_SINGLE_POINT_REQUESTS, queries.shape[0])
+    single_wall = float("inf")
+    for _ in range(SERVING_ROUNDS):
+        start = time.perf_counter()
+        for i in range(n_single):
+            predict_model(model, queries[i])
+        single_wall = min(single_wall, time.perf_counter() - start)
+    per_point_qps = n_single / single_wall
+    speedup = batched_qps / per_point_qps
+
+    # single-point latency through the engine (cache off so every
+    # request pays real index work)
+    with QueryEngine(model, cache_size=0, max_wait_ms=0.0) as engine:
+        for i in range(n_single):
+            engine.predict_one(queries[i])
+        latency = engine.latency.stats()
+
+    report = {
+        "workload": {**_workload_record(), "rounds": SERVING_ROUNDS},
+        "model": {
+            "n_micro_clusters": model.n_micro_clusters,
+            "fit_wall_seconds": round(fit_wall, 4),
+            "artifact_bytes": len(model.to_bytes()),
+        },
+        "single_point_latency_ms": {
+            "requests": latency["count"],
+            "mean": round(latency["mean"] * 1e3, 4),
+            "p50": round(latency["p50"] * 1e3, 4),
+            "p99": round(latency["p99"] * 1e3, 4),
+            "max": round(latency["max"] * 1e3, 4),
+        },
+        "throughput": {
+            "n_queries_batched": queries.shape[0],
+            "n_queries_per_point": n_single,
+            "batched_qps": round(batched_qps, 1),
+            "per_point_qps": round(per_point_qps, 1),
+            "batched_speedup": round(speedup, 3),
+        },
+        "speedup_gate": {
+            "required": SERVING_SPEEDUP_GATE,
+            "passed": speedup >= SERVING_SPEEDUP_GATE,
+        },
+    }
+    SERVING_OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"single-point latency: p50 {report['single_point_latency_ms']['p50']:.3f}ms, "
+        f"p99 {report['single_point_latency_ms']['p99']:.3f}ms "
+        f"({latency['count']} requests)"
+    )
+    print(
+        f"throughput: batched {batched_qps:,.0f} q/s vs per-point "
+        f"{per_point_qps:,.0f} q/s -> {speedup:.2f}x (report: {SERVING_OUT_PATH.name})"
+    )
+    if speedup < SERVING_SPEEDUP_GATE:
+        print(
+            f"FAIL: batched prediction reached {speedup:.2f}x "
+            f"< required {SERVING_SPEEDUP_GATE}x over per-point"
+        )
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# case 3: process-backend wall-clock speedup
 
 
 def _timed_wall(fn, rounds: int) -> tuple[float, object]:
@@ -238,9 +364,18 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run the process-backend wall-clock case instead of the batched gate",
     )
+    parser.add_argument(
+        "--serving",
+        action="store_true",
+        help="run the online-prediction latency/throughput case",
+    )
     args = parser.parse_args(argv)
+    if args.parallel and args.serving:
+        parser.error("choose one of --parallel / --serving")
     if args.parallel:
         return run_parallel_case()
+    if args.serving:
+        return run_serving_case()
     return run_batched_case()
 
 

@@ -22,6 +22,8 @@ Layout:
 * :mod:`repro.data` — synthetic stand-ins for the paper's datasets.
 * :mod:`repro.validation` — the exactness checker and quality metrics.
 * :mod:`repro.instrumentation` — counters, timers, memory, tables.
+* :mod:`repro.serving` — model persistence + online prediction serving
+  (``fit_model`` → ``save_model`` → ``QueryEngine`` / ``mudbscan serve``).
 """
 
 from repro._version import __version__
@@ -34,6 +36,14 @@ from repro.validation.definition import validate_definition
 from repro.neighbors import suggest_eps, k_distances
 from repro.streaming import IncrementalMuDBSCAN
 from repro.geometry.metrics import get_metric
+from repro.serving import (
+    FittedModel,
+    QueryEngine,
+    fit_model,
+    load_model,
+    predict_model,
+    save_model,
+)
 
 __all__ = [
     "__version__",
@@ -52,4 +62,10 @@ __all__ = [
     "k_distances",
     "IncrementalMuDBSCAN",
     "get_metric",
+    "FittedModel",
+    "QueryEngine",
+    "fit_model",
+    "save_model",
+    "load_model",
+    "predict_model",
 ]

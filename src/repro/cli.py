@@ -7,6 +7,9 @@
     mudbscan run --input points.npy --eps 0.1 --min-pts 5
     mudbscan compare --dataset DGB0.5M3D
     mudbscan distributed --dataset MPAGD8M3D --ranks 4 --algo mu-d
+    mudbscan fit --dataset 3DSRN --save model.mudb
+    mudbscan predict --model model.mudb --input queries.npy
+    mudbscan serve --model model.mudb --port 8765
 
 (also reachable as ``python -m repro.cli``)
 """
@@ -14,12 +17,14 @@
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Callable
 
 import numpy as np
 
+from repro._version import __version__
 from repro.baselines import brute_dbscan, g_dbscan, grid_dbscan, rtree_dbscan
 from repro.core.mudbscan import mu_dbscan
 from repro.microcluster.murtree import DEFAULT_BLOCK_SIZE
@@ -144,10 +149,81 @@ def cmd_distributed(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fit(args: argparse.Namespace) -> int:
+    from repro.serving import fit_model
+
+    pts, eps, min_pts, name = _resolve_workload(args)
+    start = time.perf_counter()
+    model = fit_model(
+        pts,
+        eps,
+        min_pts,
+        metric=args.metric,
+        batch_queries=not args.no_batch_queries,
+        block_size=args.block_size,
+    )
+    wall = time.perf_counter() - start
+    path = model.save(args.save)
+    print(model.summary())
+    print(f"dataset={name} fit_wall={wall:.3f}s")
+    print(f"saved model artifact: {path} ({path.stat().st_size} bytes)")
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    from repro.serving import load_model, predict_model
+
+    model = load_model(args.model)
+    queries = load_points(args.input)
+    result = predict_model(model, queries, block_size=args.block_size)
+    if args.json:
+        print(json.dumps(result.as_payload()))
+        return 0
+    print(model.summary())
+    rows = []
+    for i in range(len(result)):
+        dist = result.nearest_core_dist[i]
+        rows.append(
+            [
+                i,
+                int(result.labels[i]),
+                "yes" if result.would_be_core[i] else "no",
+                int(result.nearest_core[i]),
+                f"{dist:.6g}" if np.isfinite(dist) else "-",
+                int(result.n_neighbors[i]),
+            ]
+        )
+    print(
+        format_table(
+            ["query", "label", "would_be_core", "nearest_core", "core_dist", "n_nbrs"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import QueryEngine, load_model, serve_forever
+
+    model = load_model(args.model)
+    engine = QueryEngine(
+        model,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        cache_size=args.cache_size,
+        block_size=args.block_size,
+    )
+    serve_forever(engine, host=args.host, port=args.port)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mudbscan",
         description="μDBSCAN reproduction (IEEE CLUSTER 2019) command line",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"mudbscan {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -190,6 +266,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution substrate: thread-sim (exact, GIL-bound) or "
         "process workers over shared memory (real parallelism; mu-d only)",
     )
+
+    fit = sub.add_parser(
+        "fit", help="fit μDBSCAN and save a servable model artifact"
+    )
+    add_workload_args(fit)
+    fit.add_argument(
+        "--save", required=True, metavar="PATH",
+        help="where to write the model artifact (e.g. model.mudb)",
+    )
+    fit.add_argument(
+        "--metric", default="euclidean",
+        help="distance metric (euclidean / manhattan / chebyshev)",
+    )
+
+    pred = sub.add_parser(
+        "predict", help="assign new points to a saved model's clustering"
+    )
+    pred.add_argument("--model", required=True, help="model artifact from 'fit --save'")
+    pred.add_argument(
+        "--input", required=True, help="query points file (.npy/.csv/.tsv)"
+    )
+    pred.add_argument("--json", action="store_true", help="machine-readable output")
+    pred.add_argument("--block-size", type=int, default=DEFAULT_BLOCK_SIZE)
+
+    serve = sub.add_parser(
+        "serve", help="serve a saved model over a stdlib HTTP JSON endpoint"
+    )
+    serve.add_argument("--model", required=True, help="model artifact from 'fit --save'")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument(
+        "--max-batch", type=int, default=256,
+        help="most requests answered in one micro-batch block",
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="how long the batcher holds a request waiting for company",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=4096,
+        help="LRU answer-cache entries (0 disables caching)",
+    )
+    serve.add_argument("--block-size", type=int, default=DEFAULT_BLOCK_SIZE)
     return parser
 
 
@@ -200,6 +319,9 @@ def main(argv: list[str] | None = None) -> int:
         "run": cmd_run,
         "compare": cmd_compare,
         "distributed": cmd_distributed,
+        "fit": cmd_fit,
+        "predict": cmd_predict,
+        "serve": cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -98,6 +98,22 @@ class ClusteringResult:
             out.setdefault(int(self.labels[idx]), set()).add(int(idx))
         return {label: frozenset(members) for label, members in out.items()}
 
+    def fingerprint(self) -> str:
+        """Stable content hash of the clustering outcome.
+
+        Hashes labels, core mask and the parameters — two runs (or a
+        save/load round trip) produced the same clustering iff their
+        fingerprints match.  Used by the serving layer's round-trip
+        checks and handy for cache keys over fitted artifacts.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(np.ascontiguousarray(self.labels, dtype=np.int64).tobytes())
+        h.update(np.ascontiguousarray(self.core_mask, dtype=bool).tobytes())
+        h.update(f"{self.params.eps!r}:{self.params.min_pts!r}".encode())
+        return h.hexdigest()
+
     def summary(self) -> str:
         """One-line human summary."""
         return (

@@ -21,6 +21,7 @@ import numpy as np
 
 __all__ = [
     "pairwise_sq_dists",
+    "pairwise_sq_dists_stable",
     "sq_dists_to_point",
     "sq_dist",
     "neighbors_within",
@@ -80,6 +81,27 @@ def pairwise_sq_dists(a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray:
     if b is None:
         np.fill_diagonal(out, 0.0)
     return out
+
+
+def pairwise_sq_dists_stable(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Squared-distance matrix via the direct ``sum((x - y)^2)`` form.
+
+    Unlike :func:`pairwise_sq_dists`, each entry depends only on the two
+    rows involved — never on the shape of the block it was computed in —
+    so the same point pair yields the *bit-identical* value whether it
+    is evaluated inside a 1-row or a 10k-row block.  The serving layer
+    relies on this to make pruned prediction exactly reproduce the
+    brute-force oracle even for queries engineered to sit on the ε
+    boundary.  Costs ``|a| * |b| * d`` temporaries, so callers chunk.
+    """
+    a2d = _as2d(a)
+    b2d = _as2d(b)
+    if a2d.shape[1] != b2d.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: {a2d.shape[1]}-d vs {b2d.shape[1]}-d points"
+        )
+    diff = a2d[:, None, :] - b2d[None, :, :]
+    return np.einsum("ijk,ijk->ij", diff, diff)
 
 
 def neighbors_within(points: np.ndarray, q: np.ndarray, eps: float) -> np.ndarray:

@@ -53,6 +53,15 @@ class Metric:
         """Dense raw-value matrix between row sets."""
         raise NotImplementedError
 
+    def raw_pairwise_stable(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Like :meth:`raw_pairwise`, but each entry is guaranteed to be
+        a function of the two rows only — independent of block shape.
+        Metrics whose ``raw_pairwise`` is already a per-pair direct form
+        (L1, L∞ broadcasting) inherit this default; Euclidean overrides
+        it because its BLAS expansion trick is shape-dependent in the
+        last ulp."""
+        return self.raw_pairwise(a, b)
+
     def raw_point_rect(self, q: np.ndarray, low: np.ndarray, high: np.ndarray) -> float:
         """Raw value of the minimum distance from ``q`` to the box."""
         raise NotImplementedError
@@ -61,6 +70,11 @@ class Metric:
         """``c`` such that the metric ball of radius r fits inside the
         Euclidean ball of radius ``c * r`` (used for index pruning)."""
         raise NotImplementedError
+
+    def dist_from_raw(self, raw: np.ndarray | float):
+        """Convert raw comparison values back to true distances (the
+        identity for metrics whose raw values *are* distances)."""
+        return raw
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"<Metric {self.name}>"
@@ -84,6 +98,11 @@ class EuclideanMetric(Metric):
 
         return pairwise_sq_dists(a, b)
 
+    def raw_pairwise_stable(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        from repro.geometry.distance import pairwise_sq_dists_stable
+
+        return pairwise_sq_dists_stable(a, b)
+
     def raw_point_rect(self, q: np.ndarray, low: np.ndarray, high: np.ndarray) -> float:
         from repro.geometry.regions import point_rect_sq_dist
 
@@ -91,6 +110,9 @@ class EuclideanMetric(Metric):
 
     def l2_cover_factor(self, dim: int) -> float:
         return 1.0
+
+    def dist_from_raw(self, raw: np.ndarray | float):
+        return np.sqrt(raw)
 
 
 class ManhattanMetric(Metric):

@@ -9,12 +9,14 @@ produced by this subpackage: neighborhood-query counts and saves
 from repro.instrumentation.counters import Counters
 from repro.instrumentation.timers import PhaseTimer
 from repro.instrumentation.memory import peak_memory_of
+from repro.instrumentation.latency import LatencyWindow
 from repro.instrumentation.report import format_table, format_percent_split
 
 __all__ = [
     "Counters",
     "PhaseTimer",
     "peak_memory_of",
+    "LatencyWindow",
     "format_table",
     "format_percent_split",
 ]

@@ -78,3 +78,22 @@ class Counters:
         out.update(self.extra)
         out["query_save_fraction"] = self.query_save_fraction
         return out
+
+    def to_dict(self) -> dict:
+        """Lossless dict form (extras kept separate) for serialization."""
+        out: dict = {
+            f.name: int(getattr(self, f.name)) for f in fields(self) if f.name != "extra"
+        }
+        out["extra"] = {k: int(v) for k, v in self.extra.items()}
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Counters":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored so newer
+        artifacts load under older counter schemas."""
+        known = {f.name for f in fields(cls)} - {"extra"}
+        kwargs = {k: int(v) for k, v in data.items() if k in known}
+        out = cls(**kwargs)
+        for key, val in dict(data.get("extra", {})).items():
+            out.add_extra(str(key), int(val))
+        return out

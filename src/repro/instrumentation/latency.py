@@ -1,0 +1,84 @@
+"""Latency tracking for the serving layer.
+
+A :class:`LatencyWindow` is a fixed-capacity ring buffer of the most
+recent request latencies with nearest-rank percentile queries — the
+p50/p99 numbers the serving benchmarks and the ``/stats`` endpoint
+report.  Bounded so a long-lived server never grows memory with
+traffic; thread-safe because the query engine records from its
+micro-batch worker while request threads read stats.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["LatencyWindow"]
+
+
+class LatencyWindow:
+    """Ring buffer of recent latencies (seconds) with percentiles."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._buf = np.zeros(capacity, dtype=np.float64)
+        self._next = 0
+        self._count = 0  # lifetime recordings (may exceed capacity)
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        """Record one latency observation."""
+        if seconds < 0.0:
+            raise ValueError(f"latency cannot be negative, got {seconds}")
+        with self._lock:
+            self._buf[self._next] = seconds
+            self._next = (self._next + 1) % self.capacity
+            self._count += 1
+
+    def __len__(self) -> int:
+        """Observations currently in the window (≤ capacity)."""
+        with self._lock:
+            return min(self._count, self.capacity)
+
+    @property
+    def total_recorded(self) -> int:
+        """Lifetime observation count (window overwrites included)."""
+        with self._lock:
+            return self._count
+
+    def _snapshot(self) -> np.ndarray:
+        with self._lock:
+            n = min(self._count, self.capacity)
+            return self._buf[:n].copy()
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the window (NaN when empty)."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        data = self._snapshot()
+        if data.size == 0:
+            return float("nan")
+        data.sort()
+        rank = max(1, int(np.ceil(q / 100.0 * data.size)))
+        return float(data[rank - 1])
+
+    def mean(self) -> float:
+        data = self._snapshot()
+        return float(data.mean()) if data.size else float("nan")
+
+    def stats(self) -> dict[str, float | int]:
+        """Summary dict for reports: count / mean / p50 / p99 / max."""
+        data = self._snapshot()
+        if data.size == 0:
+            return {"count": 0, "mean": None, "p50": None, "p99": None, "max": None}
+        data.sort()
+        return {
+            "count": int(self.total_recorded),
+            "mean": float(data.mean()),
+            "p50": float(data[max(1, int(np.ceil(0.50 * data.size))) - 1]),
+            "p99": float(data[max(1, int(np.ceil(0.99 * data.size))) - 1]),
+            "max": float(data[-1]),
+        }

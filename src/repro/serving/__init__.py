@@ -1,0 +1,47 @@
+"""Model persistence + online prediction serving.
+
+The fit→save→serve pipeline the production story needs:
+
+* :mod:`repro.serving.model` — :class:`FittedModel`, the frozen
+  versioned artifact of a μDBSCAN run (binary save/load with checksum;
+  loading rebuilds the serving μR-tree from stored state instead of
+  re-running Algorithm 3).
+* :mod:`repro.serving.predict` — exact online assignment of new points
+  (nearest-core-within-ε rule, Lemma-3 2ε pruning, vectorized per-MC
+  blocks) plus the brute-force oracle the tests compare against.
+* :mod:`repro.serving.engine` — thread-safe :class:`QueryEngine` with
+  request micro-batching, LRU answer caching and latency/hit-rate
+  instrumentation.
+* :mod:`repro.serving.service` — the stdlib HTTP JSON endpoint behind
+  ``mudbscan serve``.
+
+See docs/SERVING.md for the artifact format and the exactness argument.
+"""
+
+from repro.serving.model import (
+    FORMAT_VERSION,
+    FittedModel,
+    ModelFormatError,
+    fit_model,
+    load_model,
+    save_model,
+)
+from repro.serving.predict import PredictResult, brute_predict, predict_model
+from repro.serving.engine import PredictRow, QueryEngine
+from repro.serving.service import make_server, serve_forever
+
+__all__ = [
+    "FORMAT_VERSION",
+    "FittedModel",
+    "ModelFormatError",
+    "fit_model",
+    "load_model",
+    "save_model",
+    "PredictResult",
+    "predict_model",
+    "brute_predict",
+    "PredictRow",
+    "QueryEngine",
+    "make_server",
+    "serve_forever",
+]

@@ -1,0 +1,503 @@
+"""The frozen model artifact — fit once, serve anywhere.
+
+A :class:`FittedModel` is a versioned snapshot of one μDBSCAN run:
+the dataset, the labels and core flags, the complete micro-cluster
+structure (centers, memberships, reachability lists) and the run's
+parameters/counters.  It is everything online prediction needs and
+nothing it does not — in particular the serving-side μR-tree is
+**rebuilt from the stored centers and memberships**, never by
+re-running Algorithm 3 (the dominant fit-time phase, Table III), so a
+model fitted on one machine loads in milliseconds on another.
+
+On-disk container (``save_model`` / ``load_model``)::
+
+    MUDB | uint32 header_len | JSON header | .npz payload
+
+The JSON header carries the format version, a SHA-256 checksum of the
+payload, the clustering parameters and the fit-time counters; the
+payload is one compressed ``.npz`` holding the arrays.  Loads verify
+the magic, the format version and the checksum before touching a
+single array — a corrupted or foreign file raises
+:class:`ModelFormatError`, it never returns garbage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import struct
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro._version import __version__
+from repro.core.mudbscan import run_mu_dbscan_state
+from repro.core.params import DBSCANParams
+from repro.core.result import ClusteringResult
+from repro.geometry.metrics import EUCLIDEAN, Metric, get_metric
+from repro.index.bulk import str_bulk_load
+from repro.index.rtree import RTree
+from repro.instrumentation.counters import Counters
+from repro.instrumentation.timers import PhaseTimer
+from repro.microcluster.microcluster import MCKind, MicroCluster
+from repro.microcluster.murtree import DEFAULT_BLOCK_SIZE, MuRTree
+
+__all__ = [
+    "FittedModel",
+    "ModelFormatError",
+    "fit_model",
+    "save_model",
+    "load_model",
+    "FORMAT_VERSION",
+    "MAGIC",
+]
+
+#: bump when the payload schema changes; loads reject other versions
+FORMAT_VERSION = 1
+#: file magic — first four bytes of every model file
+MAGIC = b"MUDB"
+
+_HEADER_STRUCT = struct.Struct("<I")  # header length, little-endian uint32
+
+
+class ModelFormatError(ValueError):
+    """The bytes are not a loadable model artifact (bad magic, wrong
+    format version, checksum mismatch, missing arrays, truncation)."""
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert numpy scalars so ``json.dumps`` accepts it."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return _jsonable(value.tolist())
+    return value
+
+
+def _csr(parts: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Pack a ragged list of int arrays as (offsets, flat)."""
+    offsets = np.zeros(len(parts) + 1, dtype=np.int64)
+    np.cumsum([p.shape[0] for p in parts], out=offsets[1:])
+    flat = (
+        np.concatenate(parts).astype(np.int64)
+        if parts
+        else np.empty(0, dtype=np.int64)
+    )
+    return offsets, flat
+
+
+@dataclass
+class FittedModel:
+    """Frozen, serializable artifact of one μDBSCAN fit.
+
+    Attributes
+    ----------
+    points, labels, core_mask, point_mc:
+        Per-row dataset state: coordinates (float64), dense cluster
+        labels (``-1`` noise), the core flag and the owning MC id.
+    center_rows:
+        ``(m,)`` dataset row of each MC's center, in MC-id order.
+    member_offsets / member_flat:
+        CSR encoding of each MC's member rows (builder order preserved,
+        so the rebuilt index answers queries in the same neighbor order
+        as the fit-time one).
+    reach_offsets / reach_flat:
+        CSR encoding of each MC's reachable-MC id list (Algorithm 5
+        output — stored so the serving index never re-derives it).
+    params / metric_name / algorithm:
+        Clustering provenance.
+    counters:
+        Fit-time work counters (snapshot; serving work is counted
+        separately by the query engine).
+    extras / meta:
+        The fit result's extras payload and artifact metadata
+        (creation time, library version).
+    """
+
+    points: np.ndarray
+    labels: np.ndarray
+    core_mask: np.ndarray
+    point_mc: np.ndarray
+    center_rows: np.ndarray
+    member_offsets: np.ndarray
+    member_flat: np.ndarray
+    reach_offsets: np.ndarray
+    reach_flat: np.ndarray
+    params: DBSCANParams
+    metric_name: str = "euclidean"
+    algorithm: str = "mu_dbscan"
+    counters: Counters = field(default_factory=Counters)
+    extras: dict[str, Any] = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
+    _murtree: MuRTree | None = field(default=None, repr=False, compare=False)
+    #: counters the serving-side index charges its query work to —
+    #: starts at zero so tests can assert no construction work happened
+    serving_counters: Counters = field(default_factory=Counters)
+
+    def __post_init__(self) -> None:
+        self.points = np.ascontiguousarray(self.points, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        self.core_mask = np.asarray(self.core_mask, dtype=bool)
+        self.point_mc = np.asarray(self.point_mc, dtype=np.int64)
+        self.center_rows = np.asarray(self.center_rows, dtype=np.int64)
+        self.member_offsets = np.asarray(self.member_offsets, dtype=np.int64)
+        self.member_flat = np.asarray(self.member_flat, dtype=np.int64)
+        self.reach_offsets = np.asarray(self.reach_offsets, dtype=np.int64)
+        self.reach_flat = np.asarray(self.reach_flat, dtype=np.int64)
+        n = self.points.shape[0]
+        m = self.center_rows.shape[0]
+        if self.labels.shape != (n,) or self.core_mask.shape != (n,):
+            raise ModelFormatError("labels/core_mask do not match the point count")
+        if self.point_mc.shape != (n,):
+            raise ModelFormatError("point_mc does not match the point count")
+        if self.member_offsets.shape != (m + 1,) or self.reach_offsets.shape != (m + 1,):
+            raise ModelFormatError("CSR offsets do not match the micro-cluster count")
+        if self.member_flat.shape != (n,):
+            raise ModelFormatError("member lists must partition the dataset")
+
+    # ------------------------------------------------------------------
+    # construction
+
+    @classmethod
+    def from_state(
+        cls,
+        state,
+        *,
+        algorithm: str = "mu_dbscan",
+        extras: dict[str, Any] | None = None,
+    ) -> "FittedModel":
+        """Snapshot a finished :class:`MuDBSCANState` into an artifact."""
+        murtree: MuRTree = state.murtree
+        labels = state.uf.labels(noise_mask=state.final_noise_mask())
+        members = []
+        reaches = []
+        for mc in murtree.mcs:
+            assert mc.member_rows is not None and mc.reach_ids is not None
+            members.append(mc.member_rows)
+            reaches.append(mc.reach_ids)
+        member_offsets, member_flat = _csr(members)
+        reach_offsets, reach_flat = _csr(reaches)
+        return cls(
+            points=murtree.points,
+            labels=labels,
+            core_mask=state.core.copy(),
+            point_mc=murtree.point_mc,
+            center_rows=np.asarray(
+                [mc.center_row for mc in murtree.mcs], dtype=np.int64
+            ),
+            member_offsets=member_offsets,
+            member_flat=member_flat,
+            reach_offsets=reach_offsets,
+            reach_flat=reach_flat,
+            params=state.params,
+            metric_name=murtree.metric.name,
+            algorithm=algorithm,
+            counters=state.counters,
+            extras=dict(extras or {}),
+            meta={"created_unix": time.time(), "repro_version": __version__},
+            _murtree=murtree,  # fit-side index is already warm — reuse it
+        )
+
+    # ------------------------------------------------------------------
+    # basic views
+
+    @property
+    def n(self) -> int:
+        return int(self.points.shape[0])
+
+    @property
+    def dim(self) -> int:
+        return int(self.points.shape[1])
+
+    @property
+    def n_micro_clusters(self) -> int:
+        return int(self.center_rows.shape[0])
+
+    @property
+    def metric(self) -> Metric:
+        return get_metric(self.metric_name)
+
+    def member_rows(self, mc_id: int) -> np.ndarray:
+        return self.member_flat[
+            self.member_offsets[mc_id] : self.member_offsets[mc_id + 1]
+        ]
+
+    def reach_ids(self, mc_id: int) -> np.ndarray:
+        return self.reach_flat[
+            self.reach_offsets[mc_id] : self.reach_offsets[mc_id + 1]
+        ]
+
+    def to_result(self) -> ClusteringResult:
+        """Rebuild the fit's :class:`ClusteringResult` view."""
+        return ClusteringResult(
+            labels=self.labels.copy(),
+            core_mask=self.core_mask.copy(),
+            params=self.params,
+            algorithm=self.algorithm,
+            counters=self.counters,
+            timers=PhaseTimer(),
+            extras=dict(self.extras),
+        )
+
+    def summary(self) -> str:
+        pos = self.labels[self.labels >= 0]
+        k = int(np.unique(pos).shape[0]) if pos.size else 0
+        return (
+            f"FittedModel[{self.algorithm}]: n={self.n} d={self.dim} "
+            f"clusters={k} mcs={self.n_micro_clusters} "
+            f"(eps={self.params.eps}, MinPts={self.params.min_pts}, "
+            f"metric={self.metric_name})"
+        )
+
+    # ------------------------------------------------------------------
+    # serving index
+
+    @property
+    def murtree(self) -> MuRTree:
+        """The serving-side μR-tree, rebuilt lazily from stored state.
+
+        Reconstruction replays nothing: MC membership comes from the
+        stored CSR lists, the level-1 tree is STR-packed over the
+        stored ``center ± eps`` boxes, and the reachability lists are
+        restored verbatim — so ``serving_counters.micro_clusters``
+        stays 0 (Algorithm 3 never runs) and ``compute_reachability``
+        is a no-op (Algorithm 5 never runs).  The round-trip test
+        asserts both.
+        """
+        if self._murtree is None:
+            self._murtree = self._rebuild_murtree()
+        return self._murtree
+
+    def _rebuild_murtree(self) -> MuRTree:
+        eps = self.params.eps
+        metric = self.metric
+        mcs: list[MicroCluster] = []
+        for mc_id in range(self.n_micro_clusters):
+            center_row = int(self.center_rows[mc_id])
+            mc = MicroCluster(mc_id, center_row, self.points[center_row])
+            # restore the exact builder-order membership, then freeze to
+            # rematerialise the derived views (coords copy, MBR, inner
+            # circle) — vectorized numpy work, not Algorithm 3
+            mc._pending_rows = [int(r) for r in self.member_rows(mc_id)]
+            mc.freeze(self.points, eps, metric=metric)
+            mc.reach_ids = self.reach_ids(mc_id).copy()
+            mcs.append(mc)
+        # cached-mode reachable blocks, concatenated from stored lists
+        for mc in mcs:
+            rows = [mcs[int(w)].member_rows for w in mc.reach_ids]
+            rows = [r for r in rows if r is not None and r.size]
+            mc.reach_rows = (
+                np.concatenate(rows) if rows else np.empty(0, dtype=np.int64)
+            )
+            mc.reach_points = np.ascontiguousarray(
+                self.points[mc.reach_rows], dtype=np.float64
+            )
+        dim = max(self.dim, 1)
+        level1 = RTree(dim, max_entries=64, counters=self.serving_counters)
+        if mcs:
+            centers = np.stack([mc.center for mc in mcs])
+            str_bulk_load(
+                level1,
+                centers - eps,
+                centers + eps,
+                payloads=np.arange(len(mcs), dtype=np.int64),
+            )
+        return MuRTree.from_prebuilt(
+            self.points,
+            eps,
+            mcs,
+            level1,
+            self.point_mc,
+            aux_index="cached",
+            counters=self.serving_counters,
+            metric=metric,
+        )
+
+    def mc_kind_counts(self) -> dict[str, int]:
+        """DMC/CMC/SMC split of the stored micro-clusters."""
+        counts = {kind.name: 0 for kind in MCKind}
+        for mc in self.murtree.mcs:
+            counts[mc.kind(self.params.min_pts).name] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # persistence
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the versioned binary container."""
+        buf = io.BytesIO()
+        np.savez_compressed(
+            buf,
+            points=self.points,
+            labels=self.labels,
+            core_mask=self.core_mask,
+            point_mc=self.point_mc,
+            center_rows=self.center_rows,
+            member_offsets=self.member_offsets,
+            member_flat=self.member_flat,
+            reach_offsets=self.reach_offsets,
+            reach_flat=self.reach_flat,
+        )
+        payload = buf.getvalue()
+        header = {
+            "format_version": FORMAT_VERSION,
+            "checksum": "sha256:" + hashlib.sha256(payload).hexdigest(),
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "dim": self.dim,
+            "n_micro_clusters": self.n_micro_clusters,
+            "eps": self.params.eps,
+            "min_pts": self.params.min_pts,
+            "metric": self.metric_name,
+            "counters": _jsonable(self.counters.to_dict()),
+            "extras": _jsonable(self.extras),
+            "meta": _jsonable(self.meta),
+        }
+        header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+        return MAGIC + _HEADER_STRUCT.pack(len(header_bytes)) + header_bytes + payload
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "FittedModel":
+        """Parse, verify and reconstruct a model from container bytes."""
+        prefix_len = len(MAGIC) + _HEADER_STRUCT.size
+        if len(blob) < prefix_len:
+            raise ModelFormatError("file too short to be a model artifact")
+        if blob[: len(MAGIC)] != MAGIC:
+            raise ModelFormatError(
+                f"bad magic {blob[:len(MAGIC)]!r} (expected {MAGIC!r})"
+            )
+        (header_len,) = _HEADER_STRUCT.unpack(
+            blob[len(MAGIC) : prefix_len]
+        )
+        if len(blob) < prefix_len + header_len:
+            raise ModelFormatError("truncated header")
+        try:
+            header = json.loads(blob[prefix_len : prefix_len + header_len])
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ModelFormatError(f"unparseable header: {exc}") from exc
+        version = header.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ModelFormatError(
+                f"unsupported format version {version!r} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        payload = blob[prefix_len + header_len :]
+        expected = header.get("checksum", "")
+        actual = "sha256:" + hashlib.sha256(payload).hexdigest()
+        if expected != actual:
+            raise ModelFormatError(
+                f"payload checksum mismatch: header says {expected}, "
+                f"payload hashes to {actual} — refusing to load"
+            )
+        try:
+            with np.load(io.BytesIO(payload)) as npz:
+                arrays = {name: npz[name] for name in npz.files}
+        except Exception as exc:  # zipfile/np.load raise various types
+            raise ModelFormatError(f"unreadable payload: {exc}") from exc
+        required = (
+            "points", "labels", "core_mask", "point_mc", "center_rows",
+            "member_offsets", "member_flat", "reach_offsets", "reach_flat",
+        )
+        missing = [name for name in required if name not in arrays]
+        if missing:
+            raise ModelFormatError(f"payload is missing arrays: {missing}")
+        return cls(
+            points=arrays["points"],
+            labels=arrays["labels"],
+            core_mask=arrays["core_mask"],
+            point_mc=arrays["point_mc"],
+            center_rows=arrays["center_rows"],
+            member_offsets=arrays["member_offsets"],
+            member_flat=arrays["member_flat"],
+            reach_offsets=arrays["reach_offsets"],
+            reach_flat=arrays["reach_flat"],
+            params=DBSCANParams(
+                eps=float(header["eps"]), min_pts=int(header["min_pts"])
+            ),
+            metric_name=str(header.get("metric", "euclidean")),
+            algorithm=str(header.get("algorithm", "mu_dbscan")),
+            counters=Counters.from_dict(header.get("counters", {})),
+            extras=dict(header.get("extras", {})),
+            meta=dict(header.get("meta", {})),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the artifact to ``path`` (atomic rename)."""
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_bytes(self.to_bytes())
+        tmp.replace(path)
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FittedModel":
+        """Read and verify an artifact written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"no such model file: {path}")
+        return cls.from_bytes(path.read_bytes())
+
+
+def fit_model(
+    points: np.ndarray,
+    eps: float,
+    min_pts: int,
+    *,
+    metric: str | Metric = EUCLIDEAN,
+    batch_queries: bool = True,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    **mu_kwargs: Any,
+) -> FittedModel:
+    """Fit μDBSCAN and package the run as a :class:`FittedModel`.
+
+    Accepts the same knobs as :func:`repro.core.mudbscan.mu_dbscan`;
+    float32 (or any numeric) input is canonicalised to float64, the
+    repo-wide coordinate dtype.
+    """
+    pts = np.ascontiguousarray(points, dtype=np.float64)
+    params = DBSCANParams(eps=eps, min_pts=min_pts)
+    counters = Counters()
+    state, timers = run_mu_dbscan_state(
+        pts,
+        params,
+        metric=metric,
+        batch_queries=batch_queries,
+        block_size=block_size,
+        counters=counters,
+        **mu_kwargs,
+    )
+    murtree = state.murtree
+    kind_counts = {kind.name: 0 for kind in MCKind}
+    for mc in murtree.mcs:
+        kind_counts[mc.kind(params.min_pts).name] += 1
+    extras = {
+        "n_micro_clusters": murtree.n_micro_clusters,
+        "avg_mc_size": murtree.avg_mc_size,
+        "n_wndq_core": len(state.wndq_corelist),
+        "mc_kind_counts": kind_counts,
+        "metric": murtree.metric.name,
+        "fit_seconds": timers.total(),
+    }
+    return FittedModel.from_state(state, extras=extras)
+
+
+def save_model(model: FittedModel, path: str | Path) -> Path:
+    """Module-level alias of :meth:`FittedModel.save`."""
+    return model.save(path)
+
+
+def load_model(path: str | Path) -> FittedModel:
+    """Module-level alias of :meth:`FittedModel.load`."""
+    return FittedModel.load(path)

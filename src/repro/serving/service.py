@@ -1,0 +1,175 @@
+"""Stdlib-only HTTP JSON front-end for the query engine.
+
+Endpoints (``mudbscan serve`` starts this server):
+
+* ``POST /predict`` — body ``{"points": [[x, y, ...], ...]}`` (or a
+  single ``{"point": [x, y, ...]}``); responds with the
+  :meth:`PredictResult.as_payload` arrays.
+* ``GET /healthz`` — liveness + model summary.
+* ``GET /stats`` — engine counters, cache hit rates, latency p50/p99.
+
+Built on :class:`http.server.ThreadingHTTPServer` — no third-party web
+framework, per the repo's stdlib+numpy dependency policy.  Each request
+thread funnels into the engine's micro-batcher, so concurrent clients
+are answered in shared vectorized blocks.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.serving.engine import QueryEngine
+
+__all__ = ["ServingHandler", "make_server", "serve_forever"]
+
+#: refuse request bodies larger than this (64 MiB) — a basic guard for
+#: an endpoint meant to sit behind real traffic
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ServingHandler(BaseHTTPRequestHandler):
+    """Request handler bound to the server's :class:`QueryEngine`."""
+
+    server_version = "mudbscan-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def engine(self) -> QueryEngine:
+        return self.server.engine  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _fail(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        if self.path == "/healthz":
+            model = self.engine.model
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "model": model.summary(),
+                    "n": model.n,
+                    "dim": model.dim,
+                    "eps": model.params.eps,
+                    "min_pts": model.params.min_pts,
+                },
+            )
+        elif self.path == "/stats":
+            self._send_json(200, self.engine.stats())
+        else:
+            self._fail(404, f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        if self.path != "/predict":
+            self._fail(404, f"unknown path {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._fail(400, "bad Content-Length")
+            return
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._fail(400, f"body length must be in (0, {MAX_BODY_BYTES}]")
+            return
+        try:
+            body = json.loads(self.rfile.read(length))
+        except (ValueError, UnicodeDecodeError):
+            self._fail(400, "body is not valid JSON")
+            return
+        if isinstance(body, dict) and "point" in body:
+            raw_points = [body["point"]]
+        elif isinstance(body, dict) and "points" in body:
+            raw_points = body["points"]
+        else:
+            self._fail(400, 'body must be {"points": [[...], ...]} or {"point": [...]}')
+            return
+        try:
+            queries = np.asarray(raw_points, dtype=np.float64)
+            if queries.ndim != 2 or queries.shape[1] != self.engine.model.dim:
+                raise ValueError(
+                    f"expected (k, {self.engine.model.dim}) coordinates, "
+                    f"got shape {queries.shape}"
+                )
+            if not np.all(np.isfinite(queries)):
+                raise ValueError("coordinates must be finite")
+        except (ValueError, TypeError) as exc:
+            self._fail(400, str(exc))
+            return
+        if queries.shape[0] == 1:
+            # single point: ride the micro-batcher so concurrent clients
+            # share one vectorized block
+            row = self.engine.predict_one(queries[0])
+            result_payload = {
+                "labels": [row.label],
+                "would_be_core": [row.would_be_core],
+                "nearest_core": [row.nearest_core],
+                "nearest_core_dist": [
+                    row.nearest_core_dist
+                    if np.isfinite(row.nearest_core_dist)
+                    else None
+                ],
+                "n_neighbors": [row.n_neighbors],
+            }
+        else:
+            result_payload = self.engine.predict(queries).as_payload()
+        self._send_json(200, result_payload)
+
+
+def make_server(
+    engine: QueryEngine,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    *,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """Build (but do not start) the HTTP server for ``engine``.
+
+    Pass ``port=0`` for an ephemeral port (tests); the bound port is
+    ``server.server_address[1]``.
+    """
+    server = ThreadingHTTPServer((host, port), ServingHandler)
+    server.engine = engine  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    server.daemon_threads = True
+    return server
+
+
+def serve_forever(
+    engine: QueryEngine,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    *,
+    verbose: bool = True,
+) -> None:
+    """Blocking entry point used by ``mudbscan serve``."""
+    server = make_server(engine, host, port, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(
+        f"serving {engine.model.summary()}\n"
+        f"listening on http://{bound_host}:{bound_port} "
+        f"(POST /predict, GET /healthz, GET /stats) — Ctrl-C to stop"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+        engine.close()

@@ -92,3 +92,84 @@ class TestCLI:
              "--min-pts", "3"]
         ) == 0
         assert "eps=0.2" in capsys.readouterr().out
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("mudbscan ")
+        assert out.split()[1][0].isdigit()  # "mudbscan <semver>"
+
+    def test_unknown_subcommand_exits_nonzero(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["explode"])
+        assert exc.value.code == 2
+        assert "explode" in capsys.readouterr().err
+
+    def test_no_subcommand_exits_nonzero(self):
+        with pytest.raises(SystemExit) as exc:
+            main([])
+        assert exc.value.code == 2
+
+
+class TestServingCLI:
+    def test_fit_save_predict_round_trip(self, tmp_path, rng, capsys):
+        pts = rng.random((120, 2))
+        pts_path = tmp_path / "pts.npy"
+        save_points(pts_path, pts)
+        model_path = tmp_path / "model.mudb"
+        code = main(
+            ["fit", "--input", str(pts_path), "--eps", "0.15", "--min-pts", "4",
+             "--save", str(model_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "saved model artifact" in out and model_path.exists()
+
+        queries_path = tmp_path / "q.npy"
+        save_points(queries_path, pts[:6])
+        code = main(
+            ["predict", "--model", str(model_path), "--input", str(queries_path)]
+        )
+        assert code == 0
+        table = capsys.readouterr().out
+        assert "would_be_core" in table and "n_nbrs" in table
+
+    def test_predict_json_output(self, tmp_path, rng, capsys):
+        import json as json_mod
+
+        pts = rng.random((80, 2))
+        pts_path = tmp_path / "pts.npy"
+        save_points(pts_path, pts)
+        model_path = tmp_path / "m.mudb"
+        assert main(
+            ["fit", "--input", str(pts_path), "--eps", "0.2", "--min-pts", "4",
+             "--save", str(model_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["predict", "--model", str(model_path), "--input", str(pts_path),
+             "--json"]
+        ) == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert set(payload) == {
+            "labels", "would_be_core", "nearest_core",
+            "nearest_core_dist", "n_neighbors",
+        }
+        assert len(payload["labels"]) == 80
+
+    def test_fit_registry_dataset(self, tmp_path, capsys):
+        model_path = tmp_path / "m.mudb"
+        assert main(
+            ["fit", "--dataset", "3DSRN", "--scale", "0.1",
+             "--save", str(model_path)]
+        ) == 0
+        assert model_path.exists()
+
+    def test_predict_missing_model(self, tmp_path, rng):
+        queries_path = tmp_path / "q.npy"
+        save_points(queries_path, rng.random((4, 2)))
+        with pytest.raises(FileNotFoundError):
+            main(["predict", "--model", str(tmp_path / "nope.mudb"),
+                  "--input", str(queries_path)])

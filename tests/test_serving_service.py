@@ -1,0 +1,162 @@
+"""HTTP serving endpoint: predict / healthz / stats and error paths."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serving.engine import QueryEngine
+from repro.serving.model import fit_model
+from repro.serving.predict import predict_model
+from repro.serving.service import make_server
+
+
+@pytest.fixture
+def served(small_blobs):
+    """A live server on an ephemeral port; yields (base_url, model)."""
+    model = fit_model(small_blobs, 0.08, 6)
+    engine = QueryEngine(model, max_wait_ms=1.0)
+    server = make_server(engine, port=0)
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{port}", model
+    finally:
+        server.shutdown()
+        server.server_close()
+        engine.close()
+        thread.join(timeout=5.0)
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=10.0) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _post(url: str, payload) -> tuple[int, dict]:
+    body = json.dumps(payload).encode() if not isinstance(payload, bytes) else payload
+    req = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10.0) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+class TestPredictEndpoint:
+    def test_batch_matches_predict_model(self, served, small_blobs):
+        base, model = served
+        queries = small_blobs[:16]
+        status, body = _post(base + "/predict", {"points": queries.tolist()})
+        assert status == 200
+        want = predict_model(model, queries)
+        assert body["labels"] == want.labels.tolist()
+        assert body["would_be_core"] == want.would_be_core.tolist()
+        assert body["nearest_core"] == want.nearest_core.tolist()
+        assert body["n_neighbors"] == want.n_neighbors.tolist()
+
+    def test_single_point_form(self, served, small_blobs):
+        base, model = served
+        status, body = _post(base + "/predict", {"point": small_blobs[0].tolist()})
+        assert status == 200
+        want = predict_model(model, small_blobs[0])
+        assert body["labels"] == [int(want.labels[0])]
+        assert len(body["n_neighbors"]) == 1
+
+    def test_noise_distance_serialized_as_null(self, served, small_blobs):
+        base, _ = served
+        status, body = _post(base + "/predict", {"point": [1e6, 1e6]})
+        assert status == 200
+        assert body["labels"] == [-1]
+        assert body["nearest_core_dist"] == [None]
+
+    def test_bad_json(self, served):
+        base, _ = served
+        status, body = _post(base + "/predict", b"{not json")
+        assert status == 400
+        assert "JSON" in body["error"]
+
+    def test_missing_points_key(self, served):
+        base, _ = served
+        status, body = _post(base + "/predict", {"rows": [[0.0, 0.0]]})
+        assert status == 400
+        assert "points" in body["error"]
+
+    def test_wrong_dimension(self, served):
+        base, _ = served
+        status, body = _post(base + "/predict", {"points": [[1.0, 2.0, 3.0]]})
+        assert status == 400
+
+    def test_ragged_rows(self, served):
+        base, _ = served
+        status, _ = _post(base + "/predict", {"points": [[1.0, 2.0], [3.0]]})
+        assert status == 400
+
+    def test_non_finite_rejected(self, served):
+        base, _ = served
+        status, body = _post(base + "/predict", {"points": [[float("nan"), 0.0]]})
+        assert status == 400
+        assert "finite" in body["error"]
+
+    def test_unknown_post_path(self, served):
+        base, _ = served
+        status, _ = _post(base + "/nope", {"points": [[0.0, 0.0]]})
+        assert status == 404
+
+
+class TestInfoEndpoints:
+    def test_healthz(self, served, small_blobs):
+        base, model = served
+        status, body = _get(base + "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["n"] == model.n
+        assert body["dim"] == 2
+        assert body["eps"] == pytest.approx(0.08)
+
+    def test_stats_reflects_traffic(self, served, small_blobs):
+        base, _ = served
+        _post(base + "/predict", {"points": small_blobs[:4].tolist()})
+        _post(base + "/predict", {"points": small_blobs[:4].tolist()})
+        status, body = _get(base + "/stats")
+        assert status == 200
+        assert body["requests"] == 8
+        assert body["cache"]["hits"] >= 4  # the repeat batch was cached
+        assert body["latency_seconds"]["count"] == 8
+
+    def test_unknown_get_path(self, served):
+        base, _ = served
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(base + "/metrics")
+        assert err.value.code == 404
+
+
+class TestConcurrency:
+    def test_parallel_single_point_clients(self, served, small_blobs):
+        """Many simultaneous single-point POSTs — the pattern the
+        micro-batcher exists for — all come back correct."""
+        base, model = served
+        n_req = 12
+        want = predict_model(model, small_blobs[:n_req])
+        results: list = [None] * n_req
+
+        def call(i):
+            _, body = _post(
+                base + "/predict", {"point": small_blobs[i].tolist()}
+            )
+            results[i] = body["labels"][0]
+
+        threads = [threading.Thread(target=call, args=(i,)) for i in range(n_req)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == want.labels.tolist()
