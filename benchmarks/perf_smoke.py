@@ -15,6 +15,14 @@ every run and gate the expensive one separately:
   ``BENCH_serving.json``.  Exits non-zero when the batched path drops
   below 2× the per-point rate — batching is the serving subsystem's
   reason to exist.
+* **--observability** — the disabled-mode overhead gate.  Runs the
+  20k fit three ways — plain (observability off), with a *disabled*
+  tracer + registry installed (every hook site exercised through the
+  no-op path), and with both *enabled* — and writes
+  ``BENCH_observability.json``.  Exits non-zero when the disabled-mode
+  wall clock exceeds the plain baseline by more than 5%: the
+  instrumentation must be free when nobody is watching.  The
+  enabled-mode overhead is recorded for information only.
 * **--parallel** — the execution-backend wall-clock case.  Runs
   sequential μDBSCAN, then μDBSCAN-D on the ``process`` backend at 2
   and 4 ranks, on the same 20k workload, and writes
@@ -32,9 +40,10 @@ shortcut.  Timings are best-of-``ROUNDS`` to damp scheduler noise.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/perf_smoke.py              # batched gate
-    PYTHONPATH=src python benchmarks/perf_smoke.py --serving    # prediction
-    PYTHONPATH=src python benchmarks/perf_smoke.py --parallel   # wall clock
+    PYTHONPATH=src python benchmarks/perf_smoke.py                  # batched gate
+    PYTHONPATH=src python benchmarks/perf_smoke.py --serving        # prediction
+    PYTHONPATH=src python benchmarks/perf_smoke.py --parallel       # wall clock
+    PYTHONPATH=src python benchmarks/perf_smoke.py --observability  # overhead
 """
 
 from __future__ import annotations
@@ -75,10 +84,15 @@ SERVING_SINGLE_POINT_REQUESTS = 400
 SERVING_SPEEDUP_GATE = 2.0
 SERVING_ROUNDS = 3
 
+#: disabled-mode observability wall-clock overhead allowed over plain
+OBSERVABILITY_OVERHEAD_GATE = 0.05
+OBSERVABILITY_ROUNDS = 3
+
 _ROOT = Path(__file__).resolve().parent.parent
 OUT_PATH = _ROOT / "BENCH_batched_query.json"
 PARALLEL_OUT_PATH = _ROOT / "BENCH_parallel_wall.json"
 SERVING_OUT_PATH = _ROOT / "BENCH_serving.json"
+OBSERVABILITY_OUT_PATH = _ROOT / "BENCH_observability.json"
 
 
 def _workload():
@@ -278,6 +292,68 @@ def run_serving_case() -> int:
 
 
 # ---------------------------------------------------------------------------
+# case: observability disabled-mode overhead gate
+
+
+def run_observability_case() -> int:
+    from repro.observability import MetricsRegistry, Tracer, use_registry
+
+    pts = _workload()
+
+    def plain():
+        return mu_dbscan(pts, EPS, MIN_PTS)
+
+    def disabled():
+        # every hook site live, all resolving to the no-op singletons —
+        # the cost being measured is the hooks themselves
+        with use_registry(MetricsRegistry(enabled=False)):
+            return mu_dbscan(pts, EPS, MIN_PTS, tracer=Tracer(enabled=False))
+
+    def enabled():
+        with use_registry(MetricsRegistry()):
+            return mu_dbscan(pts, EPS, MIN_PTS, tracer=Tracer())
+
+    plain_wall, plain_res = _timed_wall(plain, OBSERVABILITY_ROUNDS)
+    disabled_wall, disabled_res = _timed_wall(disabled, OBSERVABILITY_ROUNDS)
+    enabled_wall, enabled_res = _timed_wall(enabled, OBSERVABILITY_ROUNDS)
+
+    for name, res in (("disabled", disabled_res), ("enabled", enabled_res)):
+        if not np.array_equal(res.labels, plain_res.labels):
+            print(f"FAIL: observability ({name}) changed the clustering")
+            return 2
+
+    disabled_overhead = disabled_wall / plain_wall - 1.0
+    enabled_overhead = enabled_wall / plain_wall - 1.0
+    report = {
+        "workload": {**_workload_record(), "rounds": OBSERVABILITY_ROUNDS},
+        "plain_wall_seconds": round(plain_wall, 4),
+        "disabled_wall_seconds": round(disabled_wall, 4),
+        "enabled_wall_seconds": round(enabled_wall, 4),
+        "disabled_overhead": round(disabled_overhead, 4),
+        "enabled_overhead": round(enabled_overhead, 4),
+        "overhead_gate": {
+            "required_max": OBSERVABILITY_OVERHEAD_GATE,
+            "passed": disabled_overhead <= OBSERVABILITY_OVERHEAD_GATE,
+        },
+    }
+    OBSERVABILITY_OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"fit wall: plain {plain_wall:.3f}s, observability-disabled "
+        f"{disabled_wall:.3f}s ({disabled_overhead:+.1%}), enabled "
+        f"{enabled_wall:.3f}s ({enabled_overhead:+.1%}) "
+        f"(report: {OBSERVABILITY_OUT_PATH.name})"
+    )
+    if disabled_overhead > OBSERVABILITY_OVERHEAD_GATE:
+        print(
+            f"FAIL: disabled-mode observability costs {disabled_overhead:.1%} "
+            f"> allowed {OBSERVABILITY_OVERHEAD_GATE:.0%}"
+        )
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # case 3: process-backend wall-clock speedup
 
 
@@ -369,13 +445,20 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run the online-prediction latency/throughput case",
     )
+    parser.add_argument(
+        "--observability",
+        action="store_true",
+        help="run the observability disabled-mode overhead gate",
+    )
     args = parser.parse_args(argv)
-    if args.parallel and args.serving:
-        parser.error("choose one of --parallel / --serving")
+    if sum((args.parallel, args.serving, args.observability)) > 1:
+        parser.error("choose one of --parallel / --serving / --observability")
     if args.parallel:
         return run_parallel_case()
     if args.serving:
         return run_serving_case()
+    if args.observability:
+        return run_observability_case()
     return run_batched_case()
 
 

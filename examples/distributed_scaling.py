@@ -23,6 +23,7 @@ from repro.instrumentation.timers import PhaseTimer
 from repro.data.galaxy import galaxy_halos
 from repro.distributed.mudbscan_d import LOCAL_PHASES, mu_dbscan_d, parallel_time
 from repro.instrumentation.report import format_table
+from repro.core.extras import ExtraKeys
 
 
 def main() -> int:
@@ -55,7 +56,7 @@ def main() -> int:
                 f"{pt:.3f}",
                 f"{seq_time / pt:.1f}x",
                 result.n_clusters,
-                f"{result.extras['bytes_sent_total'] / 1024:.0f} KiB",
+                f"{result.extras[ExtraKeys.BYTES_SENT_TOTAL] / 1024:.0f} KiB",
                 phases,
             ]
         )

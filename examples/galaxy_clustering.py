@@ -26,6 +26,7 @@ import numpy as np
 from repro import check_exact, mu_dbscan
 from repro.data.galaxy import galaxy_halos
 from repro.distributed.mudbscan_d import mu_dbscan_d, parallel_time
+from repro.core.extras import ExtraKeys
 
 
 def main() -> int:
@@ -50,7 +51,7 @@ def main() -> int:
     print(f"as-if-parallel time: {parallel_time(dist):.3f}s")
     halo_fracs = [
         stats["n_halo"] / max(stats["n_owned"], 1)
-        for stats in dist.extras["per_rank_stats"]
+        for stats in dist.extras[ExtraKeys.PER_RANK_STATS]
     ]
     print(f"halo-region overhead per rank: {np.mean(halo_fracs):.1%} of owned points")
 

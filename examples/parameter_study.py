@@ -21,6 +21,7 @@ import sys
 from repro import mu_dbscan
 from repro.data.highdim import household_power_like
 from repro.instrumentation.report import format_table
+from repro.core.extras import ExtraKeys
 
 
 def main() -> int:
@@ -32,14 +33,14 @@ def main() -> int:
     for eps in (0.3, 0.45, 0.6, 0.9):
         for min_pts in (4, 6, 10):
             res = mu_dbscan(points, eps=eps, min_pts=min_pts)
-            kinds = res.extras["mc_kind_counts"]
+            kinds = res.extras[ExtraKeys.MC_KIND_COUNTS]
             rows.append(
                 [
                     eps,
                     min_pts,
                     res.n_clusters,
                     f"{res.n_noise / n:.1%}",
-                    res.extras["n_micro_clusters"],
+                    res.extras[ExtraKeys.N_MICRO_CLUSTERS],
                     f"{kinds['DMC']}/{kinds['CMC']}/{kinds['SMC']}",
                     f"{res.counters.query_save_fraction:.1%}",
                 ]

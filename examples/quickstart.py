@@ -18,6 +18,7 @@ import time
 
 from repro import MuDBSCAN, brute_dbscan, check_exact, mu_dbscan
 from repro.data.synthetic import blobs_with_noise
+from repro.core.extras import ExtraKeys
 
 
 def main() -> int:
@@ -33,9 +34,9 @@ def main() -> int:
 
     print(f"\n{result.summary()}")
     print(f"wall time            : {elapsed:.3f}s")
-    print(f"micro-clusters (m)   : {result.extras['n_micro_clusters']}")
-    print(f"avg points per MC (r): {result.extras['avg_mc_size']:.1f}")
-    print(f"MC kinds             : {result.extras['mc_kind_counts']}")
+    print(f"micro-clusters (m)   : {result.extras[ExtraKeys.N_MICRO_CLUSTERS]}")
+    print(f"avg points per MC (r): {result.extras[ExtraKeys.AVG_MC_SIZE]:.1f}")
+    print(f"MC kinds             : {result.extras[ExtraKeys.MC_KIND_COUNTS]}")
     print(
         f"queries saved        : {result.counters.queries_saved} of "
         f"{result.counters.queries_total} "

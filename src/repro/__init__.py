@@ -4,10 +4,10 @@ Algorithm for Big Data Exploiting Spatial Locality* (IEEE CLUSTER 2019).
 Quickstart::
 
     import numpy as np
-    from repro import mu_dbscan
+    from repro import fit
 
     points = np.random.default_rng(0).normal(size=(10_000, 3))
-    result = mu_dbscan(points, eps=0.25, min_pts=5)
+    result = fit(points, eps=0.25, min_pts=5)
     print(result.summary())
     print(f"queries saved: {result.counters.query_save_fraction:.0%}")
 
@@ -24,9 +24,17 @@ Layout:
 * :mod:`repro.instrumentation` — counters, timers, memory, tables.
 * :mod:`repro.serving` — model persistence + online prediction serving
   (``fit_model`` → ``save_model`` → ``QueryEngine`` / ``mudbscan serve``).
+* :mod:`repro.observability` — metrics registry, tracing and
+  Prometheus exposition (off by default; see docs/OBSERVABILITY.md).
+
+The stable surface is the four facade verbs — ``fit``,
+``fit_distributed``, ``load_model``, ``suggest_eps`` — plus the names
+in ``__all__``; see docs/API.md.
 """
 
 from repro._version import __version__
+from repro._compat import ReproDeprecationWarning
+from repro.core.extras import ExtraKeys
 from repro.core.mudbscan import mu_dbscan, MuDBSCAN
 from repro.core.params import DBSCANParams
 from repro.core.result import ClusteringResult
@@ -44,9 +52,16 @@ from repro.serving import (
     predict_model,
     save_model,
 )
+from repro import api
+from repro.api import fit, fit_distributed
 
 __all__ = [
     "__version__",
+    "api",
+    "fit",
+    "fit_distributed",
+    "ExtraKeys",
+    "ReproDeprecationWarning",
     "mu_dbscan",
     "MuDBSCAN",
     "DBSCANParams",

@@ -1,0 +1,79 @@
+"""Deprecated-keyword shims for the unified parameter names.
+
+The stable surface (docs/API.md) spells the shared parameters one way
+everywhere: ``eps``, ``min_pts``, ``n_ranks``, ``backend``.  Earlier
+call sites in downstream code may still use the historical variants
+(``minpts``, ``min_samples``, ``nranks``, ``num_ranks``, ``ranks``);
+:func:`deprecated_alias` keeps those working for one release, rewriting
+them to the canonical keyword and emitting a
+:class:`ReproDeprecationWarning` **once per alias per function per
+process** (so a hot loop does not flood stderr).
+
+CI runs the tier-1 suite with ``-W error::repro._compat.ReproDeprecationWarning``
+so internal code can never quietly call its own deprecated spellings.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Any, Callable, TypeVar
+
+__all__ = ["ReproDeprecationWarning", "deprecated_alias"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+class ReproDeprecationWarning(DeprecationWarning):
+    """Deprecation warnings raised by the repro package itself.
+
+    A subclass so callers (and CI) can escalate exactly these to
+    errors without touching third-party deprecation noise.
+    """
+
+
+#: ``(qualname, alias)`` pairs that already warned this process
+_WARNED: set[tuple[str, str]] = set()
+
+
+def reset_warned() -> None:
+    """Forget which aliases warned (test isolation helper)."""
+    _WARNED.clear()
+
+
+def deprecated_alias(**aliases: str) -> Callable[[F], F]:
+    """Accept legacy keyword spellings, warning once each.
+
+    ``@deprecated_alias(minpts="min_pts")`` makes ``fn(..., minpts=5)``
+    behave as ``fn(..., min_pts=5)`` after one
+    :class:`ReproDeprecationWarning`.  Passing both spellings is a
+    :class:`TypeError` — silent precedence would hide a real bug.
+    """
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            for old, new in aliases.items():
+                if old not in kwargs:
+                    continue
+                if new in kwargs:
+                    raise TypeError(
+                        f"{fn.__qualname__}() got both {new!r} and its "
+                        f"deprecated alias {old!r}"
+                    )
+                key = (fn.__qualname__, old)
+                if key not in _WARNED:
+                    _WARNED.add(key)
+                    warnings.warn(
+                        f"keyword {old!r} of {fn.__qualname__}() is "
+                        f"deprecated; use {new!r}",
+                        ReproDeprecationWarning,
+                        stacklevel=2,
+                    )
+                kwargs[new] = kwargs.pop(old)
+            return fn(*args, **kwargs)
+
+        wrapper.__deprecated_aliases__ = dict(aliases)  # type: ignore[attr-defined]
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

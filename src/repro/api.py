@@ -1,0 +1,77 @@
+"""The stable public surface of the library — four verbs.
+
+Everything a user of the reproduction needs, importable from the
+package root::
+
+    from repro import fit, fit_distributed, load_model, suggest_eps
+
+    eps = suggest_eps(points, min_pts=60)
+    result = fit(points, eps=eps, min_pts=60)
+    result = fit_distributed(points, eps=eps, min_pts=60, n_ranks=4)
+    model = load_model("model.mudb")
+
+The facade commits to the unified parameter vocabulary (``eps``,
+``min_pts``, ``n_ranks``, ``backend``) documented in docs/API.md.
+Legacy spellings (``minpts``, ``min_samples``, ``nranks``,
+``num_ranks``) still work everywhere but raise
+:class:`~repro._compat.ReproDeprecationWarning` once per process.
+
+Deep imports (``repro.core.mudbscan.mu_dbscan``,
+``repro.distributed.mudbscan_d.mu_dbscan_d``,
+``repro.serving.model.load_model`` …) remain supported — the facade
+adds names, it removes none.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro._compat import deprecated_alias
+from repro.core.mudbscan import mu_dbscan
+from repro.core.result import ClusteringResult
+from repro.distributed.mudbscan_d import mu_dbscan_d
+from repro.neighbors import suggest_eps
+from repro.serving.model import FittedModel, load_model
+
+__all__ = ["fit", "fit_distributed", "load_model", "suggest_eps"]
+
+
+@deprecated_alias(minpts="min_pts", min_samples="min_pts")
+def fit(
+    points: np.ndarray,
+    eps: float,
+    min_pts: int,
+    **opts: Any,
+) -> ClusteringResult:
+    """Cluster ``points`` with μDBSCAN (exact DBSCAN semantics).
+
+    A direct alias of :func:`repro.core.mudbscan.mu_dbscan`; every
+    keyword it accepts (``metric``, ``batch_queries``, ``block_size``,
+    ``tracer``, the ablation switches …) passes through unchanged.
+    """
+    return mu_dbscan(points, eps, min_pts, **opts)
+
+
+@deprecated_alias(minpts="min_pts", min_samples="min_pts", nranks="n_ranks", num_ranks="n_ranks")
+def fit_distributed(
+    points: np.ndarray,
+    eps: float,
+    min_pts: int,
+    n_ranks: int,
+    **opts: Any,
+) -> ClusteringResult:
+    """Cluster ``points`` with μDBSCAN-D on ``n_ranks`` ranks.
+
+    A direct alias of :func:`repro.distributed.mudbscan_d.mu_dbscan_d`;
+    ``backend`` ("thread" / "process"), ``sample_size``, ``seed``,
+    ``tracer`` and the local μDBSCAN knobs pass through unchanged.
+    """
+    return mu_dbscan_d(points, eps, min_pts, n_ranks, **opts)
+
+
+# load_model and suggest_eps need no wrapper — their canonical
+# signatures already use the unified vocabulary; re-exported here so
+# the four facade verbs live in one module.
+_ = (load_model, suggest_eps, FittedModel)

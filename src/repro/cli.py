@@ -8,6 +8,8 @@
     mudbscan compare --dataset DGB0.5M3D
     mudbscan distributed --dataset MPAGD8M3D --ranks 4 --algo mu-d
     mudbscan fit --dataset 3DSRN --save model.mudb
+    mudbscan fit --dataset 3DSRN --save model.mudb \
+        --trace-out trace.jsonl --metrics-out metrics.prom
     mudbscan predict --model model.mudb --input queries.npy
     mudbscan serve --model model.mudb --port 8765
 
@@ -17,6 +19,7 @@
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 import time
@@ -111,13 +114,50 @@ def _mu_kwargs(args: argparse.Namespace) -> dict:
     }
 
 
+@contextlib.contextmanager
+def _observability(args: argparse.Namespace, root_name: str = "fit"):
+    """Honour ``--trace-out`` / ``--metrics-out`` around one command.
+
+    When either flag is given, an enabled tracer + metrics registry are
+    activated for the command body; on exit the trace JSON-lines and
+    the Prometheus text snapshot are written, and the trace-derived
+    phase split-up (the Table III / VII shape) is printed.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not trace_out and not metrics_out:
+        yield
+        return
+    from repro.instrumentation.report import run_report_from_trace
+    from repro.observability import (
+        MetricsRegistry,
+        Tracer,
+        use_registry,
+        write_prometheus,
+    )
+
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    with use_registry(registry), tracer.activate():
+        yield
+    if trace_out:
+        spans = tracer.finished()
+        path = tracer.export_jsonl(trace_out)
+        print(f"wrote trace: {path} ({len(spans)} spans)")
+        print(run_report_from_trace(spans, root_name=root_name))
+    if metrics_out:
+        path = write_prometheus(registry, metrics_out)
+        print(f"wrote metrics snapshot: {path}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     pts, eps, min_pts, name = _resolve_workload(args)
     algo = SEQUENTIAL_ALGOS[args.algo]
     kwargs = _mu_kwargs(args) if args.algo == "mu" else {}
-    start = time.perf_counter()
-    res = algo(pts, eps, min_pts, **kwargs)
-    wall = time.perf_counter() - start
+    with _observability(args, root_name="fit"):
+        start = time.perf_counter()
+        res = algo(pts, eps, min_pts, **kwargs)
+        wall = time.perf_counter() - start
     _print_result(name, res, wall)
     return 0
 
@@ -140,9 +180,10 @@ def cmd_distributed(args: argparse.Namespace) -> int:
         kwargs["backend"] = args.backend
     elif args.backend != "thread":
         raise SystemExit(f"--backend {args.backend} is only supported by --algo mu-d")
-    start = time.perf_counter()
-    res = algo(pts, eps, min_pts, n_ranks=args.ranks, **kwargs)
-    wall = time.perf_counter() - start
+    with _observability(args, root_name="mu_dbscan_d"):
+        start = time.perf_counter()
+        res = algo(pts, eps, min_pts, n_ranks=args.ranks, **kwargs)
+        wall = time.perf_counter() - start
     _print_result(name, res, wall)
     if res.algorithm == "mu_dbscan_d":
         print(f"as-if-parallel time (max rank + merge): {parallel_time(res):.4f}s")
@@ -153,16 +194,17 @@ def cmd_fit(args: argparse.Namespace) -> int:
     from repro.serving import fit_model
 
     pts, eps, min_pts, name = _resolve_workload(args)
-    start = time.perf_counter()
-    model = fit_model(
-        pts,
-        eps,
-        min_pts,
-        metric=args.metric,
-        batch_queries=not args.no_batch_queries,
-        block_size=args.block_size,
-    )
-    wall = time.perf_counter() - start
+    with _observability(args, root_name="fit"):
+        start = time.perf_counter()
+        model = fit_model(
+            pts,
+            eps,
+            min_pts,
+            metric=args.metric,
+            batch_queries=not args.no_batch_queries,
+            block_size=args.block_size,
+        )
+        wall = time.perf_counter() - start
     path = model.save(args.save)
     print(model.summary())
     print(f"dataset={name} fit_wall={wall:.3f}s")
@@ -245,6 +287,14 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             default=DEFAULT_BLOCK_SIZE,
             help="rows per batched distance block (memory/speed trade-off)",
+        )
+        p.add_argument(
+            "--trace-out", metavar="PATH", default=None,
+            help="write the run's span tree as JSON-lines (one span per line)",
+        )
+        p.add_argument(
+            "--metrics-out", metavar="PATH", default=None,
+            help="write a Prometheus text-format metrics snapshot",
         )
 
     run = sub.add_parser("run", help="run one sequential algorithm")

@@ -15,8 +15,12 @@ Table II.
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 
+from repro._compat import deprecated_alias
+from repro.core.extras import ExtraKeys
 from repro.core.params import DBSCANParams
 from repro.core.postprocess import postprocess_core, postprocess_noise
 from repro.core.process_mcs import process_micro_clusters
@@ -28,6 +32,9 @@ from repro.instrumentation.counters import Counters
 from repro.instrumentation.timers import PhaseTimer
 from repro.microcluster.microcluster import MCKind
 from repro.microcluster.murtree import DEFAULT_BLOCK_SIZE, MuRTree
+from repro.observability.adapters import publish_run
+from repro.observability.registry import get_registry
+from repro.observability.tracing import Tracer, maybe_span
 
 __all__ = ["mu_dbscan", "run_mu_dbscan_state", "MuDBSCAN"]
 
@@ -71,10 +78,12 @@ def run_mu_dbscan_state(
         # streaming mode: the index was maintained incrementally and the
         # construction cost already paid at insert time
         murtree = _prebuilt_murtree
-        with timers.phase("finding_reachable_groups"):
+        with timers.phase("finding_reachable_groups"), maybe_span(
+            "finding_reachable_groups"
+        ):
             murtree.compute_reachability()  # no-op when caches are warm
     else:
-        with timers.phase("tree_construction"):
+        with timers.phase("tree_construction"), maybe_span("tree_construction"):
             murtree = MuRTree(
                 points,
                 params.eps,
@@ -85,11 +94,13 @@ def run_mu_dbscan_state(
                 counters=counters,
                 metric=metric,
             )
-        with timers.phase("finding_reachable_groups"):
+        with timers.phase("finding_reachable_groups"), maybe_span(
+            "finding_reachable_groups"
+        ):
             murtree.compute_reachability()
 
     state = state_factory(murtree, params, counters)
-    with timers.phase("clustering"):
+    with timers.phase("clustering"), maybe_span("clustering"):
         process_micro_clusters(state)
         process_remaining_points(
             state,
@@ -98,7 +109,7 @@ def run_mu_dbscan_state(
             batch_queries=batch_queries,
             block_size=block_size,
         )
-    with timers.phase("post_processing"):
+    with timers.phase("post_processing"), maybe_span("post_processing"):
         postprocess_core(state)
         postprocess_noise(state, batch_queries=batch_queries)
 
@@ -107,6 +118,7 @@ def run_mu_dbscan_state(
     return state, timers
 
 
+@deprecated_alias(minpts="min_pts", min_samples="min_pts")
 def mu_dbscan(
     points: np.ndarray,
     eps: float,
@@ -121,6 +133,7 @@ def mu_dbscan(
     max_entries: int = 64,
     metric: str | Metric = EUCLIDEAN,
     timers: PhaseTimer | None = None,
+    tracer: Tracer | None = None,
 ) -> ClusteringResult:
     """Cluster ``points`` with μDBSCAN (exact DBSCAN semantics).
 
@@ -144,6 +157,15 @@ def mu_dbscan(
         Optional externally-constructed :class:`PhaseTimer` — pass one
         built on ``time.thread_time`` to make a sequential run directly
         comparable to μDBSCAN-D's per-rank CPU timings.
+    tracer:
+        Optional :class:`~repro.observability.tracing.Tracer`; when
+        given (or when one is already active on this thread) the run
+        produces a ``fit`` span with the four phases (and per-MC batch
+        spans) nested under it.  Work counters and phase timings are
+        also published to the active
+        :class:`~repro.observability.registry.MetricsRegistry` (the
+        default registry is disabled, so this costs nothing unless one
+        is installed).
 
     Returns
     -------
@@ -153,20 +175,24 @@ def mu_dbscan(
     """
     params = DBSCANParams(eps=eps, min_pts=min_pts)
     counters = Counters()
-    state, timers = run_mu_dbscan_state(
-        points,
-        params,
-        aux_index=aux_index,
-        filtration=filtration,
-        defer_2eps=defer_2eps,
-        dynamic_wndq=dynamic_wndq,
-        batch_queries=batch_queries,
-        block_size=block_size,
-        max_entries=max_entries,
-        metric=metric,
-        counters=counters,
-        timers=timers,
-    )
+    pts = np.asarray(points)
+    activation = tracer.activate() if tracer is not None else contextlib.nullcontext()
+    with activation, maybe_span("fit", n=int(pts.shape[0]), eps=eps, min_pts=min_pts):
+        state, timers = run_mu_dbscan_state(
+            pts,
+            params,
+            aux_index=aux_index,
+            filtration=filtration,
+            defer_2eps=defer_2eps,
+            dynamic_wndq=dynamic_wndq,
+            batch_queries=batch_queries,
+            block_size=block_size,
+            max_entries=max_entries,
+            metric=metric,
+            counters=counters,
+            timers=timers,
+        )
+    publish_run(get_registry(), counters, timers, algorithm="mu_dbscan")
     labels = state.uf.labels(noise_mask=state.final_noise_mask())
     kind_counts = {kind.name: 0 for kind in MCKind}
     for mc in state.murtree.mcs:
@@ -179,11 +205,11 @@ def mu_dbscan(
         counters=counters,
         timers=timers,
         extras={
-            "n_micro_clusters": state.murtree.n_micro_clusters,
-            "avg_mc_size": state.murtree.avg_mc_size,
-            "n_wndq_core": len(state.wndq_corelist),
-            "mc_kind_counts": kind_counts,
-            "metric": state.murtree.metric.name,
+            ExtraKeys.N_MICRO_CLUSTERS: state.murtree.n_micro_clusters,
+            ExtraKeys.AVG_MC_SIZE: state.murtree.avg_mc_size,
+            ExtraKeys.N_WNDQ_CORE: len(state.wndq_corelist),
+            ExtraKeys.MC_KIND_COUNTS: kind_counts,
+            ExtraKeys.METRIC: state.murtree.metric.name,
         },
     )
 

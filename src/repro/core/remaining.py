@@ -63,6 +63,7 @@ import numpy as np
 
 from repro.core.state import MuDBSCANState
 from repro.microcluster.murtree import DEFAULT_BLOCK_SIZE, BlockQueryResult
+from repro.observability.tracing import NOOP_SPAN, current_tracer
 
 __all__ = ["process_remaining_points"]
 
@@ -196,6 +197,9 @@ def _process_batched(
     wndq = state.wndq
     point_mc = murtree.point_mc
     half_radius = state.params.eps * 0.5
+    # resolved once: per-batch spans only exist when a tracer is active,
+    # so the loop pays a single None check per block when tracing is off
+    tracer = current_tracer()
     blocks: list[BlockQueryResult] = []
     blk_id = np.full(state.n, -1, dtype=np.int64)
     local_ix = np.zeros(state.n, dtype=np.int64)
@@ -219,16 +223,22 @@ def _process_batched(
             b = len(blocks)
             blk_id[sub] = b
             local_ix[sub] = np.arange(sub.size)
-            blocks.append(
-                murtree.query_ball_block(
-                    mc_id,
-                    sub,
-                    half_radius=half_radius,
-                    block_size=block_size,
-                    count_work=False,
-                    validate=False,  # rows were grouped by point_mc above
-                )
+            span = (
+                tracer.span("mc_batch", mc=mc_id, rows=int(sub.size))
+                if tracer is not None
+                else NOOP_SPAN
             )
+            with span:
+                blocks.append(
+                    murtree.query_ball_block(
+                        mc_id,
+                        sub,
+                        half_radius=half_radius,
+                        block_size=block_size,
+                        count_work=False,
+                        validate=False,  # rows were grouped by point_mc above
+                    )
+                )
         block = blocks[b]
         i = int(local_ix[row])
         nbrs = block.nbrs(i)

@@ -31,6 +31,8 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro._compat import deprecated_alias
+from repro.core.extras import ExtraKeys
 from repro.core.params import DBSCANParams
 from repro.core.result import ClusteringResult
 from repro.distributed.halo import exchange_halo
@@ -122,10 +124,10 @@ def _spatial_driver(
         counters=counters,
         timers=timers,
         extras={
-            "n_ranks": n_ranks,
-            "per_rank_phases": [rr["phase_seconds"] for rr in rank_results],
-            "per_rank_stats": [rr["stats"] for rr in rank_results],
-            "bytes_sent_total": sum(rr["bytes_sent"] for rr in rank_results),
+            ExtraKeys.N_RANKS: n_ranks,
+            ExtraKeys.PER_RANK_PHASES: [rr["phase_seconds"] for rr in rank_results],
+            ExtraKeys.PER_RANK_STATS: [rr["stats"] for rr in rank_results],
+            ExtraKeys.BYTES_SENT_TOTAL: sum(rr["bytes_sent"] for rr in rank_results),
         },
     )
 
@@ -288,6 +290,7 @@ def _classical_local_step(
     return fragment
 
 
+@deprecated_alias(minpts="min_pts", nranks="n_ranks", num_ranks="n_ranks")
 def pdsdbscan_d(
     points: np.ndarray, eps: float, min_pts: int, n_ranks: int, **kwargs: Any
 ) -> ClusteringResult:
@@ -435,6 +438,7 @@ def _grid_local_step(
     return fragment
 
 
+@deprecated_alias(minpts="min_pts", nranks="n_ranks", num_ranks="n_ranks")
 def grid_dbscan_d(
     points: np.ndarray, eps: float, min_pts: int, n_ranks: int, **kwargs: Any
 ) -> ClusteringResult:
@@ -445,6 +449,7 @@ def grid_dbscan_d(
     )
 
 
+@deprecated_alias(minpts="min_pts", nranks="n_ranks", num_ranks="n_ranks")
 def hpdbscan_like(
     points: np.ndarray, eps: float, min_pts: int, n_ranks: int, **kwargs: Any
 ) -> ClusteringResult:
@@ -471,6 +476,7 @@ def hpdbscan_like(
 # RP-DBSCAN-like (random partitioning, cell dictionary, ρ-approximate)
 
 
+@deprecated_alias(minpts="min_pts", nranks="n_ranks", num_ranks="n_ranks")
 def rp_dbscan_like(
     points: np.ndarray, eps: float, min_pts: int, n_ranks: int, seed: int = 0
 ) -> ClusteringResult:
@@ -619,8 +625,8 @@ def rp_dbscan_like(
         counters=counters,
         timers=timers,
         extras={
-            "n_ranks": n_ranks,
-            "per_rank_phases": [rr["phase_seconds"] for rr in rank_results],
-            "bytes_sent_total": sum(rr["bytes_sent"] for rr in rank_results),
+            ExtraKeys.N_RANKS: n_ranks,
+            ExtraKeys.PER_RANK_PHASES: [rr["phase_seconds"] for rr in rank_results],
+            ExtraKeys.BYTES_SENT_TOTAL: sum(rr["bytes_sent"] for rr in rank_results),
         },
     )

@@ -24,10 +24,13 @@ compute plus the merge, exposed via :func:`parallel_time`.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Any
 
 import numpy as np
 
+from repro._compat import deprecated_alias
+from repro.core.extras import ExtraKeys
 from repro.core.params import DBSCANParams
 from repro.core.result import ClusteringResult
 from repro.distributed.backends import launch
@@ -38,8 +41,14 @@ from repro.distributed.merging import resolve_fragments
 from repro.distributed.partition import kd_partition
 from repro.instrumentation.counters import Counters
 from repro.instrumentation.timers import PhaseTimer
+from repro.observability.adapters import publish_comm_stats, publish_run
+from repro.observability.registry import get_registry
+from repro.observability.tracing import Tracer, current_tracer
 
 __all__ = ["mu_dbscan_d", "parallel_time", "LOCAL_PHASES"]
+
+#: reusable no-op context for the tracer-less fast path
+_NULL_CTX = contextlib.nullcontext()
 
 #: the local-compute phases making up the parallel-time estimate
 LOCAL_PHASES = (
@@ -57,50 +66,58 @@ def _rank_main(
     sample_size: int,
     seed: int,
     mu_kwargs: dict[str, Any],
+    trace_ctx: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     points = shared["points"]
     timers = PhaseTimer(clock=comm.clock)
     n_global = points.shape[0]
 
-    # block distribution stands in for the paper's parallel file read;
-    # the slice below is each rank's only read of the shared dataset
-    blocks = np.array_split(np.arange(n_global, dtype=np.int64), comm.size)
-    my_gids = blocks[comm.rank]
-    my_points = points[my_gids]
+    # each rank builds its own tracer re-rooted under the driver's
+    # trace_context — a picklable dict, so it crosses the process
+    # backend's spawn boundary and every rank's spans join one tree
+    tracer = Tracer.from_context(trace_ctx)
+    with tracer.activate(), tracer.span("rank", rank=comm.rank, size=comm.size):
+        # block distribution stands in for the paper's parallel file read;
+        # the slice below is each rank's only read of the shared dataset
+        blocks = np.array_split(np.arange(n_global, dtype=np.int64), comm.size)
+        my_gids = blocks[comm.rank]
+        my_points = points[my_gids]
 
-    with timers.phase("partitioning"):
-        part = kd_partition(comm, my_points, my_gids, sample_size=sample_size, seed=seed)
-    with timers.phase("halo_exchange"):
-        halo = exchange_halo(
-            comm,
+        with timers.phase("partitioning"), tracer.span("partitioning"):
+            part = kd_partition(
+                comm, my_points, my_gids, sample_size=sample_size, seed=seed
+            )
+        with timers.phase("halo_exchange"), tracer.span("halo_exchange"):
+            halo = exchange_halo(
+                comm,
+                part.points,
+                part.gids,
+                part.all_box_lows,
+                part.all_box_highs,
+                params.eps,
+            )
+
+        fragment = run_local_mu_dbscan(
             part.points,
             part.gids,
-            part.all_box_lows,
-            part.all_box_highs,
-            params.eps,
+            halo.points,
+            halo.gids,
+            params,
+            timers=timers,
+            **mu_kwargs,
         )
 
-    fragment = run_local_mu_dbscan(
-        part.points,
-        part.gids,
-        halo.points,
-        halo.gids,
-        params,
-        timers=timers,
-        **mu_kwargs,
-    )
-
-    with timers.phase("merging"):
-        # fragments fan into rank 0, which resolves once; the paper's
-        # pairwise UNION exchange produces the same components — one
-        # resolver keeps the replicated Python work out of the
-        # parallel-time estimate without changing any label
-        fragments = comm.gather(fragment, root=0)
-        outcome = None
-        if comm.rank == 0:
-            counters = Counters()
-            outcome = resolve_fragments(fragments, n_global, counters=counters)
-        comm.barrier()
+        with timers.phase("merging"), tracer.span("merging"):
+            # fragments fan into rank 0, which resolves once; the paper's
+            # pairwise UNION exchange produces the same components — one
+            # resolver keeps the replicated Python work out of the
+            # parallel-time estimate without changing any label
+            fragments = comm.gather(fragment, root=0)
+            outcome = None
+            if comm.rank == 0:
+                counters = Counters()
+                outcome = resolve_fragments(fragments, n_global, counters=counters)
+            comm.barrier()
 
     return {
         "rank": comm.rank,
@@ -112,9 +129,11 @@ def _rank_main(
         "stats": fragment.stats,
         "bytes_sent": comm.bytes_sent,
         "messages_sent": comm.messages_sent,
+        "spans": tracer.finished() if tracer.enabled else [],
     }
 
 
+@deprecated_alias(minpts="min_pts", nranks="n_ranks", num_ranks="n_ranks")
 def mu_dbscan_d(
     points: np.ndarray,
     eps: float,
@@ -124,6 +143,7 @@ def mu_dbscan_d(
     backend: str = "thread",
     sample_size: int = 256,
     seed: int = 0,
+    tracer: Tracer | None = None,
     **mu_kwargs: Any,
 ) -> ClusteringResult:
     """Cluster ``points`` with μDBSCAN-D on ``n_ranks`` ranks of ``backend``.
@@ -133,22 +153,42 @@ def mu_dbscan_d(
     counters and communication volume are backend-invariant for the
     same seed.  ``extras`` carries the per-rank phase timings and
     communication volumes the distributed tables report.
+
+    With a ``tracer`` (given or already active), the run produces a
+    ``mu_dbscan_d`` root span with one ``rank`` span per rank and the
+    per-rank phases nested below — the ``trace_context`` crosses the
+    process backend's spawn boundary, so the tree is whole on every
+    backend.  Counters, parallel-time phases and per-rank byte/message
+    volumes are published to the active metrics registry.
     """
     params = DBSCANParams(eps=eps, min_pts=min_pts)
     pts = np.ascontiguousarray(points, dtype=np.float64)
     if pts.ndim != 2:
         raise ValueError(f"points must be (n, d), got shape {pts.shape}")
 
-    rank_results = launch(
-        n_ranks,
-        _rank_main,
-        params,
-        sample_size,
-        seed,
-        mu_kwargs,
-        backend=backend,
-        shared={"points": pts},
-    )
+    tracer = tracer if tracer is not None else current_tracer()
+    with (
+        tracer.activate() if tracer is not None else _NULL_CTX
+    ), (
+        tracer.span("mu_dbscan_d", n=int(pts.shape[0]), n_ranks=n_ranks, backend=backend)
+        if tracer is not None
+        else _NULL_CTX
+    ):
+        trace_ctx = tracer.context() if tracer is not None and tracer.enabled else None
+        rank_results = launch(
+            n_ranks,
+            _rank_main,
+            params,
+            sample_size,
+            seed,
+            mu_kwargs,
+            trace_ctx,
+            backend=backend,
+            shared={"points": pts},
+        )
+    if tracer is not None:
+        for rr in rank_results:
+            tracer.adopt(rr["spans"])
 
     counters = Counters()
     per_rank_phases: list[dict[str, float]] = []
@@ -163,6 +203,16 @@ def mu_dbscan_d(
             rank_timer.add(name, secs)
         timers.merge_max(rank_timer)  # parallel time: slowest rank per phase
 
+    registry = get_registry()
+    publish_run(registry, counters, timers, algorithm="mu_dbscan_d")
+    publish_comm_stats(
+        registry,
+        backend=backend,
+        per_rank=[
+            (rr["rank"], rr["bytes_sent"], rr["messages_sent"]) for rr in rank_results
+        ],
+    )
+
     labels = rank_results[0]["labels"]
     core_mask = rank_results[0]["core_mask"]
     return ClusteringResult(
@@ -173,13 +223,15 @@ def mu_dbscan_d(
         counters=counters,
         timers=timers,
         extras={
-            "n_ranks": n_ranks,
-            "backend": backend,
-            "per_rank_phases": per_rank_phases,
-            "per_rank_stats": [rr["stats"] for rr in rank_results],
-            "n_cross_pairs": rank_results[0]["n_cross_pairs"],
-            "bytes_sent_total": sum(rr["bytes_sent"] for rr in rank_results),
-            "messages_sent_total": sum(rr["messages_sent"] for rr in rank_results),
+            ExtraKeys.N_RANKS: n_ranks,
+            ExtraKeys.BACKEND: backend,
+            ExtraKeys.PER_RANK_PHASES: per_rank_phases,
+            ExtraKeys.PER_RANK_STATS: [rr["stats"] for rr in rank_results],
+            ExtraKeys.N_CROSS_PAIRS: rank_results[0]["n_cross_pairs"],
+            ExtraKeys.BYTES_SENT_TOTAL: sum(rr["bytes_sent"] for rr in rank_results),
+            ExtraKeys.MESSAGES_SENT_TOTAL: sum(
+                rr["messages_sent"] for rr in rank_results
+            ),
         },
     )
 

@@ -10,7 +10,15 @@ from repro.instrumentation.counters import Counters
 from repro.instrumentation.timers import PhaseTimer
 from repro.instrumentation.memory import peak_memory_of
 from repro.instrumentation.latency import LatencyWindow
-from repro.instrumentation.report import format_table, format_percent_split
+from repro.instrumentation.report import (
+    DISTRIBUTED_PHASE_ORDER,
+    PHASE_ORDER,
+    format_table,
+    format_percent_split,
+    percent_split,
+    run_report_from_registry,
+    run_report_from_trace,
+)
 
 __all__ = [
     "Counters",
@@ -19,4 +27,9 @@ __all__ = [
     "LatencyWindow",
     "format_table",
     "format_percent_split",
+    "percent_split",
+    "PHASE_ORDER",
+    "DISTRIBUTED_PHASE_ORDER",
+    "run_report_from_registry",
+    "run_report_from_trace",
 ]

@@ -1,13 +1,61 @@
-"""Plain-text table rendering for the benchmark harness.
+"""Run reports: the paper's split-up tables from observability data.
 
-The benches print tables shaped like the paper's (same columns, same
-rows) so a reader can diff shapes side by side.  Only stdlib string
-formatting — no external table dependency.
+Two halves:
+
+* **Rendering** — :func:`format_table` / :func:`format_percent_split`
+  print tables shaped like the paper's (same columns, same rows) so a
+  reader can diff shapes side by side.  Only stdlib string formatting —
+  no external table dependency.
+* **Regeneration** — :func:`run_report_from_registry` and
+  :func:`run_report_from_trace` rebuild the phase-time split-ups of
+  Table III (sequential μDBSCAN) and Tables VII/VIII (μDBSCAN-D) from
+  the unified observability layer: the ``mudbscan_phase_seconds``
+  series of a :class:`~repro.observability.registry.MetricsRegistry`,
+  or the span tree of a ``--trace-out`` JSON-lines file.  Both sources
+  carry the same run, so both reports agree — the observability test
+  suite asserts it.
 """
 
 from __future__ import annotations
 
 from typing import Any, Mapping, Sequence
+
+__all__ = [
+    "PHASE_ORDER",
+    "DISTRIBUTED_PHASE_ORDER",
+    "format_table",
+    "format_percent_split",
+    "percent_split",
+    "phase_seconds_from_registry",
+    "phase_seconds_from_trace",
+    "run_report_from_registry",
+    "run_report_from_trace",
+]
+
+#: sequential μDBSCAN phases, in execution (and Table III column) order
+PHASE_ORDER: tuple[str, ...] = (
+    "tree_construction",
+    "finding_reachable_groups",
+    "clustering",
+    "post_processing",
+)
+
+#: μDBSCAN-D per-rank phases (Tables VII/VIII) — data distribution
+#: first, then the local phases, then the merge
+DISTRIBUTED_PHASE_ORDER: tuple[str, ...] = (
+    "partitioning",
+    "halo_exchange",
+) + PHASE_ORDER + ("merging",)
+
+#: root-span name → the phase columns its report uses
+_ROOT_PHASES: dict[str, tuple[str, ...]] = {
+    "fit": PHASE_ORDER,
+    "mu_dbscan_d": DISTRIBUTED_PHASE_ORDER,
+}
+
+
+# ---------------------------------------------------------------------------
+# rendering
 
 
 def _fmt_cell(value: Any) -> str:
@@ -59,3 +107,145 @@ def format_percent_split(
     for name, split in split_by_row.items():
         rows.append([name] + [f"{split.get(p, 0.0):.2f}%" for p in phases])
     return format_table(headers, rows, title=title)
+
+
+def percent_split(phase_seconds: Mapping[str, float]) -> dict[str, float]:
+    """Seconds-per-phase → percent-of-total-per-phase (0.0 on an empty run)."""
+    total = sum(phase_seconds.values())
+    if total <= 0:
+        return {phase: 0.0 for phase in phase_seconds}
+    return {phase: 100.0 * secs / total for phase, secs in phase_seconds.items()}
+
+
+# ---------------------------------------------------------------------------
+# regeneration from the metrics registry
+
+
+def phase_seconds_from_registry(registry, algorithm: str = "mu_dbscan") -> dict[str, float]:
+    """Seconds per phase for ``algorithm``, read back from the
+    ``mudbscan_phase_seconds`` series of ``registry``."""
+    out: dict[str, float] = {}
+    for family in registry.collect():
+        if family.name != "mudbscan_phase_seconds":
+            continue
+        for sample in family.samples:
+            labels = dict(sample.labels)
+            if labels.get("algorithm", algorithm) != algorithm:
+                continue
+            phase = labels.get("phase")
+            if phase is not None:
+                out[phase] = out.get(phase, 0.0) + sample.value
+    return out
+
+
+def run_report_from_registry(
+    registry,
+    algorithm: str = "mu_dbscan",
+    dataset: str = "run",
+) -> str:
+    """Table III / VII-style split-up from a registry's phase series."""
+    phase_seconds = phase_seconds_from_registry(registry, algorithm=algorithm)
+    phases = (
+        DISTRIBUTED_PHASE_ORDER if algorithm.endswith("_d") else PHASE_ORDER
+    )
+    phases = tuple(p for p in phases if p in phase_seconds) or tuple(
+        sorted(phase_seconds)
+    )
+    split = percent_split({p: phase_seconds[p] for p in phases})
+    total = sum(phase_seconds[p] for p in phases)
+    return format_percent_split(
+        {dataset: split},
+        phases,
+        title=(
+            f"phase split-up — {algorithm} "
+            f"(total {total:.3f}s, from metrics registry)"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# regeneration from a trace
+
+
+def _span_index(spans: Sequence[Mapping[str, Any]]) -> dict[str | None, list]:
+    children: dict[str | None, list] = {}
+    for span in spans:
+        children.setdefault(span.get("parent_id"), []).append(span)
+    return children
+
+
+def phase_seconds_from_trace(
+    spans: Sequence[Mapping[str, Any]],
+    root_name: str = "fit",
+) -> dict[str, float]:
+    """Seconds per phase from a span tree (a ``--trace-out`` file).
+
+    Finds every root span named ``root_name`` and sums the durations of
+    the known phase spans in its subtree — for ``fit`` the phases are
+    direct children; for ``mu_dbscan_d`` they sit one level down, under
+    the per-rank spans, and the slowest rank is taken per phase (the
+    parallel-time convention of Tables VII/VIII).
+    """
+    phases = _ROOT_PHASES.get(root_name, PHASE_ORDER)
+    children = _span_index(spans)
+    by_id = {span["span_id"]: span for span in spans}
+    roots = [span for span in spans if span["name"] == root_name]
+    out: dict[str, float] = {}
+    for root in roots:
+        direct = children.get(root["span_id"], [])
+        rank_spans = [s for s in direct if s["name"] == "rank"]
+        if rank_spans:
+            # distributed: max over ranks per phase = parallel time
+            per_phase: dict[str, float] = {}
+            for rank in rank_spans:
+                for child in children.get(rank["span_id"], []):
+                    if child["name"] in phases and child["duration_s"] is not None:
+                        per_phase[child["name"]] = max(
+                            per_phase.get(child["name"], 0.0), child["duration_s"]
+                        )
+            for phase, secs in per_phase.items():
+                out[phase] = out.get(phase, 0.0) + secs
+        else:
+            for child in direct:
+                if child["name"] in phases and child["duration_s"] is not None:
+                    out[child["name"]] = out.get(child["name"], 0.0) + child[
+                        "duration_s"
+                    ]
+    # spans adopted across the process boundary reference the driver's
+    # context span id, which may be the root itself when re-rooted —
+    # handle rank spans attached directly under no known parent too
+    if not out and root_name == "mu_dbscan_d":
+        orphan_ranks = [
+            s for s in spans if s["name"] == "rank" and s.get("parent_id") not in by_id
+        ]
+        per_phase = {}
+        for rank in orphan_ranks:
+            for child in children.get(rank["span_id"], []):
+                if child["name"] in phases and child["duration_s"] is not None:
+                    per_phase[child["name"]] = max(
+                        per_phase.get(child["name"], 0.0), child["duration_s"]
+                    )
+        out.update(per_phase)
+    return out
+
+
+def run_report_from_trace(
+    spans: Sequence[Mapping[str, Any]],
+    root_name: str = "fit",
+    dataset: str = "run",
+) -> str:
+    """Table III / VII-style split-up from an exported span tree."""
+    phase_seconds = phase_seconds_from_trace(spans, root_name=root_name)
+    order = _ROOT_PHASES.get(root_name, PHASE_ORDER)
+    phases = tuple(p for p in order if p in phase_seconds) or tuple(
+        sorted(phase_seconds)
+    )
+    split = percent_split({p: phase_seconds[p] for p in phases})
+    total = sum(phase_seconds[p] for p in phases)
+    return format_percent_split(
+        {dataset: split},
+        phases,
+        title=(
+            f"phase split-up — {root_name} (total {total:.3f}s, from trace)"
+        ),
+    )

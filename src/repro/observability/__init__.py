@@ -1,0 +1,76 @@
+"""Unified observability: metrics registry, tracing, Prometheus export.
+
+One spine across fit, distributed and serving, replacing the four
+disconnected ad-hoc pieces (``Counters``, ``PhaseTimer``,
+``LatencyWindow``, ``memory.py``) as the *export* path while keeping
+their APIs as the *recording* path:
+
+* :mod:`repro.observability.registry` — :class:`MetricsRegistry` with
+  counter / gauge / histogram primitives (labelled, thread-safe, cheap
+  no-op singletons when disabled).  The process default is the
+  disabled :data:`NULL_REGISTRY`; install a live one with
+  :func:`set_registry` / :func:`use_registry`.
+* :mod:`repro.observability.tracing` — :class:`Tracer` producing
+  nested spans (``fit`` → phases → per-MC batches; ``mu_dbscan_d`` →
+  per-rank phases; ``serving.predict`` → route/score) with JSON-lines
+  export and a picklable ``trace_context`` so process-backend rank
+  spans land in the driver's tree.
+* :mod:`repro.observability.prometheus` — text-format (0.0.4)
+  exposition behind ``GET /metrics`` and ``--metrics-out``.
+* :mod:`repro.observability.adapters` — the bridge from the legacy
+  instrumentation objects into the registry.
+
+Metric catalog and span naming scheme: docs/OBSERVABILITY.md.
+"""
+
+from repro.observability.registry import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    FamilySnapshot,
+    MetricsRegistry,
+    Sample,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.observability.tracing import (
+    Span,
+    Tracer,
+    current_tracer,
+    maybe_span,
+)
+from repro.observability.prometheus import (
+    CONTENT_TYPE,
+    render_prometheus,
+    write_prometheus,
+)
+from repro.observability.adapters import (
+    CountersCollector,
+    LatencyWindowCollector,
+    PhaseTimerCollector,
+    publish_comm_stats,
+    publish_run,
+)
+
+__all__ = [
+    "CONTENT_TYPE",
+    "CountersCollector",
+    "DEFAULT_BUCKETS",
+    "FamilySnapshot",
+    "LatencyWindowCollector",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "PhaseTimerCollector",
+    "Sample",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "get_registry",
+    "maybe_span",
+    "publish_comm_stats",
+    "publish_run",
+    "render_prometheus",
+    "set_registry",
+    "use_registry",
+    "write_prometheus",
+]

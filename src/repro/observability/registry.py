@@ -1,0 +1,466 @@
+"""The metrics registry — counter / gauge / histogram primitives.
+
+One :class:`MetricsRegistry` is the publication point for every number
+the system emits: the fit-time work counters and phase timers, the
+μDBSCAN-D byte/message accounting, and the serving layer's request /
+cache / latency series all land here (directly for hot-path series,
+via :mod:`repro.observability.adapters` collectors for the legacy
+instrumentation objects).  The registry renders to Prometheus text
+format through :func:`repro.observability.prometheus.render_prometheus`.
+
+Design constraints, in order:
+
+1. **Cheap when disabled.**  A disabled registry hands out shared
+   no-op singletons — ``registry.counter(...)`` allocates nothing and
+   ``inc`` / ``set`` / ``observe`` are single empty method calls, so
+   instrumented hot paths cost a dict-free attribute call when
+   observability is off.  The module-level default registry is the
+   disabled :data:`NULL_REGISTRY`; nothing is recorded unless a caller
+   installs an enabled registry with :func:`set_registry` or
+   :func:`use_registry`.
+2. **Thread-safe.**  Families guard child creation with a lock and
+   every child guards its value — the serving engine records from its
+   micro-batch worker while scrape threads read.
+3. **Stdlib only**, per the repo's dependency policy.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Callable, Iterable, NamedTuple, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "FamilySnapshot",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "Sample",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+]
+
+#: default histogram buckets — tuned for request latencies in seconds
+#: (sub-ms cache hits through multi-second cold batch predictions)
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class Sample(NamedTuple):
+    """One exposition sample: full sample name, sorted labels, value."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...]
+    value: float
+
+
+class FamilySnapshot(NamedTuple):
+    """A metric family's point-in-time state, renderer-ready."""
+
+    name: str
+    type: str  # "counter" | "gauge" | "histogram"
+    help: str
+    samples: list[Sample]
+
+
+def _label_key(
+    label_names: Sequence[str], label_values: dict[str, str]
+) -> tuple[tuple[str, str], ...]:
+    if set(label_values) != set(label_names):
+        raise ValueError(
+            f"labels {sorted(label_values)} do not match declared "
+            f"label names {sorted(label_names)}"
+        )
+    return tuple((name, str(label_values[name])) for name in label_names)
+
+
+# ---------------------------------------------------------------------------
+# live children (the objects hot paths hold)
+
+
+class Counter:
+    """Monotonically-increasing value (one labelled child)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got inc({amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Value that can go up or down (one labelled child)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Cumulative-bucket histogram (one labelled child)."""
+
+    __slots__ = ("_buckets", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        bs = tuple(sorted(float(b) for b in buckets))
+        if not bs:
+            raise ValueError("histogram needs at least one bucket bound")
+        self._buckets = bs
+        self._counts = [0] * len(bs)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for i, bound in enumerate(self._buckets):
+                if value <= bound:
+                    self._counts[i] += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def bucket_counts(self) -> dict[float, int]:
+        """Cumulative count per upper bound (``+Inf`` implied = count)."""
+        with self._lock:
+            return dict(zip(self._buckets, self._counts))
+
+
+class _NoopMetric:
+    """Shared do-nothing stand-in for every primitive when disabled."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def labels(self, **label_values: str) -> "_NoopMetric":
+        return self
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+    @property
+    def sum(self) -> float:
+        return 0.0
+
+    def bucket_counts(self) -> dict[float, int]:
+        return {}
+
+
+#: the singleton every disabled-registry lookup returns — calling code
+#: can hold it and call it freely at (near) zero cost
+NOOP_METRIC = _NoopMetric()
+
+
+# ---------------------------------------------------------------------------
+# families
+
+
+class _Family:
+    """Named metric with a child per label combination."""
+
+    kind = "untyped"
+    _child_factory: Callable[[], object]
+
+    def __init__(self, name: str, help: str, label_names: Sequence[str]) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._children: dict[tuple[tuple[str, str], ...], object] = {}
+        self._lock = threading.Lock()
+
+    def _make_child(self):
+        raise NotImplementedError
+
+    def labels(self, **label_values: str):
+        key = _label_key(self.label_names, label_values)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+            return child
+
+    def default_child(self):
+        if self.label_names:
+            raise ValueError(
+                f"metric {self.name!r} declares labels {self.label_names}; "
+                "use .labels(...)"
+            )
+        return self.labels()
+
+    def snapshot(self) -> FamilySnapshot:
+        with self._lock:
+            items = list(self._children.items())
+        samples = []
+        for key, child in items:
+            samples.extend(self._child_samples(key, child))
+        return FamilySnapshot(self.name, self.kind, self.help, samples)
+
+    def _child_samples(self, key, child) -> list[Sample]:
+        return [Sample(self.name, key, child.value)]
+
+
+class _CounterFamily(_Family):
+    kind = "counter"
+
+    def _make_child(self) -> Counter:
+        return Counter()
+
+    def inc(self, amount: float = 1.0, **label_values: str) -> None:
+        self.labels(**label_values).inc(amount)
+
+
+class _GaugeFamily(_Family):
+    kind = "gauge"
+
+    def _make_child(self) -> Gauge:
+        return Gauge()
+
+    def set(self, value: float, **label_values: str) -> None:
+        self.labels(**label_values).set(value)
+
+
+class _HistogramFamily(_Family):
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, help: str, label_names: Sequence[str], buckets: Sequence[float]
+    ) -> None:
+        super().__init__(name, help, label_names)
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+
+    def _make_child(self) -> Histogram:
+        return Histogram(self.buckets)
+
+    def observe(self, value: float, **label_values: str) -> None:
+        self.labels(**label_values).observe(value)
+
+    def _child_samples(self, key, child: Histogram) -> list[Sample]:
+        samples = []
+        for bound, count in child.bucket_counts().items():
+            le = "+Inf" if math.isinf(bound) else format(bound, "g")
+            samples.append(
+                Sample(self.name + "_bucket", key + (("le", le),), float(count))
+            )
+        samples.append(
+            Sample(self.name + "_bucket", key + (("le", "+Inf"),), float(child.count))
+        )
+        samples.append(Sample(self.name + "_sum", key, child.sum))
+        samples.append(Sample(self.name + "_count", key, float(child.count)))
+        return samples
+
+
+# ---------------------------------------------------------------------------
+# the registry
+
+
+class MetricsRegistry:
+    """Named metric families plus pull-time collectors.
+
+    ``enabled=False`` builds a registry whose every lookup returns the
+    shared :data:`NOOP_METRIC` — the cheap-when-disabled contract the
+    hot paths rely on.  Collectors registered on a disabled registry
+    are dropped.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._enabled = bool(enabled)
+        self._families: dict[str, _Family] = {}
+        self._collectors: list[Callable[[], Iterable[FamilySnapshot]]] = []
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    # -- creation ------------------------------------------------------
+
+    def _family(self, cls, name: str, help: str, labels: Sequence[str], **kw):
+        with self._lock:
+            fam = self._families.get(name)
+            if fam is None:
+                fam = cls(name, help, labels, **kw)
+                self._families[name] = fam
+            elif not isinstance(fam, cls) or fam.label_names != tuple(labels):
+                raise ValueError(
+                    f"metric {name!r} already registered with a different "
+                    "type or label set"
+                )
+            return fam
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()):
+        """Get/create a counter family (or its only child when unlabelled)."""
+        if not self._enabled:
+            return NOOP_METRIC
+        fam = self._family(_CounterFamily, name, help, labels)
+        return fam if labels else fam.default_child()
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()):
+        """Get/create a gauge family (or its only child when unlabelled)."""
+        if not self._enabled:
+            return NOOP_METRIC
+        fam = self._family(_GaugeFamily, name, help, labels)
+        return fam if labels else fam.default_child()
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        """Get/create a histogram family (or its only child when unlabelled)."""
+        if not self._enabled:
+            return NOOP_METRIC
+        fam = self._family(_HistogramFamily, name, help, labels, buckets=buckets)
+        return fam if labels else fam.default_child()
+
+    def register_collector(
+        self, collector: Callable[[], Iterable[FamilySnapshot]]
+    ) -> None:
+        """Add a pull-time source of :class:`FamilySnapshot` objects.
+
+        Collectors are how the legacy instrumentation objects
+        (:class:`~repro.instrumentation.counters.Counters`,
+        :class:`~repro.instrumentation.timers.PhaseTimer`,
+        :class:`~repro.instrumentation.latency.LatencyWindow`) publish
+        without changing their own APIs: the adapter snapshots them
+        only when someone scrapes.
+        """
+        if not self._enabled:
+            return
+        with self._lock:
+            self._collectors.append(collector)
+
+    # -- reading -------------------------------------------------------
+
+    def collect(self) -> list[FamilySnapshot]:
+        """All families plus collector output, name-sorted, scrape-ready."""
+        if not self._enabled:
+            return []
+        with self._lock:
+            families = list(self._families.values())
+            collectors = list(self._collectors)
+        out = [fam.snapshot() for fam in families]
+        for collector in collectors:
+            out.extend(collector())
+        return sorted(out, key=lambda fam: fam.name)
+
+    def get_sample(self, name: str, labels: dict[str, str] | None = None) -> float | None:
+        """One sample's current value (None when absent) — test/report helper."""
+        want = tuple(sorted((labels or {}).items()))
+        for fam in self.collect():
+            for sample in fam.samples:
+                if sample.name == name and tuple(sorted(sample.labels)) == want:
+                    return sample.value
+        return None
+
+    def reset(self) -> None:
+        """Drop every family and collector (tests / fresh runs)."""
+        with self._lock:
+            self._families.clear()
+            self._collectors.clear()
+
+
+#: the always-disabled registry — the process-wide default
+NULL_REGISTRY = MetricsRegistry(enabled=False)
+
+_active = threading.local()
+_global_registry: MetricsRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The active registry: thread-local override, else the global one."""
+    reg = getattr(_active, "registry", None)
+    return reg if reg is not None else _global_registry
+
+
+def set_registry(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Install ``registry`` process-wide (None restores the disabled
+    default); returns the previous global registry."""
+    global _global_registry
+    previous = _global_registry
+    _global_registry = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+class use_registry:
+    """Context manager: make ``registry`` the active one on this thread."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._registry = registry
+        self._previous: MetricsRegistry | None = None
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = getattr(_active, "registry", None)
+        _active.registry = self._registry
+        return self._registry
+
+    def __exit__(self, *exc_info) -> None:
+        _active.registry = self._previous

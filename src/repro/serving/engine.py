@@ -37,6 +37,16 @@ import numpy as np
 from repro.instrumentation.counters import Counters
 from repro.instrumentation.latency import LatencyWindow
 from repro.microcluster.murtree import DEFAULT_BLOCK_SIZE
+from repro.observability.adapters import (
+    CountersCollector,
+    LatencyWindowCollector,
+)
+from repro.observability.registry import (
+    FamilySnapshot,
+    MetricsRegistry,
+    Sample,
+    get_registry,
+)
 from repro.serving.predict import PredictResult, predict_model
 
 __all__ = ["QueryEngine", "PredictRow"]
@@ -95,6 +105,12 @@ class QueryEngine:
         Coordinate quantization for cache keys.
     block_size:
         Row budget per vectorized distance block (see docs/TUNING.md).
+    registry:
+        :class:`~repro.observability.registry.MetricsRegistry` the
+        engine publishes into (request/batch/cache counters, a latency
+        histogram, and scrape-time cache/model gauges — the series
+        behind ``GET /metrics``).  Defaults to the active registry,
+        which is the disabled no-op unless one was installed.
     """
 
     def __init__(
@@ -107,6 +123,7 @@ class QueryEngine:
         cache_decimals: int = 12,
         block_size: int = DEFAULT_BLOCK_SIZE,
         latency_capacity: int = 4096,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -122,6 +139,36 @@ class QueryEngine:
         self.block_size = block_size
         self.counters = Counters()
         self.latency = LatencyWindow(latency_capacity)
+        # observability: direct primitives on the hot path, scrape-time
+        # collectors for everything derived — all no-ops when the
+        # registry is the disabled default
+        self.registry = registry if registry is not None else get_registry()
+        self._m_requests = self.registry.counter(
+            "mudbscan_serving_requests_total", "prediction requests answered"
+        )
+        self._m_batches = self.registry.counter(
+            "mudbscan_serving_batches_total", "micro-batches executed"
+        )
+        self._m_cache_hits = self.registry.counter(
+            "mudbscan_serving_cache_hits_total", "LRU answer-cache hits"
+        )
+        self._m_cache_misses = self.registry.counter(
+            "mudbscan_serving_cache_misses_total", "LRU answer-cache misses"
+        )
+        self._m_latency = self.registry.histogram(
+            "mudbscan_serving_request_latency_seconds",
+            "per-request latency through the engine",
+        )
+        if self.registry.enabled:
+            self.registry.register_collector(self._collect_engine_state)
+            self.registry.register_collector(
+                LatencyWindowCollector(self.latency)
+            )
+            self.registry.register_collector(
+                CountersCollector(
+                    self.model.serving_counters, namespace="mudbscan_serving_index"
+                )
+            )
         self._cache: OrderedDict[bytes, PredictRow] = OrderedDict()
         self._cache_lock = threading.Lock()
         self._predict_lock = threading.Lock()
@@ -138,6 +185,46 @@ class QueryEngine:
         self.model.murtree
 
     # ------------------------------------------------------------------
+    # observability
+
+    def _collect_engine_state(self):
+        """Scrape-time gauges derived from engine state (cache, ratio)."""
+        extra = self.counters.extra
+        hits = extra.get("serve_cache_hits", 0)
+        misses = extra.get("serve_cache_misses", 0)
+        lookups = hits + misses
+        ratio = hits / lookups if lookups else 0.0
+        yield FamilySnapshot(
+            "mudbscan_serving_cache_hit_ratio",
+            "gauge",
+            "lifetime cache hit ratio (hits / lookups)",
+            [Sample("mudbscan_serving_cache_hit_ratio", (), float(ratio))],
+        )
+        yield FamilySnapshot(
+            "mudbscan_serving_cache_entries",
+            "gauge",
+            "LRU answer-cache entries currently held",
+            [Sample("mudbscan_serving_cache_entries", (), float(self.cache_len()))],
+        )
+        yield FamilySnapshot(
+            "mudbscan_serving_cache_capacity",
+            "gauge",
+            "LRU answer-cache capacity (0 = caching disabled)",
+            [Sample("mudbscan_serving_cache_capacity", (), float(self.cache_size))],
+        )
+        model_labels = (
+            ("eps", format(self.model.params.eps, "g")),
+            ("metric", str(self.model.metric_name)),
+            ("min_pts", str(self.model.params.min_pts)),
+        )
+        yield FamilySnapshot(
+            "mudbscan_serving_model_points",
+            "gauge",
+            "points in the served model (labelled with its parameters)",
+            [Sample("mudbscan_serving_model_points", model_labels, float(self.model.n))],
+        )
+
+    # ------------------------------------------------------------------
     # cache
 
     def _key(self, point: np.ndarray) -> bytes:
@@ -151,8 +238,10 @@ class QueryEngine:
             if row is not None:
                 self._cache.move_to_end(key)
                 self.counters.add_extra("serve_cache_hits")
+                self._m_cache_hits.inc()
             else:
                 self.counters.add_extra("serve_cache_misses")
+                self._m_cache_misses.inc()
             return row
 
     def _cache_put(self, key: bytes, row: PredictRow) -> None:
@@ -193,10 +282,12 @@ class QueryEngine:
                 rows[slot] = row
                 self._cache_put(keys[slot], row)
         self.counters.add_extra("serve_requests", q.shape[0])
+        self._m_requests.inc(q.shape[0])
         elapsed = time.perf_counter() - start
         per_row = elapsed / max(1, q.shape[0])
         for _ in range(q.shape[0]):
             self.latency.record(per_row)
+            self._m_latency.observe(per_row)
         return _pack(rows)  # type: ignore[arg-type]
 
     # ------------------------------------------------------------------
@@ -261,9 +352,12 @@ class QueryEngine:
             self.counters.add_extra("serve_batches")
             self.counters.add_extra("serve_requests", len(batch))
             self.counters.add_extra("serve_batched_rows", len(batch))
+            self._m_batches.inc()
+            self._m_requests.inc(len(batch))
             now = time.perf_counter()
             for (_, fut, t_submit), row in zip(batch, rows):
                 self.latency.record(now - t_submit)
+                self._m_latency.observe(now - t_submit)
                 fut.set_result(row)
         except BaseException as exc:  # propagate to waiters, keep serving
             for _, fut, _ in batch:

@@ -34,7 +34,9 @@ from typing import Any
 
 import numpy as np
 
+from repro._compat import deprecated_alias
 from repro._version import __version__
+from repro.core.extras import ExtraKeys
 from repro.core.mudbscan import run_mu_dbscan_state
 from repro.core.params import DBSCANParams
 from repro.core.result import ClusteringResult
@@ -45,6 +47,9 @@ from repro.instrumentation.counters import Counters
 from repro.instrumentation.timers import PhaseTimer
 from repro.microcluster.microcluster import MCKind, MicroCluster
 from repro.microcluster.murtree import DEFAULT_BLOCK_SIZE, MuRTree
+from repro.observability.adapters import publish_run
+from repro.observability.registry import get_registry
+from repro.observability.tracing import maybe_span
 
 __all__ = [
     "FittedModel",
@@ -450,6 +455,7 @@ class FittedModel:
         return cls.from_bytes(path.read_bytes())
 
 
+@deprecated_alias(minpts="min_pts", min_samples="min_pts")
 def fit_model(
     points: np.ndarray,
     eps: float,
@@ -469,26 +475,28 @@ def fit_model(
     pts = np.ascontiguousarray(points, dtype=np.float64)
     params = DBSCANParams(eps=eps, min_pts=min_pts)
     counters = Counters()
-    state, timers = run_mu_dbscan_state(
-        pts,
-        params,
-        metric=metric,
-        batch_queries=batch_queries,
-        block_size=block_size,
-        counters=counters,
-        **mu_kwargs,
-    )
+    with maybe_span("fit", n=int(pts.shape[0]), eps=eps, min_pts=min_pts):
+        state, timers = run_mu_dbscan_state(
+            pts,
+            params,
+            metric=metric,
+            batch_queries=batch_queries,
+            block_size=block_size,
+            counters=counters,
+            **mu_kwargs,
+        )
+    publish_run(get_registry(), counters, timers, algorithm="mu_dbscan")
     murtree = state.murtree
     kind_counts = {kind.name: 0 for kind in MCKind}
     for mc in murtree.mcs:
         kind_counts[mc.kind(params.min_pts).name] += 1
     extras = {
-        "n_micro_clusters": murtree.n_micro_clusters,
-        "avg_mc_size": murtree.avg_mc_size,
-        "n_wndq_core": len(state.wndq_corelist),
-        "mc_kind_counts": kind_counts,
-        "metric": murtree.metric.name,
-        "fit_seconds": timers.total(),
+        ExtraKeys.N_MICRO_CLUSTERS: murtree.n_micro_clusters,
+        ExtraKeys.AVG_MC_SIZE: murtree.avg_mc_size,
+        ExtraKeys.N_WNDQ_CORE: len(state.wndq_corelist),
+        ExtraKeys.MC_KIND_COUNTS: kind_counts,
+        ExtraKeys.METRIC: murtree.metric.name,
+        ExtraKeys.FIT_SECONDS: timers.total(),
     }
     return FittedModel.from_state(state, extras=extras)
 

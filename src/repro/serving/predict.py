@@ -50,6 +50,7 @@ import numpy as np
 from repro.geometry.metrics import EUCLIDEAN, Metric, get_metric
 from repro.instrumentation.counters import Counters
 from repro.microcluster.murtree import DEFAULT_BLOCK_SIZE
+from repro.observability.tracing import maybe_span
 
 __all__ = ["PredictResult", "predict_model", "brute_predict"]
 
@@ -153,6 +154,25 @@ def predict_model(
 ) -> PredictResult:
     """Assign ``queries`` to the fitted clustering, exactly.
 
+    When a tracer is active, the call produces a ``serving.predict``
+    span with ``serving.route`` (2ε MC shortlisting) and
+    ``serving.score`` (per-MC distance blocks) nested under it.
+    """
+    with maybe_span("serving.predict"):
+        return _predict_impl(
+            model, queries, block_size=block_size, counters=counters
+        )
+
+
+def _predict_impl(
+    model,
+    queries: np.ndarray,
+    *,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    counters: Counters | None = None,
+) -> PredictResult:
+    """Assign ``queries`` to the fitted clustering, exactly.
+
     One vectorized raw-distance block per *touched* micro-cluster:
     queries are routed to candidate MCs through the level-1 tree (2ε
     center rule), inverted into per-MC query groups, and each group is
@@ -199,51 +219,53 @@ def predict_model(
     # 2ε center test), inverted to one query group per touched MC
     by_mc: dict[int, list[int]] = {}
     level1 = murtree.level1
-    for i in range(k):
-        cand = level1.query_ball_candidates(q[i], route_r * cover)
-        if not cand:
-            continue
-        cand_arr = np.asarray(cand, dtype=np.int64)
-        centers = np.stack([murtree.mcs[int(c)].center for c in cand_arr])
-        counters.dist_calcs += int(cand_arr.shape[0])
-        raw = metric.raw_to_point(centers, q[i])
-        for mc_id in cand_arr[raw <= route_raw]:
-            by_mc.setdefault(int(mc_id), []).append(i)
+    with maybe_span("serving.route", queries=k):
+        for i in range(k):
+            cand = level1.query_ball_candidates(q[i], route_r * cover)
+            if not cand:
+                continue
+            cand_arr = np.asarray(cand, dtype=np.int64)
+            centers = np.stack([murtree.mcs[int(c)].center for c in cand_arr])
+            counters.dist_calcs += int(cand_arr.shape[0])
+            raw = metric.raw_to_point(centers, q[i])
+            for mc_id in cand_arr[raw <= route_raw]:
+                by_mc.setdefault(int(mc_id), []).append(i)
 
-    for mc_id, q_idx_list in by_mc.items():
-        mc = murtree.mcs[mc_id]
-        assert mc.member_rows is not None and mc.member_points is not None
-        rows = mc.member_rows
-        core_cols = np.flatnonzero(model.core_mask[rows])
-        core_rows = rows[core_cols]
-        q_idx = np.asarray(q_idx_list, dtype=np.int64)
-        counters.dist_calcs += int(q_idx.size) * int(rows.shape[0])
-        for start in range(0, q_idx.size, block_size):
-            chunk = q_idx[start : start + block_size]
-            raw_mat = metric.raw_pairwise_stable(q[chunk], mc.member_points)
-            within = raw_mat < eps_raw
-            counts[chunk] += np.count_nonzero(within, axis=1)
-            if not core_cols.size:
-                continue
-            raw_core = np.where(
-                within[:, core_cols], raw_mat[:, core_cols], np.inf
-            )
-            mc_best = raw_core.min(axis=1)
-            hit = np.isfinite(mc_best)
-            if not hit.any():
-                continue
-            # among columns achieving the minimum, take the smallest
-            # global row — the deterministic tie-break
-            mc_row = np.where(
-                raw_core <= mc_best[:, None], core_rows[None, :], _NO_ROW
-            ).min(axis=1)
-            tgt = chunk[hit]
-            better = mc_best[hit] < best_raw[tgt]
-            tie = (mc_best[hit] == best_raw[tgt]) & (mc_row[hit] < best_row[tgt])
-            take = better | tie
-            upd = tgt[take]
-            best_raw[upd] = mc_best[hit][take]
-            best_row[upd] = mc_row[hit][take]
+    with maybe_span("serving.score", touched_mcs=len(by_mc)):
+        for mc_id, q_idx_list in by_mc.items():
+            mc = murtree.mcs[mc_id]
+            assert mc.member_rows is not None and mc.member_points is not None
+            rows = mc.member_rows
+            core_cols = np.flatnonzero(model.core_mask[rows])
+            core_rows = rows[core_cols]
+            q_idx = np.asarray(q_idx_list, dtype=np.int64)
+            counters.dist_calcs += int(q_idx.size) * int(rows.shape[0])
+            for start in range(0, q_idx.size, block_size):
+                chunk = q_idx[start : start + block_size]
+                raw_mat = metric.raw_pairwise_stable(q[chunk], mc.member_points)
+                within = raw_mat < eps_raw
+                counts[chunk] += np.count_nonzero(within, axis=1)
+                if not core_cols.size:
+                    continue
+                raw_core = np.where(
+                    within[:, core_cols], raw_mat[:, core_cols], np.inf
+                )
+                mc_best = raw_core.min(axis=1)
+                hit = np.isfinite(mc_best)
+                if not hit.any():
+                    continue
+                # among columns achieving the minimum, take the smallest
+                # global row — the deterministic tie-break
+                mc_row = np.where(
+                    raw_core <= mc_best[:, None], core_rows[None, :], _NO_ROW
+                ).min(axis=1)
+                tgt = chunk[hit]
+                better = mc_best[hit] < best_raw[tgt]
+                tie = (mc_best[hit] == best_raw[tgt]) & (mc_row[hit] < best_row[tgt])
+                take = better | tie
+                upd = tgt[take]
+                best_raw[upd] = mc_best[hit][take]
+                best_row[upd] = mc_row[hit][take]
 
     return _finalize(
         model.labels, model.params.min_pts, metric, best_raw, best_row, counts

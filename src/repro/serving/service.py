@@ -7,6 +7,9 @@ Endpoints (``mudbscan serve`` starts this server):
   :meth:`PredictResult.as_payload` arrays.
 * ``GET /healthz`` — liveness + model summary.
 * ``GET /stats`` — engine counters, cache hit rates, latency p50/p99.
+* ``GET /metrics`` — Prometheus text exposition of the engine's
+  metrics registry (request/batch counts, cache hit ratio, latency
+  histogram; see docs/OBSERVABILITY.md for the catalog).
 
 Built on :class:`http.server.ThreadingHTTPServer` — no third-party web
 framework, per the repo's stdlib+numpy dependency policy.  Each request
@@ -21,6 +24,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
+from repro.observability.prometheus import CONTENT_TYPE, render_prometheus
 from repro.serving.engine import QueryEngine
 
 __all__ = ["ServingHandler", "make_server", "serve_forever"]
@@ -73,6 +77,13 @@ class ServingHandler(BaseHTTPRequestHandler):
             )
         elif self.path == "/stats":
             self._send_json(200, self.engine.stats())
+        elif self.path == "/metrics":
+            body = render_prometheus(self.engine.registry).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
         else:
             self._fail(404, f"unknown path {self.path!r}")
 
@@ -164,7 +175,8 @@ def serve_forever(
     print(
         f"serving {engine.model.summary()}\n"
         f"listening on http://{bound_host}:{bound_port} "
-        f"(POST /predict, GET /healthz, GET /stats) — Ctrl-C to stop"
+        f"(POST /predict, GET /healthz, GET /stats, GET /metrics) "
+        f"— Ctrl-C to stop"
     )
     try:
         server.serve_forever()

@@ -1,0 +1,123 @@
+"""The stable public facade and the deprecated-keyword shims."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro import ExtraKeys, ReproDeprecationWarning, fit, fit_distributed
+from repro._compat import reset_warned
+from repro.core.mudbscan import mu_dbscan
+from repro.distributed.mudbscan_d import mu_dbscan_d
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_state():
+    """Each test sees the warn-once behaviour from a clean slate."""
+    reset_warned()
+    yield
+    reset_warned()
+
+
+class TestFacade:
+    def test_root_exports(self):
+        for name in ("fit", "fit_distributed", "load_model", "suggest_eps",
+                     "api", "ExtraKeys", "ReproDeprecationWarning"):
+            assert hasattr(repro, name), name
+            assert name in repro.__all__
+
+    def test_fit_matches_mu_dbscan(self, small_blobs):
+        via_facade = fit(small_blobs, eps=0.08, min_pts=6)
+        direct = mu_dbscan(small_blobs, eps=0.08, min_pts=6)
+        np.testing.assert_array_equal(via_facade.labels, direct.labels)
+        np.testing.assert_array_equal(via_facade.core_mask, direct.core_mask)
+        assert via_facade.algorithm == "mu_dbscan"
+
+    def test_fit_distributed_matches_mu_dbscan_d(self, medium_blobs_3d):
+        via_facade = fit_distributed(medium_blobs_3d, 0.25, 10, n_ranks=2)
+        direct = mu_dbscan_d(medium_blobs_3d, 0.25, 10, n_ranks=2)
+        np.testing.assert_array_equal(via_facade.labels, direct.labels)
+        assert via_facade.extras[ExtraKeys.N_RANKS] == 2
+
+    def test_fit_forwards_options(self, small_blobs):
+        res = fit(small_blobs, eps=0.08, min_pts=6, batch_queries=False)
+        baseline = mu_dbscan(small_blobs, eps=0.08, min_pts=6)
+        np.testing.assert_array_equal(res.labels, baseline.labels)
+
+    def test_deep_imports_still_work(self):
+        from repro.core.mudbscan import mu_dbscan as deep_fit
+        from repro.distributed.mudbscan_d import mu_dbscan_d as deep_fit_d
+        from repro.serving.model import load_model as deep_load
+
+        assert callable(deep_fit) and callable(deep_fit_d) and callable(deep_load)
+
+    def test_extras_keys_name_real_entries(self, small_blobs):
+        res = fit(small_blobs, eps=0.08, min_pts=6)
+        assert ExtraKeys.N_MICRO_CLUSTERS in res.extras
+        assert ExtraKeys.AVG_MC_SIZE in res.extras
+        # module-level aliases mirror the class attributes
+        from repro.core import extras as extras_mod
+
+        assert extras_mod.N_MICRO_CLUSTERS == ExtraKeys.N_MICRO_CLUSTERS
+
+
+class TestDeprecatedAliases:
+    def test_minpts_alias_warns_once_and_works(self, small_blobs):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = fit(small_blobs, eps=0.08, minpts=6)
+            second = fit(small_blobs, eps=0.08, minpts=6)
+        repro_warnings = [
+            w for w in caught if issubclass(w.category, ReproDeprecationWarning)
+        ]
+        assert len(repro_warnings) == 1
+        assert "minpts" in str(repro_warnings[0].message)
+        assert "min_pts" in str(repro_warnings[0].message)
+        canonical = fit(small_blobs, eps=0.08, min_pts=6)
+        np.testing.assert_array_equal(first.labels, canonical.labels)
+        np.testing.assert_array_equal(second.labels, canonical.labels)
+
+    def test_each_alias_warns_separately(self, small_blobs):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            fit(small_blobs, eps=0.08, minpts=6)
+            fit(small_blobs, eps=0.08, min_samples=6)
+        repro_warnings = [
+            w for w in caught if issubclass(w.category, ReproDeprecationWarning)
+        ]
+        assert len(repro_warnings) == 2
+
+    def test_nranks_alias_on_distributed(self, medium_blobs_3d):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            res = fit_distributed(medium_blobs_3d, 0.25, 10, nranks=2)
+        assert res.extras[ExtraKeys.N_RANKS] == 2
+        assert any(
+            issubclass(w.category, ReproDeprecationWarning) for w in caught
+        )
+
+    def test_both_spellings_is_type_error(self, small_blobs):
+        with pytest.raises(TypeError, match="minpts"):
+            fit(small_blobs, eps=0.08, min_pts=6, minpts=6)
+
+    def test_is_a_deprecation_warning_subclass(self):
+        assert issubclass(ReproDeprecationWarning, DeprecationWarning)
+
+    def test_aliases_cover_the_stable_surface(self):
+        from repro.baselines import brute_dbscan, g_dbscan, grid_dbscan, rtree_dbscan
+        from repro.serving.model import fit_model
+
+        for fn in (mu_dbscan, fit_model, brute_dbscan, rtree_dbscan,
+                   g_dbscan, grid_dbscan):
+            assert fn.__deprecated_aliases__["minpts"] == "min_pts"
+        for fn in (mu_dbscan_d, fit_distributed):
+            assert fn.__deprecated_aliases__["nranks"] == "n_ranks"
+            assert fn.__deprecated_aliases__["num_ranks"] == "n_ranks"
+
+    def test_canonical_spellings_never_warn(self, small_blobs):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ReproDeprecationWarning)
+            fit(small_blobs, eps=0.08, min_pts=6)

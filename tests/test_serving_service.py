@@ -135,7 +135,7 @@ class TestInfoEndpoints:
     def test_unknown_get_path(self, served):
         base, _ = served
         with pytest.raises(urllib.error.HTTPError) as err:
-            _get(base + "/metrics")
+            _get(base + "/nope")
         assert err.value.code == 404
 
 
