@@ -116,29 +116,43 @@ def _mu_kwargs(args: argparse.Namespace) -> dict:
 
 @contextlib.contextmanager
 def _observability(args: argparse.Namespace, root_name: str = "fit"):
-    """Honour ``--trace-out`` / ``--metrics-out`` around one command.
+    """Honour ``--trace-out`` / ``--metrics-out`` / ``--profile``.
 
-    When either flag is given, an enabled tracer + metrics registry are
-    activated for the command body; on exit the trace JSON-lines and
-    the Prometheus text snapshot are written, and the trace-derived
-    phase split-up (the Table III / VII shape) is printed.
+    When any flag is given, the matching instruments (tracer, metrics
+    registry, phase profiler) are activated for the command body; on
+    exit the trace JSON-lines and the Prometheus text snapshot are
+    written, the trace-derived phase split-up (the Table III / VII
+    shape) is printed, and with ``--profile`` the Table IV-style
+    memory split-up follows.
     """
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
-    if not trace_out and not metrics_out:
+    profile = getattr(args, "profile", None)
+    if not trace_out and not metrics_out and not profile:
         yield
         return
-    from repro.instrumentation.report import run_report_from_trace
+    from repro.instrumentation.report import (
+        DISTRIBUTED_PHASE_ORDER,
+        PHASE_ORDER,
+        memory_report_from_profile,
+        memory_report_from_profiles,
+        run_report_from_trace,
+    )
     from repro.observability import (
         MetricsRegistry,
+        PhaseProfiler,
         Tracer,
         use_registry,
         write_prometheus,
     )
 
-    tracer = Tracer()
-    registry = MetricsRegistry()
-    with use_registry(registry), tracer.activate():
+    tracer = Tracer() if (trace_out or metrics_out) else Tracer(enabled=False)
+    registry = MetricsRegistry(enabled=bool(trace_out or metrics_out))
+    profiler = PhaseProfiler(profile) if profile else None
+    profiling = (
+        profiler.activate() if profiler is not None else contextlib.nullcontext()
+    )
+    with use_registry(registry), tracer.activate(), profiling:
         yield
     if trace_out:
         spans = tracer.finished()
@@ -148,6 +162,22 @@ def _observability(args: argparse.Namespace, root_name: str = "fit"):
     if metrics_out:
         path = write_prometheus(registry, metrics_out)
         print(f"wrote metrics snapshot: {path}")
+    if profiler is not None:
+        order = (
+            DISTRIBUTED_PHASE_ORDER if root_name == "mu_dbscan_d" else PHASE_ORDER
+        )
+        per_rank = profiler.per_rank()
+        if per_rank:
+            print(memory_report_from_profiles(per_rank, profiler.rank_rusages()))
+        if profiler.as_dict():
+            print(memory_report_from_profile(profiler.as_dict(), order=order))
+        if profile == "deep":
+            for phase, rec in profiler.as_dict().items():
+                for alloc in rec.get("top_allocations", [])[:3]:
+                    print(
+                        f"  {phase}: +{alloc['size_diff_bytes']} B "
+                        f"({alloc['count_diff']} blocks) at {alloc['site']}"
+                    )
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -180,11 +210,47 @@ def cmd_distributed(args: argparse.Namespace) -> int:
         kwargs["backend"] = args.backend
     elif args.backend != "thread":
         raise SystemExit(f"--backend {args.backend} is only supported by --algo mu-d")
-    with _observability(args, root_name="mu_dbscan_d"):
-        start = time.perf_counter()
-        res = algo(pts, eps, min_pts, n_ranks=args.ranks, **kwargs)
-        wall = time.perf_counter() - start
+
+    monitor = None
+    render_stop = None
+    render_thread = None
+    if args.progress or args.heartbeat_out:
+        if args.algo != "mu-d":
+            raise SystemExit("--progress/--heartbeat-out require --algo mu-d")
+        import threading
+
+        from repro.observability import RunMonitor
+
+        monitor = RunMonitor(n_ranks=args.ranks, heartbeat_log=args.heartbeat_out)
+        kwargs["monitor"] = monitor
+        if args.progress:
+            render_stop = threading.Event()
+
+            def _render_loop() -> None:
+                while not render_stop.wait(1.0):
+                    print(monitor.render(), file=sys.stderr)
+
+            render_thread = threading.Thread(
+                target=_render_loop, name="mudbscan-progress", daemon=True
+            )
+            render_thread.start()
+
+    try:
+        with _observability(args, root_name="mu_dbscan_d"):
+            start = time.perf_counter()
+            res = algo(pts, eps, min_pts, n_ranks=args.ranks, **kwargs)
+            wall = time.perf_counter() - start
+    finally:
+        if render_stop is not None:
+            render_stop.set()
+            render_thread.join(timeout=2)
+        if monitor is not None:
+            monitor.close()
     _print_result(name, res, wall)
+    if monitor is not None:
+        print(monitor.render())
+        if args.heartbeat_out:
+            print(f"wrote heartbeat log: {args.heartbeat_out}")
     if res.algorithm == "mu_dbscan_d":
         print(f"as-if-parallel time (max rank + merge): {parallel_time(res):.4f}s")
     return 0
@@ -244,6 +310,119 @@ def cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    """Regenerate split-up tables / ledger comparisons from artifacts.
+
+    Works entirely offline: ``--trace-in`` rebuilds the Table III/VII
+    time split-up (and, when the trace carries profiler attributes,
+    the memory split-up) from a ``--trace-out`` file; ``--compare``
+    regression-checks a candidate ledger against a baseline ledger and
+    exits non-zero on a violation.
+    """
+    did_something = False
+    exit_code = 0
+    if args.trace_in:
+        from repro.instrumentation.report import (
+            format_table,
+            memory_bytes_from_trace,
+            run_report_from_trace,
+        )
+        from repro.observability.tracing import load_jsonl
+
+        spans = load_jsonl(args.trace_in)
+        print(run_report_from_trace(spans, root_name=args.root))
+        mem = memory_bytes_from_trace(spans, root_name=args.root)
+        if mem:
+            rows = [[p, f"{b / (1024 * 1024):.2f}"] for p, b in mem.items()]
+            print(
+                format_table(
+                    ["phase", "traced peak (MiB)"],
+                    rows,
+                    title="memory split-up (from trace attributes)",
+                )
+            )
+        did_something = True
+    if args.compare:
+        from repro.observability.ledger import (
+            compare,
+            format_comparison,
+            latest_baselines,
+            load_ledger,
+        )
+
+        if not args.ledger:
+            raise SystemExit("--compare requires --ledger PATH (candidate records)")
+        candidates_load = load_ledger(args.ledger)
+        baseline_load = load_ledger(args.baseline)
+        for label, load in (("candidate", candidates_load), ("baseline", baseline_load)):
+            if load.corrupt_lines:
+                print(
+                    f"note: skipped {load.corrupt_lines} corrupt line(s) in the "
+                    f"{label} ledger"
+                )
+        candidates = list(latest_baselines(candidates_load.records).values())
+        tolerances = {}
+        if args.wall_tolerance is not None:
+            tolerances["wall_tolerance"] = args.wall_tolerance
+        if args.rss_tolerance is not None:
+            tolerances["rss_tolerance"] = args.rss_tolerance
+        report = compare(
+            candidates,
+            baseline_load.records,
+            same_host_only=not args.any_host,
+            **tolerances,
+        )
+        print(format_comparison(report))
+        for result in report["results"]:
+            if result["status"] == "skip":
+                print(f"SKIPPED {result['case']}: {result['reason']}")
+        if not report["ok"]:
+            exit_code = 1
+        did_something = True
+    if not did_something:
+        raise SystemExit("nothing to do: pass --trace-in and/or --compare")
+    return exit_code
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    """Replay (or follow) a ``--heartbeat-out`` log in the monitor view."""
+    import os
+
+    from repro.observability import load_heartbeats, replay_heartbeats
+
+    if not args.follow:
+        heartbeats = load_heartbeats(args.heartbeats)
+        if not heartbeats:
+            print(f"no heartbeats in {args.heartbeats}")
+            return 1
+        monitor = replay_heartbeats(heartbeats, n_ranks=args.ranks)
+        print(monitor.render())
+        summary = monitor.summary()
+        print(
+            f"stragglers: {summary['stragglers'] or 'none'}   "
+            f"stalled: {summary['stalled'] or 'none'}   "
+            f"heartbeats: {summary['heartbeats_total']}"
+        )
+        return 0
+
+    # --follow: poll the file, re-render on growth, stop when every
+    # reporting rank has sent its final (done) heartbeat
+    seen = 0
+    while True:
+        if os.path.exists(args.heartbeats):
+            heartbeats = load_heartbeats(args.heartbeats)
+            if len(heartbeats) > seen:
+                seen = len(heartbeats)
+                monitor = replay_heartbeats(heartbeats, n_ranks=args.ranks)
+                print(monitor.render())
+                summary = monitor.summary()
+                reporting = summary["ranks_reporting"]
+                if reporting and len(summary["ranks_done"]) == reporting:
+                    print("all ranks done")
+                    return 0
+        time.sleep(args.poll_interval)
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving import QueryEngine, load_model, serve_forever
 
@@ -296,6 +475,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--metrics-out", metavar="PATH", default=None,
             help="write a Prometheus text-format metrics snapshot",
         )
+        p.add_argument(
+            "--profile", choices=("light", "deep"), default=None,
+            help="per-phase memory profiling: 'light' samples tracemalloc "
+            "deltas and RSS per phase, 'deep' adds allocation top-N",
+        )
 
     run = sub.add_parser("run", help="run one sequential algorithm")
     add_workload_args(run)
@@ -315,6 +499,76 @@ def build_parser() -> argparse.ArgumentParser:
         default="thread",
         help="execution substrate: thread-sim (exact, GIL-bound) or "
         "process workers over shared memory (real parallelism; mu-d only)",
+    )
+    dist.add_argument(
+        "--progress",
+        action="store_true",
+        help="live per-rank progress view on stderr while the run executes "
+        "(mu-d only)",
+    )
+    dist.add_argument(
+        "--heartbeat-out", metavar="PATH", default=None,
+        help="append per-rank heartbeats as JSON-lines for offline "
+        "'mudbscan monitor' replay (mu-d only)",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="regenerate split-up tables / ledger comparisons from artifacts",
+    )
+    report.add_argument(
+        "--trace-in", metavar="PATH", default=None,
+        help="rebuild the time (and memory) split-up from a --trace-out file",
+    )
+    report.add_argument(
+        "--root", choices=("fit", "mu_dbscan_d"), default="fit",
+        help="root span of the trace being reported on",
+    )
+    report.add_argument(
+        "--compare", action="store_true",
+        help="regression-check --ledger against --baseline; exits non-zero "
+        "on a wall-time or peak-RSS regression past tolerance",
+    )
+    report.add_argument(
+        "--ledger", metavar="PATH", default=None,
+        help="candidate ledger (JSON-lines) for --compare",
+    )
+    report.add_argument(
+        "--baseline", metavar="PATH", default="BENCH_LEDGER.jsonl",
+        help="baseline ledger to compare against (default: repo ledger)",
+    )
+    report.add_argument(
+        "--wall-tol", dest="wall_tolerance", type=float, default=None,
+        help="allowed wall-time regression fraction (default 0.15)",
+    )
+    report.add_argument(
+        "--rss-tol", dest="rss_tolerance", type=float, default=None,
+        help="allowed peak-RSS regression fraction (default 0.20)",
+    )
+    report.add_argument(
+        "--any-host", action="store_true",
+        help="compare across hosts (wall-times are machine-dependent; "
+        "off by default)",
+    )
+
+    monitor = sub.add_parser(
+        "monitor", help="replay or follow a distributed run's heartbeat log"
+    )
+    monitor.add_argument(
+        "--heartbeats", required=True, metavar="PATH",
+        help="heartbeat JSON-lines file from 'distributed --heartbeat-out'",
+    )
+    monitor.add_argument(
+        "--ranks", type=int, default=None,
+        help="expected world size (default: infer from the log)",
+    )
+    monitor.add_argument(
+        "--follow", action="store_true",
+        help="poll the file and re-render until every rank reports done",
+    )
+    monitor.add_argument(
+        "--poll-interval", type=float, default=1.0,
+        help="seconds between polls with --follow",
     )
 
     fit = sub.add_parser(
@@ -369,6 +623,8 @@ def main(argv: list[str] | None = None) -> int:
         "run": cmd_run,
         "compare": cmd_compare,
         "distributed": cmd_distributed,
+        "report": cmd_report,
+        "monitor": cmd_monitor,
         "fit": cmd_fit,
         "predict": cmd_predict,
         "serve": cmd_serve,

@@ -21,13 +21,16 @@ __all__ = [
     "BYTES_SENT_TOTAL",
     "FIT_SECONDS",
     "MC_KIND_COUNTS",
+    "MEMORY_PROFILE",
     "MESSAGES_SENT_TOTAL",
     "METRIC",
     "N_CROSS_PAIRS",
     "N_MICRO_CLUSTERS",
     "N_RANKS",
     "N_WNDQ_CORE",
+    "PER_RANK_MEMORY",
     "PER_RANK_PHASES",
+    "PER_RANK_RUSAGE",
     "PER_RANK_STATS",
 ]
 
@@ -48,6 +51,8 @@ class ExtraKeys:
     METRIC = "metric"
     #: total fit seconds (FittedModel artifacts)
     FIT_SECONDS = "fit_seconds"
+    #: per-phase memory records (Table IV split-up) when a profiler ran
+    MEMORY_PROFILE = "memory_profile"
 
     # -- distributed drivers (mu_dbscan_d and baselines) ---------------
     #: world size of the run
@@ -64,6 +69,10 @@ class ExtraKeys:
     BYTES_SENT_TOTAL = "bytes_sent_total"
     #: point-to-point messages sent, summed over ranks
     MESSAGES_SENT_TOTAL = "messages_sent_total"
+    #: per-rank phase → memory record tables when a profiler ran
+    PER_RANK_MEMORY = "per_rank_memory"
+    #: per-rank rusage dicts (max_rss_kb / user_cpu_s / system_cpu_s)
+    PER_RANK_RUSAGE = "per_rank_rusage"
 
 
 # module-level aliases for flat imports:
@@ -74,6 +83,7 @@ N_WNDQ_CORE = ExtraKeys.N_WNDQ_CORE
 MC_KIND_COUNTS = ExtraKeys.MC_KIND_COUNTS
 METRIC = ExtraKeys.METRIC
 FIT_SECONDS = ExtraKeys.FIT_SECONDS
+MEMORY_PROFILE = ExtraKeys.MEMORY_PROFILE
 N_RANKS = ExtraKeys.N_RANKS
 BACKEND = ExtraKeys.BACKEND
 PER_RANK_PHASES = ExtraKeys.PER_RANK_PHASES
@@ -81,3 +91,5 @@ PER_RANK_STATS = ExtraKeys.PER_RANK_STATS
 N_CROSS_PAIRS = ExtraKeys.N_CROSS_PAIRS
 BYTES_SENT_TOTAL = ExtraKeys.BYTES_SENT_TOTAL
 MESSAGES_SENT_TOTAL = ExtraKeys.MESSAGES_SENT_TOTAL
+PER_RANK_MEMORY = ExtraKeys.PER_RANK_MEMORY
+PER_RANK_RUSAGE = ExtraKeys.PER_RANK_RUSAGE

@@ -33,6 +33,7 @@ from repro.instrumentation.timers import PhaseTimer
 from repro.microcluster.microcluster import MCKind
 from repro.microcluster.murtree import DEFAULT_BLOCK_SIZE, MuRTree
 from repro.observability.adapters import publish_run
+from repro.observability.profiler import PhaseProfiler, current_profiler, maybe_profile
 from repro.observability.registry import get_registry
 from repro.observability.tracing import Tracer, maybe_span
 
@@ -55,6 +56,7 @@ def run_mu_dbscan_state(
     timers: PhaseTimer | None = None,
     process_mask: np.ndarray | None = None,
     state_factory=MuDBSCANState,
+    progress_cb=None,
     _prebuilt_murtree: MuRTree | None = None,
 ) -> tuple[MuDBSCANState, PhaseTimer]:
     """Run μDBSCAN and return the raw state (flags + union-find).
@@ -70,6 +72,16 @@ def run_mu_dbscan_state(
     neighborhood engine for Algorithms 6 and 8 (state-for-state and
     counter-for-counter equivalent to the per-point path; see
     ``repro.core.remaining``).
+
+    ``progress_cb(consumed, eligible)`` is forwarded to Algorithm 6's
+    consumption loop — distributed ranks hang their monitoring
+    heartbeats on it.
+
+    Each phase also passes through :func:`maybe_profile`, so with a
+    profiler active on this thread (see
+    :class:`~repro.observability.profiler.PhaseProfiler`) the run
+    yields a per-phase memory split-up; off, the hook is one
+    thread-local read per phase.
     """
     counters = counters if counters is not None else Counters()
     timers = timers if timers is not None else PhaseTimer()
@@ -80,10 +92,12 @@ def run_mu_dbscan_state(
         murtree = _prebuilt_murtree
         with timers.phase("finding_reachable_groups"), maybe_span(
             "finding_reachable_groups"
-        ):
+        ) as span, maybe_profile("finding_reachable_groups", span=span):
             murtree.compute_reachability()  # no-op when caches are warm
     else:
-        with timers.phase("tree_construction"), maybe_span("tree_construction"):
+        with timers.phase("tree_construction"), maybe_span(
+            "tree_construction"
+        ) as span, maybe_profile("tree_construction", span=span):
             murtree = MuRTree(
                 points,
                 params.eps,
@@ -96,11 +110,13 @@ def run_mu_dbscan_state(
             )
         with timers.phase("finding_reachable_groups"), maybe_span(
             "finding_reachable_groups"
-        ):
+        ) as span, maybe_profile("finding_reachable_groups", span=span):
             murtree.compute_reachability()
 
     state = state_factory(murtree, params, counters)
-    with timers.phase("clustering"), maybe_span("clustering"):
+    with timers.phase("clustering"), maybe_span("clustering") as span, maybe_profile(
+        "clustering", span=span
+    ):
         process_micro_clusters(state)
         process_remaining_points(
             state,
@@ -108,8 +124,11 @@ def run_mu_dbscan_state(
             process_mask=process_mask,
             batch_queries=batch_queries,
             block_size=block_size,
+            progress_cb=progress_cb,
         )
-    with timers.phase("post_processing"), maybe_span("post_processing"):
+    with timers.phase("post_processing"), maybe_span(
+        "post_processing"
+    ) as span, maybe_profile("post_processing", span=span):
         postprocess_core(state)
         postprocess_noise(state, batch_queries=batch_queries)
 
@@ -134,6 +153,7 @@ def mu_dbscan(
     metric: str | Metric = EUCLIDEAN,
     timers: PhaseTimer | None = None,
     tracer: Tracer | None = None,
+    profiler: PhaseProfiler | None = None,
 ) -> ClusteringResult:
     """Cluster ``points`` with μDBSCAN (exact DBSCAN semantics).
 
@@ -166,6 +186,13 @@ def mu_dbscan(
         :class:`~repro.observability.registry.MetricsRegistry` (the
         default registry is disabled, so this costs nothing unless one
         is installed).
+    profiler:
+        Optional :class:`~repro.observability.profiler.PhaseProfiler`;
+        when given (or when one is already active on this thread) each
+        phase records its tracemalloc delta/peak and RSS — the Table
+        IV-style memory split-up — into the profiler and, when a tracer
+        runs alongside, onto the phase spans.  The profile also lands
+        in ``extras["memory_profile"]``.
 
     Returns
     -------
@@ -177,7 +204,13 @@ def mu_dbscan(
     counters = Counters()
     pts = np.asarray(points)
     activation = tracer.activate() if tracer is not None else contextlib.nullcontext()
-    with activation, maybe_span("fit", n=int(pts.shape[0]), eps=eps, min_pts=min_pts):
+    profiler = profiler if profiler is not None else current_profiler()
+    profiling = (
+        profiler.activate() if profiler is not None else contextlib.nullcontext()
+    )
+    with activation, profiling, maybe_span(
+        "fit", n=int(pts.shape[0]), eps=eps, min_pts=min_pts
+    ):
         state, timers = run_mu_dbscan_state(
             pts,
             params,
@@ -197,6 +230,15 @@ def mu_dbscan(
     kind_counts = {kind.name: 0 for kind in MCKind}
     for mc in state.murtree.mcs:
         kind_counts[mc.kind(params.min_pts).name] += 1
+    extras = {
+        ExtraKeys.N_MICRO_CLUSTERS: state.murtree.n_micro_clusters,
+        ExtraKeys.AVG_MC_SIZE: state.murtree.avg_mc_size,
+        ExtraKeys.N_WNDQ_CORE: len(state.wndq_corelist),
+        ExtraKeys.MC_KIND_COUNTS: kind_counts,
+        ExtraKeys.METRIC: state.murtree.metric.name,
+    }
+    if profiler is not None:
+        extras[ExtraKeys.MEMORY_PROFILE] = profiler.as_dict()
     return ClusteringResult(
         labels=labels,
         core_mask=state.core.copy(),
@@ -204,13 +246,7 @@ def mu_dbscan(
         algorithm="mu_dbscan",
         counters=counters,
         timers=timers,
-        extras={
-            ExtraKeys.N_MICRO_CLUSTERS: state.murtree.n_micro_clusters,
-            ExtraKeys.AVG_MC_SIZE: state.murtree.avg_mc_size,
-            ExtraKeys.N_WNDQ_CORE: len(state.wndq_corelist),
-            ExtraKeys.MC_KIND_COUNTS: kind_counts,
-            ExtraKeys.METRIC: state.murtree.metric.name,
-        },
+        extras=extras,
     )
 
 

@@ -59,11 +59,13 @@ consumption time.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.state import MuDBSCANState
 from repro.microcluster.murtree import DEFAULT_BLOCK_SIZE, BlockQueryResult
-from repro.observability.tracing import NOOP_SPAN, current_tracer
+from repro.observability.tracing import current_tracer
 
 __all__ = ["process_remaining_points"]
 
@@ -74,6 +76,17 @@ __all__ = ["process_remaining_points"]
 _FIRST_SUB_BLOCK = 8
 _SUB_BLOCK_GROWTH = 4
 
+#: detailed ``mc_batch`` spans emitted per clustering pass when a tracer
+#: is active; batches beyond the cap roll into one ``mc_batch_summary``
+#: span (count + rows + seconds) — a 20k-point run issues thousands of
+#: sub-blocks, and one span object per block is what pushed enabled-mode
+#: tracing overhead above the perf-smoke gate
+_SPAN_CAP = 32
+
+#: consumed-row granularity of the optional ``progress_cb`` — coarse
+#: enough that a heartbeat can ride it without measurable cost
+_PROGRESS_EVERY = 256
+
 
 def process_remaining_points(
     state: MuDBSCANState,
@@ -82,6 +95,7 @@ def process_remaining_points(
     *,
     batch_queries: bool = True,
     block_size: int = DEFAULT_BLOCK_SIZE,
+    progress_cb=None,
 ) -> None:
     """Run Algorithm 6.
 
@@ -97,22 +111,29 @@ def process_remaining_points(
     reachable block is shared MC-wide — other modes fall back to the
     per-point path.  ``block_size`` bounds the transient distance
     matrix to ``block_size x |reachable block|`` doubles.
+
+    ``progress_cb(consumed, eligible)``, when given, is invoked every
+    ``_PROGRESS_EVERY`` consumed rows (and once at the end) — the hook
+    distributed ranks hang their monitoring heartbeats on.
     """
     if batch_queries and state.murtree.aux_index == "cached":
-        _process_batched(state, dynamic_wndq, process_mask, block_size)
+        _process_batched(state, dynamic_wndq, process_mask, block_size, progress_cb)
     else:
-        _process_per_point(state, dynamic_wndq, process_mask)
+        _process_per_point(state, dynamic_wndq, process_mask, progress_cb)
 
 
 def _process_per_point(
     state: MuDBSCANState,
     dynamic_wndq: bool,
     process_mask: np.ndarray | None,
+    progress_cb=None,
 ) -> None:
     """The reference one-query-per-point path (paper Algorithm 6)."""
     params = state.params
     min_pts = params.min_pts
     counters = state.counters
+    consumed = 0
+    total = state.n if process_mask is None else int(np.count_nonzero(process_mask))
     for row in range(state.n):
         if process_mask is not None and not process_mask[row]:
             continue
@@ -121,6 +142,9 @@ def _process_per_point(
         nbrs, raw = state.murtree.query_ball(row)
         state.queried[row] = True
         counters.queries_run += 1
+        consumed += 1
+        if progress_cb is not None and consumed % _PROGRESS_EVERY == 0:
+            progress_cb(consumed, total)
 
         if nbrs.shape[0] < min_pts:
             if not state.assigned[row]:
@@ -150,6 +174,8 @@ def _process_per_point(
             if state.core[qi] or not state.assigned[qi]:
                 state.union(row, qi)
         state.assigned[row] = True
+    if progress_cb is not None:
+        progress_cb(consumed, total)
 
 
 def _process_batched(
@@ -157,6 +183,7 @@ def _process_batched(
     dynamic_wndq: bool,
     process_mask: np.ndarray | None,
     block_size: int,
+    progress_cb=None,
 ) -> None:
     """MC-batched Algorithm 6: precompute per-MC, consume in row order."""
     murtree = state.murtree
@@ -198,8 +225,16 @@ def _process_batched(
     point_mc = murtree.point_mc
     half_radius = state.params.eps * 0.5
     # resolved once: per-batch spans only exist when a tracer is active,
-    # so the loop pays a single None check per block when tracing is off
+    # so the loop pays a single None check per block when tracing is off.
+    # Even with a tracer, only the first _SPAN_CAP blocks get their own
+    # span; the rest roll into one mc_batch_summary span at the end —
+    # span-per-block was the dominant cost of enabled-mode tracing.
     tracer = current_tracer()
+    spans_left = _SPAN_CAP if tracer is not None else 0
+    rolled_batches = 0
+    rolled_rows = 0
+    rolled_seconds = 0.0
+    consumed = 0
     blocks: list[BlockQueryResult] = []
     blk_id = np.full(state.n, -1, dtype=np.int64)
     local_ix = np.zeros(state.n, dtype=np.int64)
@@ -223,12 +258,22 @@ def _process_batched(
             b = len(blocks)
             blk_id[sub] = b
             local_ix[sub] = np.arange(sub.size)
-            span = (
-                tracer.span("mc_batch", mc=mc_id, rows=int(sub.size))
-                if tracer is not None
-                else NOOP_SPAN
-            )
-            with span:
+            if spans_left > 0:
+                spans_left -= 1
+                with tracer.span("mc_batch", mc=mc_id, rows=int(sub.size)):
+                    blocks.append(
+                        murtree.query_ball_block(
+                            mc_id,
+                            sub,
+                            half_radius=half_radius,
+                            block_size=block_size,
+                            count_work=False,
+                            validate=False,  # rows were grouped by point_mc
+                        )
+                    )
+            else:
+                if tracer is not None:
+                    t0 = time.perf_counter()
                 blocks.append(
                     murtree.query_ball_block(
                         mc_id,
@@ -239,12 +284,19 @@ def _process_batched(
                         validate=False,  # rows were grouped by point_mc above
                     )
                 )
+                if tracer is not None:
+                    rolled_seconds += time.perf_counter() - t0
+                    rolled_batches += 1
+                    rolled_rows += int(sub.size)
         block = blocks[b]
         i = int(local_ix[row])
         nbrs = block.nbrs(i)
         state.queried[row] = True
         counters.queries_run += 1
         counters.dist_calcs += block.per_row_cost
+        consumed += 1
+        if progress_cb is not None and consumed % _PROGRESS_EVERY == 0:
+            progress_cb(consumed, int(pending.size))
 
         if block.n_eps[i] < min_pts:
             if not assigned[row]:
@@ -267,3 +319,14 @@ def _process_batched(
         merge = nbrs[(core[nbrs] | ~assigned[nbrs]) & (nbrs != row)]
         state.union_many(row, merge)
         assigned[row] = True
+    if tracer is not None and rolled_batches:
+        # the capped remainder, as one span: counters say how many
+        # blocks it stands for and how long their queries took in total
+        with tracer.span(
+            "mc_batch_summary",
+            batches=rolled_batches,
+            rows=rolled_rows,
+        ) as summary:
+            summary.set_attr("query_seconds", rolled_seconds)
+    if progress_cb is not None:
+        progress_cb(consumed, int(pending.size))

@@ -52,7 +52,8 @@ __all__ = [
     "run_mpi",
 ]
 
-#: backend name -> launcher with the (n_ranks, fn, args, kwargs, shared) ABI
+#: backend name -> launcher with the
+#: (n_ranks, fn, args, kwargs, shared, progress=None) ABI
 BACKENDS: dict[str, Callable[..., list[Any]]] = {
     "thread": launch_threads,
     "process": launch_processes,
@@ -65,6 +66,7 @@ def launch(
     *args: Any,
     backend: str = "thread",
     shared: dict[str, np.ndarray] | None = None,
+    progress: Callable[[dict[str, Any]], None] | None = None,
     **kwargs: Any,
 ) -> list[Any]:
     """Run ``fn`` on ``n_ranks`` ranks of ``backend``; results in rank order.
@@ -78,6 +80,11 @@ def launch(
     picklable.  The first failing rank's exception is re-raised with
     the rank identified; a failure never leaves live rank threads,
     worker processes or shared segments behind.
+
+    ``progress``, when given, is installed as every rank's heartbeat
+    sink (see :meth:`Communicator.heartbeat`) — rank code can then post
+    in-flight progress that arrives in the caller's process while the
+    job runs.  The callback must be thread-safe.
     """
     try:
         backend_launch = BACKENDS[backend]
@@ -85,4 +92,4 @@ def launch(
         raise ValueError(
             f"unknown backend {backend!r}; available: {sorted(BACKENDS)}"
         ) from None
-    return backend_launch(n_ranks, fn, args, kwargs, shared)
+    return backend_launch(n_ranks, fn, args, kwargs, shared, progress=progress)

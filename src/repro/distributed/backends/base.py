@@ -19,6 +19,14 @@ Clocks: each backend names the per-rank CPU clock its ranks should
 time phases with (``clock``).  Thread-sim ranks share the GIL, so only
 ``time.thread_time`` isolates a rank's own work; process ranks own a
 whole interpreter and use ``time.process_time``.
+
+Heartbeats: a launcher may install a *progress sink* on each rank's
+communicator (``launch(..., progress=...)``).  Rank code then posts
+in-flight progress with :meth:`Communicator.heartbeat`; the payload is
+auto-stamped with the rank, its communication volume so far and its
+outbound queue depth.  With no sink installed — the default — the
+call is a single attribute check, so instrumented rank code costs
+nothing in normal runs.
 """
 
 from __future__ import annotations
@@ -92,6 +100,14 @@ class Communicator(abc.ABC):
     #: per-rank CPU clock appropriate for this backend's ranks
     clock: Callable[[], float] = staticmethod(time.thread_time)
 
+    #: rusage scope of one rank ("thread" when ranks share a process,
+    #: "process" when each rank owns an interpreter) — what
+    #: ``repro.observability.profiler.rank_rusage`` should read
+    rusage_scope: str = "thread"
+
+    #: progress sink installed by the launcher (None = heartbeats off)
+    _progress_sink: Callable[[dict[str, Any]], None] | None = None
+
     def __init__(self, rank: int, size: int) -> None:
         if size < 1:
             raise ValueError(f"world size must be >= 1, got {size}")
@@ -114,6 +130,34 @@ class Communicator(abc.ABC):
     @abc.abstractmethod
     def _transport_recv(self, source: int, tag: int) -> Any:
         """Block until the next message on ``(source, tag)`` arrives."""
+
+    # ------------------------------------------------------------------
+    # heartbeats (monitoring channel, off unless the launcher wires it)
+
+    def pending_sends(self) -> int:
+        """Outbound frames not yet on the wire (0 for unbuffered sends)."""
+        return 0
+
+    def heartbeat(self, **fields: Any) -> None:
+        """Post an in-flight progress heartbeat (no-op without a sink).
+
+        The payload is ``fields`` plus auto-stamped context: ``rank``,
+        ``comm_bytes`` (payload bytes sent so far), ``queue_depth``
+        (frames waiting in the send queue) and ``sent_unix``.
+        Conventional fields rank code sends: ``phase``, ``points_done``,
+        ``points_total``, ``done`` (final heartbeat of the rank).
+        """
+        sink = self._progress_sink
+        if sink is None:
+            return
+        payload: dict[str, Any] = {
+            "rank": self.rank,
+            "comm_bytes": self.bytes_sent,
+            "queue_depth": self.pending_sends(),
+            "sent_unix": time.time(),
+        }
+        payload.update(fields)
+        sink(payload)
 
     # ------------------------------------------------------------------
     # point-to-point

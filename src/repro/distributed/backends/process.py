@@ -112,6 +112,7 @@ class ProcessCommunicator(Communicator):
     """One rank's endpoint over the pipe mesh."""
 
     clock: Callable[[], float] = staticmethod(time.process_time)
+    rusage_scope = "process"  # each rank owns a whole interpreter
 
     def __init__(
         self,
@@ -153,6 +154,10 @@ class ProcessCommunicator(Communicator):
         """Wait until the rank's outbound frames are fully on the wire."""
         self._sender.flush()
 
+    def pending_sends(self) -> int:
+        """Frames posted but not yet written to their pipes."""
+        return len(self._sender._items)
+
 
 def _worker_main(
     rank: int,
@@ -164,11 +169,23 @@ def _worker_main(
     fn: Callable[..., Any],
     args: tuple[Any, ...],
     kwargs: dict[str, Any],
+    progress_conn: connection.Connection | None = None,
 ) -> None:
     """Spawn-side entry: map shared arrays, run ``fn``, report the outcome."""
     segments: list[shared_memory.SharedMemory] = []
     try:
         comm = ProcessCommunicator(rank, size, send_conns, recv_conns)
+        if progress_conn is not None:
+            # heartbeats ride their own pipe so monitoring traffic can
+            # never interleave with (or block behind) algorithm frames;
+            # a broken monitor must not take the rank down with it
+            def _post_heartbeat(hb: dict[str, Any], _conn=progress_conn) -> None:
+                try:
+                    _conn.send(hb)
+                except (OSError, ValueError, BrokenPipeError):
+                    pass
+
+            comm._progress_sink = _post_heartbeat
         if shm_specs is None:
             result = fn(comm, *args, **kwargs)
         else:
@@ -208,6 +225,7 @@ def launch_processes(
     args: tuple[Any, ...] = (),
     kwargs: dict[str, Any] | None = None,
     shared: dict[str, np.ndarray] | None = None,
+    progress: Callable[[dict[str, Any]], None] | None = None,
 ) -> list[Any]:
     """Execute ``fn`` on ``n_ranks`` spawned worker processes.
 
@@ -218,6 +236,11 @@ def launch_processes(
     arguments and every message payload must be picklable (spawn
     semantics).  Returns per-rank results in rank order; the first
     failing rank's exception is re-raised in the parent.
+
+    ``progress``, when given, receives every rank's heartbeat dicts in
+    the parent: each worker gets a dedicated progress pipe (separate
+    from both the algorithm mesh and the result pipe) and a parent
+    drain thread forwards arriving heartbeats to the callback.
     """
     if n_ranks < 1:
         raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
@@ -227,6 +250,8 @@ def launch_processes(
     segments: list[shared_memory.SharedMemory] = []
     procs: list[mp.Process] = []
     parent_conns: list[connection.Connection] = []
+    progress_stop = threading.Event()
+    progress_thread: threading.Thread | None = None
     try:
         shm_specs: dict[str, _ShmSpec] | None = None
         if shared is not None:
@@ -248,6 +273,15 @@ def launch_processes(
                 send_conns[src][dst] = w_end
                 recv_conns[dst][src] = r_end
                 parent_conns += [r_end, w_end]
+        progress_reads: list[connection.Connection] = []
+        progress_writes: list[connection.Connection | None] = [None] * n_ranks
+        if progress is not None:
+            for rank in range(n_ranks):
+                r_end, w_end = ctx.Pipe(duplex=False)
+                progress_reads.append(r_end)
+                progress_writes[rank] = w_end
+                parent_conns += [r_end, w_end]
+
         result_conns: list[connection.Connection] = []
         for rank in range(n_ranks):
             r_end, w_end = ctx.Pipe(duplex=False)
@@ -265,6 +299,7 @@ def launch_processes(
                     fn,
                     args,
                     kwargs,
+                    progress_writes[rank],
                 ),
                 name=f"mpi-proc-rank-{rank}",
                 daemon=True,
@@ -272,6 +307,31 @@ def launch_processes(
             procs.append(proc)
         for proc in procs:
             proc.start()
+
+        if progress is not None:
+
+            def _drain_heartbeats() -> None:
+                live = list(progress_reads)
+                while live and not progress_stop.is_set():
+                    try:
+                        ready = connection.wait(live, timeout=0.1)
+                    except OSError:
+                        return  # pipes torn down under us (shutdown path)
+                    for conn in ready:
+                        try:
+                            hb = conn.recv()
+                        except (EOFError, OSError):
+                            live.remove(conn)
+                            continue
+                        try:
+                            progress(hb)
+                        except Exception:
+                            pass  # a broken monitor must not kill the drain
+
+            progress_thread = threading.Thread(
+                target=_drain_heartbeats, name="mpi-proc-progress", daemon=True
+            )
+            progress_thread.start()
 
         results: list[Any] = [None] * n_ranks
         pending = dict(enumerate(result_conns))
@@ -320,6 +380,19 @@ def launch_processes(
         for proc in procs:
             if proc.pid is not None:
                 proc.join(timeout=10)
+        if progress_thread is not None:
+            progress_stop.set()
+            progress_thread.join(timeout=5)
+            # final sweep: heartbeats posted just before worker exit may
+            # still sit in the pipe buffers — deliver them before closing
+            for conn in progress_reads:
+                try:
+                    while conn.poll(0):
+                        progress(conn.recv())
+                except (EOFError, OSError):
+                    continue
+                except Exception:
+                    break  # callback failure: drop the tail, keep cleanup
         for conn in parent_conns:
             try:
                 conn.close()

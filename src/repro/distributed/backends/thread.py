@@ -109,6 +109,7 @@ def launch_threads(
     args: tuple[Any, ...] = (),
     kwargs: dict[str, Any] | None = None,
     shared: dict[str, Any] | None = None,
+    progress: Callable[[dict[str, Any]], None] | None = None,
 ) -> list[Any]:
     """Execute ``fn`` on ``n_ranks`` rank threads; per-rank results in order.
 
@@ -118,6 +119,10 @@ def launch_threads(
     free in-process).  The first real rank exception (lowest rank) is
     re-raised, chained to the original; ranks that died from the
     resulting shutdown are not reported as failures.
+
+    ``progress``, when given, becomes every rank's heartbeat sink —
+    ranks share the caller's process, so heartbeats are direct calls;
+    the sink must therefore be thread-safe (``RunMonitor.record`` is).
     """
     if n_ranks < 1:
         raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
@@ -128,6 +133,7 @@ def launch_threads(
 
     def runner(rank: int) -> None:
         comm = ThreadCommunicator(world, rank)
+        comm._progress_sink = progress
         try:
             if shared is not None:
                 results[rank] = fn(comm, shared, *args, **kwargs)

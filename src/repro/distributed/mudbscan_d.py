@@ -42,6 +42,8 @@ from repro.distributed.partition import kd_partition
 from repro.instrumentation.counters import Counters
 from repro.instrumentation.timers import PhaseTimer
 from repro.observability.adapters import publish_comm_stats, publish_run
+from repro.observability.monitor import RunMonitor
+from repro.observability.profiler import PhaseProfiler, current_profiler, maybe_profile, rank_rusage
 from repro.observability.registry import get_registry
 from repro.observability.tracing import Tracer, current_tracer
 
@@ -67,6 +69,7 @@ def _rank_main(
     seed: int,
     mu_kwargs: dict[str, Any],
     trace_ctx: dict[str, Any] | None = None,
+    profile_ctx: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     points = shared["points"]
     timers = PhaseTimer(clock=comm.clock)
@@ -74,20 +77,35 @@ def _rank_main(
 
     # each rank builds its own tracer re-rooted under the driver's
     # trace_context — a picklable dict, so it crosses the process
-    # backend's spawn boundary and every rank's spans join one tree
+    # backend's spawn boundary and every rank's spans join one tree.
+    # The profiler crosses the same way; activating it makes the local
+    # μDBSCAN phases inside run_local_mu_dbscan profile themselves via
+    # their maybe_profile hooks.
     tracer = Tracer.from_context(trace_ctx)
-    with tracer.activate(), tracer.span("rank", rank=comm.rank, size=comm.size):
+    profiler = PhaseProfiler.from_context(profile_ctx)
+    profiling = profiler.activate() if profiler is not None else contextlib.nullcontext()
+    with tracer.activate(), profiling, tracer.span(
+        "rank", rank=comm.rank, size=comm.size
+    ):
         # block distribution stands in for the paper's parallel file read;
         # the slice below is each rank's only read of the shared dataset
         blocks = np.array_split(np.arange(n_global, dtype=np.int64), comm.size)
         my_gids = blocks[comm.rank]
         my_points = points[my_gids]
+        n_owned = int(my_gids.size)
 
-        with timers.phase("partitioning"), tracer.span("partitioning"):
+        comm.heartbeat(phase="partitioning", points_done=0, points_total=n_owned)
+        with timers.phase("partitioning"), tracer.span("partitioning") as span, (
+            maybe_profile("partitioning", span=span)
+        ):
             part = kd_partition(
                 comm, my_points, my_gids, sample_size=sample_size, seed=seed
             )
-        with timers.phase("halo_exchange"), tracer.span("halo_exchange"):
+        n_owned = int(part.gids.size)
+        comm.heartbeat(phase="halo_exchange", points_done=0, points_total=n_owned)
+        with timers.phase("halo_exchange"), tracer.span("halo_exchange") as span, (
+            maybe_profile("halo_exchange", span=span)
+        ):
             halo = exchange_halo(
                 comm,
                 part.points,
@@ -97,6 +115,12 @@ def _rank_main(
                 params.eps,
             )
 
+        # the clustering pass's consumption loop drives the progress
+        # heartbeats — with no sink installed each callback is one
+        # attribute check inside comm.heartbeat
+        def _clustering_progress(done: int, total: int) -> None:
+            comm.heartbeat(phase="clustering", points_done=done, points_total=total)
+
         fragment = run_local_mu_dbscan(
             part.points,
             part.gids,
@@ -104,10 +128,14 @@ def _rank_main(
             halo.gids,
             params,
             timers=timers,
+            progress_cb=_clustering_progress,
             **mu_kwargs,
         )
 
-        with timers.phase("merging"), tracer.span("merging"):
+        comm.heartbeat(phase="merging", points_done=n_owned, points_total=n_owned)
+        with timers.phase("merging"), tracer.span("merging") as span, (
+            maybe_profile("merging", span=span)
+        ):
             # fragments fan into rank 0, which resolves once; the paper's
             # pairwise UNION exchange produces the same components — one
             # resolver keeps the replicated Python work out of the
@@ -118,6 +146,9 @@ def _rank_main(
                 counters = Counters()
                 outcome = resolve_fragments(fragments, n_global, counters=counters)
             comm.barrier()
+        comm.heartbeat(
+            phase="merging", points_done=n_owned, points_total=n_owned, done=True
+        )
 
     return {
         "rank": comm.rank,
@@ -130,6 +161,8 @@ def _rank_main(
         "bytes_sent": comm.bytes_sent,
         "messages_sent": comm.messages_sent,
         "spans": tracer.finished() if tracer.enabled else [],
+        "profile": profiler.as_dict() if profiler is not None else None,
+        "rusage": rank_rusage(comm.rusage_scope),
     }
 
 
@@ -144,6 +177,8 @@ def mu_dbscan_d(
     sample_size: int = 256,
     seed: int = 0,
     tracer: Tracer | None = None,
+    profiler: PhaseProfiler | None = None,
+    monitor: RunMonitor | None = None,
     **mu_kwargs: Any,
 ) -> ClusteringResult:
     """Cluster ``points`` with μDBSCAN-D on ``n_ranks`` ranks of ``backend``.
@@ -160,6 +195,19 @@ def mu_dbscan_d(
     process backend's spawn boundary, so the tree is whole on every
     backend.  Counters, parallel-time phases and per-rank byte/message
     volumes are published to the active metrics registry.
+
+    With a ``profiler`` (given or already active), each rank profiles
+    its phases (tracemalloc deltas, RSS) and reports its rusage; the
+    driver adopts the per-rank tables, so
+    ``profiler.per_rank()`` / ``extras["per_rank_memory"]`` carry the
+    distributed Table IV-style memory split-up.
+
+    With a ``monitor`` (a
+    :class:`~repro.observability.monitor.RunMonitor`), ranks post
+    heartbeats while the job runs — phase transitions plus clustering
+    progress every few hundred points — and the monitor aggregates
+    them into gauges, straggler and stall detection, and the
+    ``--progress`` live view.  All three are off by default.
     """
     params = DBSCANParams(eps=eps, min_pts=min_pts)
     pts = np.ascontiguousarray(points, dtype=np.float64)
@@ -167,6 +215,9 @@ def mu_dbscan_d(
         raise ValueError(f"points must be (n, d), got shape {pts.shape}")
 
     tracer = tracer if tracer is not None else current_tracer()
+    profiler = profiler if profiler is not None else current_profiler()
+    if monitor is not None and monitor.n_ranks is None:
+        monitor.n_ranks = n_ranks
     with (
         tracer.activate() if tracer is not None else _NULL_CTX
     ), (
@@ -175,6 +226,7 @@ def mu_dbscan_d(
         else _NULL_CTX
     ):
         trace_ctx = tracer.context() if tracer is not None and tracer.enabled else None
+        profile_ctx = profiler.context() if profiler is not None else None
         rank_results = launch(
             n_ranks,
             _rank_main,
@@ -183,12 +235,18 @@ def mu_dbscan_d(
             seed,
             mu_kwargs,
             trace_ctx,
+            profile_ctx,
             backend=backend,
             shared={"points": pts},
+            progress=monitor.record if monitor is not None else None,
         )
     if tracer is not None:
         for rr in rank_results:
             tracer.adopt(rr["spans"])
+    if profiler is not None:
+        for rr in rank_results:
+            if rr["profile"] is not None:
+                profiler.adopt_rank(rr["rank"], rr["profile"], rr["rusage"])
 
     counters = Counters()
     per_rank_phases: list[dict[str, float]] = []
@@ -215,6 +273,20 @@ def mu_dbscan_d(
 
     labels = rank_results[0]["labels"]
     core_mask = rank_results[0]["core_mask"]
+    extras = {
+        ExtraKeys.N_RANKS: n_ranks,
+        ExtraKeys.BACKEND: backend,
+        ExtraKeys.PER_RANK_PHASES: per_rank_phases,
+        ExtraKeys.PER_RANK_STATS: [rr["stats"] for rr in rank_results],
+        ExtraKeys.N_CROSS_PAIRS: rank_results[0]["n_cross_pairs"],
+        ExtraKeys.BYTES_SENT_TOTAL: sum(rr["bytes_sent"] for rr in rank_results),
+        ExtraKeys.MESSAGES_SENT_TOTAL: sum(
+            rr["messages_sent"] for rr in rank_results
+        ),
+    }
+    if profiler is not None:
+        extras[ExtraKeys.PER_RANK_MEMORY] = [rr["profile"] for rr in rank_results]
+        extras[ExtraKeys.PER_RANK_RUSAGE] = [rr["rusage"] for rr in rank_results]
     return ClusteringResult(
         labels=labels,
         core_mask=core_mask,
@@ -222,17 +294,7 @@ def mu_dbscan_d(
         algorithm="mu_dbscan_d",
         counters=counters,
         timers=timers,
-        extras={
-            ExtraKeys.N_RANKS: n_ranks,
-            ExtraKeys.BACKEND: backend,
-            ExtraKeys.PER_RANK_PHASES: per_rank_phases,
-            ExtraKeys.PER_RANK_STATS: [rr["stats"] for rr in rank_results],
-            ExtraKeys.N_CROSS_PAIRS: rank_results[0]["n_cross_pairs"],
-            ExtraKeys.BYTES_SENT_TOTAL: sum(rr["bytes_sent"] for rr in rank_results),
-            ExtraKeys.MESSAGES_SENT_TOTAL: sum(
-                rr["messages_sent"] for rr in rank_results
-            ),
-        },
+        extras=extras,
     )
 
 

@@ -25,6 +25,9 @@ __all__ = [
     "DISTRIBUTED_PHASE_ORDER",
     "format_table",
     "format_percent_split",
+    "memory_bytes_from_trace",
+    "memory_report_from_profile",
+    "memory_report_from_profiles",
     "percent_split",
     "phase_seconds_from_registry",
     "phase_seconds_from_trace",
@@ -249,3 +252,94 @@ def run_report_from_trace(
             f"phase split-up — {root_name} (total {total:.3f}s, from trace)"
         ),
     )
+
+
+# ---------------------------------------------------------------------------
+# memory split-up (Table IV, live) — from a PhaseProfiler or a trace
+
+
+def _mib(n_bytes: float) -> float:
+    return float(n_bytes) / (1024.0 * 1024.0)
+
+
+def memory_report_from_profile(
+    phases: Mapping[str, Mapping[str, Any]],
+    dataset: str = "run",
+    order: Sequence[str] = PHASE_ORDER,
+) -> str:
+    """Table IV-style memory split-up of one profiled run.
+
+    ``phases`` is :meth:`PhaseProfiler.as_dict` output — per phase the
+    tracemalloc peak (MiB, against the phase-entry baseline, the same
+    convention the Table IV benchmark uses) plus the phase-end RSS.
+    """
+    cols = tuple(p for p in order if p in phases) or tuple(sorted(phases))
+    headers = ["dataset"] + [f"{p} (MiB)" for p in cols] + ["end RSS (MiB)"]
+    end_rss = max(
+        (float(phases[p].get("rss_after_kb", 0)) for p in cols), default=0.0
+    )
+    row = (
+        [dataset]
+        + [f"{_mib(phases[p].get('traced_peak_bytes', 0)):.2f}" for p in cols]
+        + [f"{end_rss / 1024.0:.1f}"]
+    )
+    return format_table(headers, [row], title="memory split-up (traced peak per phase)")
+
+
+def memory_report_from_profiles(
+    per_rank: Mapping[int, Mapping[str, Mapping[str, Any]]],
+    rusages: Mapping[int, Mapping[str, float]] | None = None,
+    order: Sequence[str] = DISTRIBUTED_PHASE_ORDER,
+) -> str:
+    """Distributed Table IV-style memory split-up: one row per rank.
+
+    ``per_rank`` is :meth:`PhaseProfiler.per_rank` output (rank →
+    phase → record); columns follow ``DISTRIBUTED_PHASE_ORDER``.  With
+    ``rusages`` (:meth:`PhaseProfiler.rank_rusages`), a final column
+    reports each rank's process-level peak RSS — the number the paper's
+    memory table totals.
+    """
+    present: set[str] = set()
+    for table in per_rank.values():
+        present.update(table)
+    cols = tuple(p for p in order if p in present) or tuple(sorted(present))
+    headers = ["rank"] + [f"{p} (MiB)" for p in cols]
+    if rusages is not None:
+        headers.append("peak RSS (MiB)")
+    rows = []
+    for rank in sorted(per_rank):
+        table = per_rank[rank]
+        row: list[Any] = [rank]
+        for p in cols:
+            rec = table.get(p)
+            row.append("-" if rec is None else f"{_mib(rec.get('traced_peak_bytes', 0)):.2f}")
+        if rusages is not None:
+            ru = rusages.get(rank, {})
+            row.append(f"{float(ru.get('max_rss_kb', 0)) / 1024.0:.1f}")
+        rows.append(row)
+    return format_table(
+        headers, rows, title="per-rank memory split-up (traced peak per phase)"
+    )
+
+
+def memory_bytes_from_trace(
+    spans: Sequence[Mapping[str, Any]],
+    root_name: str = "fit",
+) -> dict[str, float]:
+    """Peak traced bytes per phase from a span tree.
+
+    Reads the ``mem_peak_bytes`` attributes the profiler stamps onto
+    phase spans when it runs alongside a tracer — so a ``--trace-out``
+    artifact alone can regenerate the memory split-up offline.  For
+    distributed traces, the max over ranks is taken per phase.
+    """
+    phases = _ROOT_PHASES.get(root_name, PHASE_ORDER)
+    out: dict[str, float] = {}
+    for span in spans:
+        if span["name"] not in phases:
+            continue
+        peak = (span.get("attrs") or {}).get("mem_peak_bytes")
+        if peak is None:
+            continue
+        out[span["name"]] = max(out.get(span["name"], 0.0), float(peak))
+    return out

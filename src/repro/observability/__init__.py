@@ -19,6 +19,16 @@ their APIs as the *recording* path:
   exposition behind ``GET /metrics`` and ``--metrics-out``.
 * :mod:`repro.observability.adapters` — the bridge from the legacy
   instrumentation objects into the registry.
+* :mod:`repro.observability.profiler` — :class:`PhaseProfiler`
+  sampling per-phase tracemalloc deltas, RSS and (``deep`` mode)
+  allocation top-N: the live counterpart of the paper's Table IV
+  memory split-up.
+* :mod:`repro.observability.monitor` — :class:`RunMonitor`
+  aggregating per-rank heartbeats of a distributed run into gauges,
+  straggler (k·MAD) and stall detection, and a live text view.
+* :mod:`repro.observability.ledger` — the append-only
+  ``BENCH_LEDGER.jsonl`` benchmark history with regression
+  comparison (the CI perf gate).
 
 Metric catalog and span naming scheme: docs/OBSERVABILITY.md.
 """
@@ -51,6 +61,25 @@ from repro.observability.adapters import (
     publish_comm_stats,
     publish_run,
 )
+from repro.observability.profiler import (
+    PhaseProfiler,
+    current_profiler,
+    maybe_profile,
+    rank_rusage,
+)
+from repro.observability.monitor import (
+    RunMonitor,
+    detect_stragglers,
+    load_heartbeats,
+    replay_heartbeats,
+)
+from repro.observability.ledger import (
+    append_record,
+    compare,
+    load_ledger,
+    make_record,
+    workload_fingerprint,
+)
 
 __all__ = [
     "CONTENT_TYPE",
@@ -60,17 +89,30 @@ __all__ = [
     "LatencyWindowCollector",
     "MetricsRegistry",
     "NULL_REGISTRY",
+    "PhaseProfiler",
     "PhaseTimerCollector",
+    "RunMonitor",
     "Sample",
     "Span",
     "Tracer",
+    "append_record",
+    "compare",
+    "current_profiler",
     "current_tracer",
+    "detect_stragglers",
     "get_registry",
+    "load_heartbeats",
+    "load_ledger",
+    "make_record",
+    "maybe_profile",
     "maybe_span",
     "publish_comm_stats",
     "publish_run",
+    "rank_rusage",
     "render_prometheus",
+    "replay_heartbeats",
     "set_registry",
     "use_registry",
+    "workload_fingerprint",
     "write_prometheus",
 ]

@@ -1,0 +1,310 @@
+"""Append-only benchmark ledger — perf history and regression gates.
+
+``BENCH_*.json`` snapshot files are overwritten on every perf-smoke
+run, so the repo carries no performance *history*: a regression lands
+silently as long as the run's own gates pass.  The ledger fixes that
+by appending one JSON record per benchmark case to
+``BENCH_LEDGER.jsonl`` — never rewritten, so ``git log -p`` over it
+is a timeline and the newest committed record per workload is the
+baseline CI compares against.
+
+A record carries enough to be comparable later:
+
+* ``case`` — the benchmark case name (``batched_query``, ``serving``,
+  ``observability``, ``parallel_wall``),
+* ``workload`` + ``workload_fingerprint`` — the generating parameters
+  and a stable hash of them; records only compare within a
+  fingerprint (changing the workload starts a fresh baseline),
+* ``git_sha``, ``host``, ``recorded_unix`` — provenance; wall-times
+  are machine-dependent, so cross-host comparisons are opt-in,
+* ``wall_seconds``, ``peak_rss_kb`` and free-form ``metrics``.
+
+:func:`compare` implements the regression rule CI enforces: against
+the latest baseline record with the same case + fingerprint, fail on
+wall-time growth beyond ``wall_tolerance`` (default +15%) or peak-RSS
+growth beyond ``rss_tolerance`` (default +20%).  A candidate with no
+matching baseline is a *skip*, not a failure — new workloads must be
+able to land — and the skip is reported loudly so a fingerprint typo
+cannot silently disable the gate.
+
+Loads tolerate a torn final line (an interrupted append must not
+poison every future comparison); corrupt lines are counted and
+skipped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import socket
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "DEFAULT_LEDGER_PATH",
+    "LedgerLoad",
+    "append_record",
+    "compare",
+    "format_comparison",
+    "latest_baselines",
+    "load_ledger",
+    "make_record",
+    "workload_fingerprint",
+]
+
+#: ledger file name at the repo root (perf_smoke's default target)
+DEFAULT_LEDGER_PATH = "BENCH_LEDGER.jsonl"
+
+#: regression tolerances the CI gate enforces
+DEFAULT_WALL_TOLERANCE = 0.15
+DEFAULT_RSS_TOLERANCE = 0.20
+
+
+def workload_fingerprint(workload: Mapping[str, Any]) -> str:
+    """Stable short hash of a workload's generating parameters.
+
+    Key-order independent; records compare only within a fingerprint,
+    so changing any workload parameter starts a fresh baseline line.
+    """
+    canonical = json.dumps(workload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def current_git_sha(repo_root: str | Path | None = None) -> str:
+    """``git rev-parse HEAD`` of ``repo_root`` (or cwd); "unknown" outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(repo_root) if repo_root else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def make_record(
+    case: str,
+    workload: Mapping[str, Any],
+    *,
+    wall_seconds: float,
+    peak_rss_kb: float | None = None,
+    metrics: Mapping[str, Any] | None = None,
+    git_sha: str | None = None,
+    host: str | None = None,
+    recorded_unix: float | None = None,
+) -> dict[str, Any]:
+    """Assemble one ledger record (provenance fields auto-filled)."""
+    return {
+        "case": str(case),
+        "workload": dict(workload),
+        "workload_fingerprint": workload_fingerprint(workload),
+        "wall_seconds": float(wall_seconds),
+        "peak_rss_kb": float(peak_rss_kb) if peak_rss_kb is not None else None,
+        "metrics": dict(metrics) if metrics else {},
+        "git_sha": git_sha if git_sha is not None else current_git_sha(),
+        "host": host if host is not None else socket.gethostname(),
+        "recorded_unix": (
+            float(recorded_unix) if recorded_unix is not None else time.time()
+        ),
+    }
+
+
+def append_record(path: str | Path, record: Mapping[str, Any]) -> None:
+    """Append one record to the ledger (never rewrites existing lines).
+
+    If a previous append was torn mid-line (no trailing newline), a
+    newline is inserted first so the new record stays parseable — the
+    torn line is the only casualty.
+    """
+    path = Path(path)
+    line = json.dumps(record, sort_keys=True)
+    prefix = ""
+    if path.exists():
+        size = path.stat().st_size
+        if size:
+            with path.open("rb") as fh:
+                fh.seek(size - 1)
+                if fh.read(1) != b"\n":
+                    prefix = "\n"
+    with path.open("a") as fh:
+        fh.write(prefix + line + "\n")
+
+
+class LedgerLoad:
+    """Result of :func:`load_ledger`: records plus corruption accounting."""
+
+    __slots__ = ("records", "corrupt_lines")
+
+    def __init__(self, records: list[dict[str, Any]], corrupt_lines: int) -> None:
+        self.records = records
+        self.corrupt_lines = corrupt_lines
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def load_ledger(path: str | Path) -> LedgerLoad:
+    """Parse a ledger file; corrupt lines (e.g. a truncated final
+    append) are skipped and counted, never fatal."""
+    records: list[dict[str, Any]] = []
+    corrupt = 0
+    path = Path(path)
+    if not path.exists():
+        return LedgerLoad(records, 0)
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            parsed = json.loads(line)
+        except json.JSONDecodeError:
+            corrupt += 1
+            continue
+        if isinstance(parsed, dict):
+            records.append(parsed)
+        else:
+            corrupt += 1
+    return LedgerLoad(records, corrupt)
+
+
+def latest_baselines(
+    records: Iterable[Mapping[str, Any]],
+) -> dict[tuple[str, str], dict[str, Any]]:
+    """Newest record per (case, workload_fingerprint) pair."""
+    out: dict[tuple[str, str], dict[str, Any]] = {}
+    for record in records:
+        case = record.get("case")
+        fingerprint = record.get("workload_fingerprint")
+        if not case or not fingerprint:
+            continue
+        key = (str(case), str(fingerprint))
+        held = out.get(key)
+        if held is None or record.get("recorded_unix", 0) >= held.get(
+            "recorded_unix", 0
+        ):
+            out[key] = dict(record)
+    return out
+
+
+def compare(
+    candidates: Iterable[Mapping[str, Any]],
+    baselines: Iterable[Mapping[str, Any]],
+    *,
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+    rss_tolerance: float = DEFAULT_RSS_TOLERANCE,
+    same_host_only: bool = True,
+) -> dict[str, Any]:
+    """Regression-check candidate records against baseline records.
+
+    Returns ``{"ok": bool, "results": [...]}`` where each result is one
+    candidate's verdict: ``pass``, ``fail`` (with the violated gates),
+    or ``skip`` (no baseline for its case + fingerprint, or a
+    different host while ``same_host_only``).  ``ok`` is False iff any
+    candidate failed — skips keep the gate green but visible.
+    """
+    base = latest_baselines(baselines)
+    results: list[dict[str, Any]] = []
+    ok = True
+    for cand in candidates:
+        case = str(cand.get("case", "?"))
+        fingerprint = str(cand.get("workload_fingerprint", "?"))
+        entry: dict[str, Any] = {
+            "case": case,
+            "workload_fingerprint": fingerprint,
+        }
+        baseline = base.get((case, fingerprint))
+        if baseline is None:
+            entry["status"] = "skip"
+            entry["reason"] = "no baseline for this case + workload fingerprint"
+            results.append(entry)
+            continue
+        if same_host_only and baseline.get("host") != cand.get("host"):
+            entry["status"] = "skip"
+            entry["reason"] = (
+                f"baseline host {baseline.get('host')!r} != "
+                f"candidate host {cand.get('host')!r} "
+                "(wall-times are machine-dependent; pass --any-host to force)"
+            )
+            results.append(entry)
+            continue
+        violations: list[str] = []
+        base_wall = baseline.get("wall_seconds")
+        cand_wall = cand.get("wall_seconds")
+        if base_wall and cand_wall is not None:
+            ratio = float(cand_wall) / float(base_wall) - 1.0
+            entry["wall_ratio"] = ratio
+            if ratio > wall_tolerance:
+                violations.append(
+                    f"wall-time +{100 * ratio:.1f}% "
+                    f"(limit +{100 * wall_tolerance:.0f}%)"
+                )
+        base_rss = baseline.get("peak_rss_kb")
+        cand_rss = cand.get("peak_rss_kb")
+        if base_rss and cand_rss is not None:
+            ratio = float(cand_rss) / float(base_rss) - 1.0
+            entry["rss_ratio"] = ratio
+            if ratio > rss_tolerance:
+                violations.append(
+                    f"peak-RSS +{100 * ratio:.1f}% "
+                    f"(limit +{100 * rss_tolerance:.0f}%)"
+                )
+        if violations:
+            entry["status"] = "fail"
+            entry["violations"] = violations
+            ok = False
+        else:
+            entry["status"] = "pass"
+        results.append(entry)
+    return {"ok": ok, "results": results}
+
+
+def format_comparison(report: Mapping[str, Any]) -> str:
+    """Human-readable rendering of a :func:`compare` report."""
+    from repro.instrumentation.report import format_table
+
+    rows = []
+    for result in report.get("results", []):
+        status = result["status"]
+        detail = ""
+        if status == "fail":
+            detail = "; ".join(result.get("violations", []))
+        elif status == "skip":
+            detail = result.get("reason", "")
+        else:
+            parts = []
+            if "wall_ratio" in result:
+                parts.append(f"wall {100 * result['wall_ratio']:+.1f}%")
+            if "rss_ratio" in result:
+                parts.append(f"rss {100 * result['rss_ratio']:+.1f}%")
+            detail = ", ".join(parts)
+        rows.append(
+            [
+                result.get("case", "?"),
+                result.get("workload_fingerprint", "?")[:12],
+                status.upper(),
+                detail,
+            ]
+        )
+    verdict = "OK" if report.get("ok") else "REGRESSION"
+    table = format_table(
+        ["case", "fingerprint", "status", "detail"],
+        rows,
+        title=f"benchmark ledger comparison — {verdict}",
+    )
+    return table
+
+
+def repo_ledger_path(repo_root: str | Path | None = None) -> Path:
+    """The default ledger location (``BENCH_LEDGER.jsonl`` at the root)."""
+    root = Path(repo_root) if repo_root else Path(os.getcwd())
+    return root / DEFAULT_LEDGER_PATH

@@ -1,0 +1,400 @@
+"""Distributed run monitor — per-rank heartbeats, stragglers, stalls.
+
+Long μDBSCAN-D jobs (the paper's 1B-point / 41-minute regime) are
+opaque while in flight: the driver blocks in ``launch`` until every
+rank returns.  This module adds the missing in-flight channel:
+
+* ranks post **heartbeats** through their communicator
+  (:meth:`~repro.distributed.backends.base.Communicator.heartbeat`) —
+  current phase, points processed, communication bytes so far and the
+  outbound queue depth travel over each backend's progress sink (a
+  direct callback for thread ranks, a dedicated pipe per worker for
+  the process backend);
+* a :class:`RunMonitor` aggregates them: last-known state per rank,
+  gauge families on the active metrics registry, and two detectors —
+
+  - **stragglers**: a rank whose progress has fallen more than
+    ``k · MAD`` (median absolute deviation) behind the median rank
+    progress, with an absolute floor so lock-step ranks (MAD = 0) are
+    not flagged over rounding noise;
+  - **stalls**: a rank whose last heartbeat is older than
+    ``stall_timeout_s`` while peers keep reporting;
+
+* :meth:`RunMonitor.render` is the live text view behind
+  ``mudbscan distributed --progress``, and the heartbeat log
+  (``--heartbeat-out``, one JSON object per line) replays offline
+  through :func:`replay_heartbeats` / ``mudbscan monitor``.
+
+Everything is off unless a monitor is passed to the distributed
+driver; the heartbeat hook in the communicator is a single ``None``
+check when no sink is installed.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.observability.registry import MetricsRegistry, get_registry
+
+__all__ = [
+    "RunMonitor",
+    "detect_stragglers",
+    "load_heartbeats",
+    "replay_heartbeats",
+]
+
+#: default straggler sensitivity — flag when a rank is more than
+#: ``k_mad`` MADs behind the median progress
+DEFAULT_K_MAD = 3.0
+
+#: absolute progress floor for the straggler rule: deficits below
+#: ``floor_fraction * median`` never flag, whatever the MAD says
+DEFAULT_FLOOR_FRACTION = 0.05
+
+#: default seconds without a heartbeat before a rank counts as stalled
+DEFAULT_STALL_TIMEOUT_S = 5.0
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def detect_stragglers(
+    progress: Mapping[int, float],
+    *,
+    k_mad: float = DEFAULT_K_MAD,
+    floor_fraction: float = DEFAULT_FLOOR_FRACTION,
+) -> list[int]:
+    """Ranks whose progress trails the median by more than ``k_mad`` MADs.
+
+    The rule (documented in docs/OBSERVABILITY.md): with ``m`` the
+    median of all ranks' progress and ``MAD`` the median of
+    ``|p_i - m|``, rank ``i`` is a straggler when::
+
+        m - p_i > k_mad * MAD   and   m - p_i > floor_fraction * m
+
+    The absolute floor keeps a perfectly synchronized world (MAD = 0)
+    from flagging ranks over one-point deficits.
+    """
+    if len(progress) < 2:
+        return []
+    values = [float(v) for v in progress.values()]
+    med = _median(values)
+    mad = _median([abs(v - med) for v in values])
+    floor = floor_fraction * max(med, 0.0)
+    return sorted(
+        rank
+        for rank, value in progress.items()
+        if (med - value) > k_mad * mad and (med - value) > floor
+    )
+
+
+class RunMonitor:
+    """Aggregates rank heartbeats into gauges, detectors and a text view.
+
+    Thread-safe: thread-backend ranks call :meth:`record` concurrently,
+    the process backend forwards from a drain thread, and a render
+    thread may read at any time.  ``clock`` is injectable so stall
+    detection is testable without sleeping.
+    """
+
+    def __init__(
+        self,
+        n_ranks: int | None = None,
+        *,
+        registry: MetricsRegistry | None = None,
+        k_mad: float = DEFAULT_K_MAD,
+        floor_fraction: float = DEFAULT_FLOOR_FRACTION,
+        stall_timeout_s: float = DEFAULT_STALL_TIMEOUT_S,
+        clock: Callable[[], float] = time.monotonic,
+        heartbeat_log: str | Path | None = None,
+    ) -> None:
+        self.n_ranks = n_ranks
+        self.k_mad = float(k_mad)
+        self.floor_fraction = float(floor_fraction)
+        self.stall_timeout_s = float(stall_timeout_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._last: dict[int, dict[str, Any]] = {}
+        self._last_seen: dict[int, float] = {}
+        self._heartbeats_total = 0
+        self._done: set[int] = set()
+        self._log_path = Path(heartbeat_log) if heartbeat_log else None
+        self._log_fh = None
+        registry = registry if registry is not None else get_registry()
+        self._registry = registry
+        if registry.enabled:
+            labels = ("rank",)
+            self._g_progress = registry.gauge(
+                "mudbscan_rank_progress_points",
+                "points processed so far, per rank heartbeat",
+                labels=labels,
+            )
+            self._g_total = registry.gauge(
+                "mudbscan_rank_progress_points_total",
+                "points this rank owns (heartbeat-reported denominator)",
+                labels=labels,
+            )
+            self._g_bytes = registry.gauge(
+                "mudbscan_rank_comm_bytes",
+                "payload bytes the rank has pushed into the network so far",
+                labels=labels,
+            )
+            self._g_queue = registry.gauge(
+                "mudbscan_rank_queue_depth",
+                "outbound frames waiting in the rank's send queue",
+                labels=labels,
+            )
+            self._g_heartbeats = registry.counter(
+                "mudbscan_rank_heartbeats_total",
+                "heartbeats received, per rank",
+                labels=labels,
+            )
+            self._g_phase = registry.gauge(
+                "mudbscan_rank_phase_info",
+                "1 for the rank's current phase, 0 for phases it left",
+                labels=("rank", "phase"),
+            )
+            self._g_stragglers = registry.gauge(
+                "mudbscan_monitor_stragglers",
+                "ranks currently flagged by the straggler rule",
+            )
+            self._g_stalled = registry.gauge(
+                "mudbscan_monitor_stalled_ranks",
+                "ranks whose heartbeats have gone quiet",
+            )
+        else:
+            self._g_progress = None
+
+    # -- ingestion ------------------------------------------------------
+
+    def record(self, heartbeat: Mapping[str, Any]) -> None:
+        """Ingest one heartbeat dict (the communicator's payload)."""
+        hb = dict(heartbeat)
+        rank = int(hb.get("rank", -1))
+        now = self._clock()
+        with self._lock:
+            previous_phase = (self._last.get(rank) or {}).get("phase")
+            self._last[rank] = hb
+            self._last_seen[rank] = now
+            self._heartbeats_total += 1
+            if hb.get("done"):
+                self._done.add(rank)
+            if self._log_path is not None:
+                if self._log_fh is None:
+                    self._log_fh = self._log_path.open("a")
+                self._log_fh.write(json.dumps(hb, sort_keys=True) + "\n")
+                self._log_fh.flush()
+        if self._g_progress is not None:
+            labels = {"rank": str(rank)}
+            if "points_done" in hb:
+                self._g_progress.labels(**labels).set(float(hb["points_done"]))
+            if "points_total" in hb:
+                self._g_total.labels(**labels).set(float(hb["points_total"]))
+            if "comm_bytes" in hb:
+                self._g_bytes.labels(**labels).set(float(hb["comm_bytes"]))
+            if "queue_depth" in hb:
+                self._g_queue.labels(**labels).set(float(hb["queue_depth"]))
+            self._g_heartbeats.labels(**labels).inc()
+            phase = hb.get("phase")
+            if phase:
+                if previous_phase and previous_phase != phase:
+                    self._g_phase.labels(rank=str(rank), phase=str(previous_phase)).set(0)
+                self._g_phase.labels(rank=str(rank), phase=str(phase)).set(1)
+            self._g_stragglers.set(float(len(self.stragglers())))
+            self._g_stalled.set(float(len(self.stalled())))
+
+    def close(self) -> None:
+        """Close the heartbeat log file, if one is open."""
+        with self._lock:
+            if self._log_fh is not None:
+                self._log_fh.close()
+                self._log_fh = None
+
+    def __enter__(self) -> "RunMonitor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reading --------------------------------------------------------
+
+    @property
+    def heartbeats_total(self) -> int:
+        return self._heartbeats_total
+
+    def last(self) -> dict[int, dict[str, Any]]:
+        """Last heartbeat per rank (copy)."""
+        with self._lock:
+            return {rank: dict(hb) for rank, hb in self._last.items()}
+
+    def progress(self) -> dict[int, float]:
+        """Rank → points processed, from each rank's latest heartbeat."""
+        with self._lock:
+            return {
+                rank: float(hb.get("points_done", 0.0))
+                for rank, hb in self._last.items()
+            }
+
+    def stragglers(self) -> list[int]:
+        """Ranks behind the pack per the MAD rule (finished ranks exempt)."""
+        with self._lock:
+            progress = {
+                rank: float(hb.get("points_done", 0.0))
+                for rank, hb in self._last.items()
+                if rank not in self._done
+            }
+            done = set(self._done)
+        # a rank that already finished is ahead, not behind; comparing
+        # the rest against each other keeps the rule meaningful late in
+        # the run when fast ranks stop heartbeating
+        if done and len(progress) < 2:
+            return []
+        return detect_stragglers(
+            progress, k_mad=self.k_mad, floor_fraction=self.floor_fraction
+        )
+
+    def stalled(self) -> list[int]:
+        """Ranks silent for longer than ``stall_timeout_s`` (not finished)."""
+        now = self._clock()
+        with self._lock:
+            return sorted(
+                rank
+                for rank, seen in self._last_seen.items()
+                if rank not in self._done and (now - seen) > self.stall_timeout_s
+            )
+
+    def summary(self) -> dict[str, Any]:
+        """One aggregate view: totals, per-rank states, detector output."""
+        last = self.last()
+        points_done = sum(float(hb.get("points_done", 0.0)) for hb in last.values())
+        points_total = sum(float(hb.get("points_total", 0.0)) for hb in last.values())
+        return {
+            "n_ranks": self.n_ranks if self.n_ranks is not None else len(last),
+            "ranks_reporting": len(last),
+            "ranks_done": sorted(self._done),
+            "heartbeats_total": self._heartbeats_total,
+            "points_done": points_done,
+            "points_total": points_total,
+            "stragglers": self.stragglers(),
+            "stalled": self.stalled(),
+        }
+
+    def render(self) -> str:
+        """Live text view — one row per rank plus a detector footer."""
+        from repro.instrumentation.report import format_table
+
+        last = self.last()
+        now = self._clock()
+        with self._lock:
+            seen = dict(self._last_seen)
+            done = set(self._done)
+        stragglers = set(self.stragglers())
+        stalled = set(self.stalled())
+        rows = []
+        n_ranks = self.n_ranks if self.n_ranks is not None else (
+            max(last) + 1 if last else 0
+        )
+        for rank in range(n_ranks):
+            hb = last.get(rank)
+            if hb is None:
+                rows.append([rank, "-", "-", "-", "-", "-", "waiting"])
+                continue
+            points_done = hb.get("points_done")
+            points_total = hb.get("points_total")
+            pct = (
+                f"{100.0 * points_done / points_total:.0f}%"
+                if points_done is not None and points_total
+                else "-"
+            )
+            flags = []
+            if rank in done:
+                flags.append("done")
+            if rank in stragglers:
+                flags.append("STRAGGLER")
+            if rank in stalled:
+                flags.append("STALLED")
+            rows.append(
+                [
+                    rank,
+                    hb.get("phase", "-"),
+                    points_done if points_done is not None else "-",
+                    pct,
+                    hb.get("comm_bytes", "-"),
+                    f"{now - seen[rank]:.1f}s",
+                    " ".join(flags) or "ok",
+                ]
+            )
+        table = format_table(
+            ["rank", "phase", "points", "%", "comm_bytes", "hb_age", "status"],
+            rows,
+            title=f"μDBSCAN-D run monitor ({self._heartbeats_total} heartbeats)",
+        )
+        footer = (
+            f"stragglers: {sorted(stragglers) or 'none'}   "
+            f"stalled: {sorted(stalled) or 'none'}"
+        )
+        return table + "\n" + footer
+
+
+# ---------------------------------------------------------------------------
+# offline replay (mudbscan monitor)
+
+
+def load_heartbeats(path: str | Path) -> list[dict[str, Any]]:
+    """Read a ``--heartbeat-out`` JSONL file (corrupt lines skipped)."""
+    out: list[dict[str, Any]] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            out.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue  # a heartbeat torn by an interrupted run
+    return out
+
+
+def replay_heartbeats(
+    heartbeats: Iterable[Mapping[str, Any]],
+    *,
+    n_ranks: int | None = None,
+    registry: MetricsRegistry | None = None,
+    k_mad: float = DEFAULT_K_MAD,
+) -> RunMonitor:
+    """Feed recorded heartbeats through a fresh monitor (offline view).
+
+    Stall ages are meaningless offline (the wall clock has moved on),
+    so the replayed monitor pins its clock to the last heartbeat's send
+    time — ages in the rendered view are relative to end-of-run.
+    """
+    heartbeats = list(heartbeats)
+    last_unix = max(
+        (float(hb.get("sent_unix", 0.0)) for hb in heartbeats), default=0.0
+    )
+    monitor = RunMonitor(
+        n_ranks=n_ranks,
+        registry=registry if registry is not None else MetricsRegistry(enabled=False),
+        k_mad=k_mad,
+        clock=lambda: last_unix,
+    )
+    for hb in heartbeats:
+        sent = hb.get("sent_unix")
+        if sent is not None:
+            monitor._last_seen[int(hb.get("rank", -1))] = float(sent)
+        monitor.record(hb)
+    # record() stamped "now" (= last_unix); restore true send times
+    for hb in heartbeats:
+        sent = hb.get("sent_unix")
+        if sent is not None:
+            monitor._last_seen[int(hb.get("rank", -1))] = float(sent)
+    return monitor

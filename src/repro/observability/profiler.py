@@ -1,0 +1,328 @@
+"""Per-phase resource profiling — the live counterpart of Table IV.
+
+The paper's Table IV reports the *memory split-up* of a run the way
+Table III reports its time split-up.  :class:`PhaseProfiler` produces
+that split live: wrapped around the same phase boundaries the
+:class:`~repro.instrumentation.timers.PhaseTimer` and the tracer
+already bracket, it records per phase
+
+* the Python-heap delta and peak (:mod:`tracemalloc`, the same source
+  :func:`repro.instrumentation.memory.peak_memory_of` uses for the
+  Table IV benchmark, so the numbers are comparable),
+* the resident-set size before/after and the process peak RSS so far
+  (``ru_maxrss`` — monotone, so the per-phase value is "peak RSS by
+  the end of this phase"),
+* in ``deep`` mode, the top-N allocation sites grown during the phase
+  (a :meth:`tracemalloc.Snapshot.compare_to` diff, file:lineno keyed).
+
+Like the tracer, the profiler is opt-in and thread-activated:
+instrumented code calls :func:`maybe_profile`, which resolves the
+active profiler or falls back to a shared no-op context — one
+thread-local read when profiling is off, so the disabled-mode overhead
+gate is unaffected.  A profiler crosses the process backend the same
+way a tracer does: :meth:`PhaseProfiler.context` pickles to the
+workers, each rank profiles its own phases, and the driver adopts the
+per-rank tables with :meth:`adopt_rank`.
+
+``tracemalloc`` slows allocation while tracing (that is its price);
+the profiler starts it only while activated and only if it was not
+already running.  ``light`` mode (the default) skips the snapshot
+diffing, which dominates ``deep`` mode's cost.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+import tracemalloc
+from typing import Any
+
+try:  # not available on Windows; every consumer degrades gracefully
+    import resource
+except ImportError:  # pragma: no cover - POSIX-only dependency
+    resource = None  # type: ignore[assignment]
+
+__all__ = [
+    "NOOP_PROFILE",
+    "PROFILE_MODES",
+    "PhaseProfiler",
+    "current_profiler",
+    "maybe_profile",
+    "rank_rusage",
+    "rss_kb",
+]
+
+#: accepted profiling depths (``deep`` adds per-phase allocation top-N)
+PROFILE_MODES = ("light", "deep")
+
+#: allocation sites reported per phase in ``deep`` mode
+DEFAULT_TOP_N = 10
+
+
+def rss_kb() -> int:
+    """Current resident-set size in KiB (0 where unavailable).
+
+    Reads ``/proc/self/status`` (Linux); falls back to 0 on platforms
+    without it — the tracemalloc series still works everywhere.
+    """
+    try:
+        with open("/proc/self/status", "rb") as fh:
+            for line in fh:
+                if line.startswith(b"VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return 0
+
+
+def peak_rss_kb() -> int:
+    """Process peak RSS in KiB so far (``ru_maxrss``; 0 if unsupported)."""
+    if resource is None:
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes
+    return peak // 1024 if sys.platform == "darwin" else peak
+
+
+def rank_rusage(scope: str = "process") -> dict[str, float]:
+    """One rank's resource usage: ``{max_rss_kb, user_cpu_s, system_cpu_s}``.
+
+    ``scope="thread"`` reads ``RUSAGE_THREAD`` (thread-backend ranks —
+    CPU times are the rank's own even under the shared GIL; note
+    ``max_rss_kb`` is still process-wide, the kernel does not split RSS
+    per thread).  ``scope="process"`` reads ``RUSAGE_SELF`` (process
+    backend workers own a whole interpreter, so everything is theirs).
+    """
+    if resource is None:
+        return {"max_rss_kb": 0.0, "user_cpu_s": 0.0, "system_cpu_s": 0.0}
+    who = resource.RUSAGE_SELF
+    if scope == "thread":
+        who = getattr(resource, "RUSAGE_THREAD", resource.RUSAGE_SELF)
+    ru = resource.getrusage(who)
+    max_rss = ru.ru_maxrss // 1024 if sys.platform == "darwin" else ru.ru_maxrss
+    return {
+        "max_rss_kb": float(max_rss),
+        "user_cpu_s": float(ru.ru_utime),
+        "system_cpu_s": float(ru.ru_stime),
+    }
+
+
+class _NoopProfile:
+    """Shared do-nothing phase context (profiling off)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopProfile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+NOOP_PROFILE = _NoopProfile()
+
+
+class _PhaseContext:
+    """Samples resources around one phase and records the delta."""
+
+    __slots__ = ("_profiler", "_name", "_span", "_rss0", "_traced0", "_snap0", "_t0")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str, span: Any) -> None:
+        self._profiler = profiler
+        self._name = name
+        self._span = span
+
+    def __enter__(self) -> "_PhaseContext":
+        # usable outside activate() too (no tracemalloc): RSS-only mode
+        if tracemalloc.is_tracing():
+            tracemalloc.reset_peak()
+            self._traced0, _ = tracemalloc.get_traced_memory()
+            self._snap0 = (
+                tracemalloc.take_snapshot() if self._profiler.mode == "deep" else None
+            )
+        else:
+            self._traced0 = -1
+            self._snap0 = None
+        self._rss0 = rss_kb()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        elapsed = time.perf_counter() - self._t0
+        if self._traced0 >= 0 and tracemalloc.is_tracing():
+            traced_now, traced_peak = tracemalloc.get_traced_memory()
+        else:
+            traced_now = traced_peak = self._traced0 = 0
+        record: dict[str, Any] = {
+            "seconds": elapsed,
+            "traced_delta_bytes": int(traced_now - self._traced0),
+            # reset_peak() at entry makes this the phase's own peak,
+            # measured against the same baseline Table IV uses
+            "traced_peak_bytes": int(max(0, traced_peak - self._traced0)),
+            "rss_before_kb": self._rss0,
+            "rss_after_kb": rss_kb(),
+            "peak_rss_kb": peak_rss_kb(),
+        }
+        if self._snap0 is not None:
+            snap1 = tracemalloc.take_snapshot()
+            diffs = snap1.compare_to(self._snap0, "lineno")
+            diffs.sort(key=lambda d: d.size_diff, reverse=True)
+            record["top_allocations"] = [
+                {
+                    "site": str(diff.traceback),
+                    "size_diff_bytes": int(diff.size_diff),
+                    "count_diff": int(diff.count_diff),
+                }
+                for diff in diffs[: self._profiler.top_n]
+                if diff.size_diff > 0
+            ]
+        self._profiler._record(self._name, record)
+        if self._span is not None:
+            # the tracer's NOOP_SPAN also answers set_attr, so this is
+            # safe whether or not a tracer is live alongside
+            try:
+                self._span.set_attr("mem_peak_bytes", record["traced_peak_bytes"])
+                self._span.set_attr("mem_delta_bytes", record["traced_delta_bytes"])
+                self._span.set_attr("peak_rss_kb", record["peak_rss_kb"])
+            except AttributeError:
+                pass
+
+
+class PhaseProfiler:
+    """Accumulating per-phase resource profile for one run.
+
+    Re-entering a phase accumulates deltas and maxes peaks, mirroring
+    :class:`~repro.instrumentation.timers.PhaseTimer` semantics.
+    """
+
+    def __init__(self, mode: str = "light", *, top_n: int = DEFAULT_TOP_N) -> None:
+        if mode not in PROFILE_MODES:
+            raise ValueError(f"mode must be one of {PROFILE_MODES}, got {mode!r}")
+        self.mode = mode
+        self.top_n = int(top_n)
+        self._phases: dict[str, dict[str, Any]] = {}
+        self._rank_phases: dict[int, dict[str, dict[str, Any]]] = {}
+        self._rank_rusage: dict[int, dict[str, float]] = {}
+        self._lock = threading.Lock()
+        self._started_tracing = False
+
+    # -- activation (what maybe_profile resolves) -----------------------
+
+    def activate(self) -> "_ProfilerActivation":
+        """Install as this thread's active profiler; starts tracemalloc
+        for the scope if it was not already tracing."""
+        return _ProfilerActivation(self)
+
+    # -- recording ------------------------------------------------------
+
+    def phase(self, name: str, span: Any = None) -> _PhaseContext:
+        """Context manager sampling resources around one phase.
+
+        ``span`` (an open tracer span, optional) receives the phase's
+        memory numbers as attributes, so an exported trace carries the
+        memory split-up alongside the time split-up.
+        """
+        return _PhaseContext(self, name, span)
+
+    def _record(self, name: str, record: dict[str, Any]) -> None:
+        with self._lock:
+            slot = self._phases.get(name)
+            if slot is None:
+                self._phases[name] = record
+                return
+            slot["seconds"] += record["seconds"]
+            slot["traced_delta_bytes"] += record["traced_delta_bytes"]
+            slot["traced_peak_bytes"] = max(
+                slot["traced_peak_bytes"], record["traced_peak_bytes"]
+            )
+            slot["rss_after_kb"] = record["rss_after_kb"]
+            slot["peak_rss_kb"] = max(slot["peak_rss_kb"], record["peak_rss_kb"])
+            if "top_allocations" in record:
+                merged = slot.get("top_allocations", []) + record["top_allocations"]
+                merged.sort(key=lambda d: d["size_diff_bytes"], reverse=True)
+                slot["top_allocations"] = merged[: self.top_n]
+
+    # -- cross-process propagation --------------------------------------
+
+    def context(self) -> dict[str, Any]:
+        """Picklable description a worker rank rebuilds a profiler from."""
+        return {"mode": self.mode, "top_n": self.top_n}
+
+    @classmethod
+    def from_context(cls, ctx: dict[str, Any] | None) -> "PhaseProfiler | None":
+        """Child profiler for a rank (``None`` when profiling is off)."""
+        if ctx is None:
+            return None
+        return cls(str(ctx["mode"]), top_n=int(ctx.get("top_n", DEFAULT_TOP_N)))
+
+    def adopt_rank(
+        self,
+        rank: int,
+        phases: dict[str, dict[str, Any]],
+        rusage: dict[str, float] | None = None,
+    ) -> None:
+        """Merge one rank's phase table (and rusage) into this profiler."""
+        with self._lock:
+            self._rank_phases[rank] = phases
+            if rusage is not None:
+                self._rank_rusage[rank] = rusage
+
+    # -- reading --------------------------------------------------------
+
+    def as_dict(self) -> dict[str, dict[str, Any]]:
+        """Phase → record mapping (copy) for this profiler's own thread(s)."""
+        with self._lock:
+            return {name: dict(rec) for name, rec in self._phases.items()}
+
+    def per_rank(self) -> dict[int, dict[str, dict[str, Any]]]:
+        """Adopted rank → phase table mapping (copy)."""
+        with self._lock:
+            return {r: {n: dict(rec) for n, rec in t.items()} for r, t in self._rank_phases.items()}
+
+    def rank_rusages(self) -> dict[int, dict[str, float]]:
+        """Adopted rank → rusage mapping (copy)."""
+        with self._lock:
+            return {r: dict(ru) for r, ru in self._rank_rusage.items()}
+
+
+class _ProfilerActivation:
+    __slots__ = ("_profiler", "_previous")
+
+    def __init__(self, profiler: PhaseProfiler) -> None:
+        self._profiler = profiler
+        self._previous: PhaseProfiler | None = None
+
+    def __enter__(self) -> PhaseProfiler:
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._profiler._started_tracing = True
+        self._previous = getattr(_active, "profiler", None)
+        _active.profiler = self._profiler
+        return self._profiler
+
+    def __exit__(self, *exc_info) -> None:
+        _active.profiler = self._previous
+        if self._profiler._started_tracing:
+            tracemalloc.stop()
+            self._profiler._started_tracing = False
+
+
+_active = threading.local()
+
+
+def current_profiler() -> PhaseProfiler | None:
+    """The profiler activated on this thread, if any."""
+    return getattr(_active, "profiler", None)
+
+
+def maybe_profile(name: str, span: Any = None):
+    """Phase context on the active profiler, or the shared no-op.
+
+    The hook instrumented phase boundaries call — one thread-local read
+    and a ``None`` check when profiling is off.
+    """
+    profiler = getattr(_active, "profiler", None)
+    if profiler is None:
+        return NOOP_PROFILE
+    return profiler.phase(name, span=span)

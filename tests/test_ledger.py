@@ -1,0 +1,251 @@
+"""Benchmark ledger: append-only history, corruption, regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.observability.ledger import (
+    append_record,
+    compare,
+    format_comparison,
+    latest_baselines,
+    load_ledger,
+    make_record,
+    workload_fingerprint,
+)
+
+WORKLOAD = {"n_points": 20_000, "dim": 3, "eps": 0.08, "min_pts": 60}
+
+
+def _record(case="batched_query", wall=1.0, rss=100_000, host="ci", when=1.0):
+    return make_record(
+        case,
+        WORKLOAD,
+        wall_seconds=wall,
+        peak_rss_kb=rss,
+        metrics={"speedup": 1.2},
+        git_sha="deadbeef",
+        host=host,
+        recorded_unix=when,
+    )
+
+
+class TestFingerprint:
+    def test_key_order_independent(self):
+        a = workload_fingerprint({"x": 1, "y": 2})
+        b = workload_fingerprint({"y": 2, "x": 1})
+        assert a == b and len(a) == 16
+
+    def test_any_parameter_change_moves_the_fingerprint(self):
+        base = workload_fingerprint(WORKLOAD)
+        assert workload_fingerprint({**WORKLOAD, "eps": 0.09}) != base
+
+
+class TestAppendLoad:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        append_record(path, _record(wall=1.0, when=1.0))
+        append_record(path, _record(wall=1.1, when=2.0))
+        load = load_ledger(path)
+        assert len(load) == 2 and load.corrupt_lines == 0
+        assert [r["wall_seconds"] for r in load] == [1.0, 1.1]
+
+    def test_append_never_rewrites_existing_lines(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        append_record(path, _record(when=1.0))
+        first = path.read_text()
+        append_record(path, _record(when=2.0))
+        assert path.read_text().startswith(first)
+
+    def test_truncated_final_line_does_not_poison_loads(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        append_record(path, _record(when=1.0))
+        append_record(path, _record(when=2.0))
+        # tear the final append mid-line (interrupted writer)
+        text = path.read_text()
+        path.write_text(text[: len(text) - 40].rstrip("\n") + '{"case": "tor')
+        load = load_ledger(path)
+        assert load.corrupt_lines >= 1
+        assert len(load.records) >= 1
+        assert load.records[0]["wall_seconds"] == 1.0
+
+    def test_append_after_torn_line_stays_parseable(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text('{"case": "torn-no-newline')  # no trailing \n
+        append_record(path, _record(when=3.0))
+        load = load_ledger(path)
+        assert len(load.records) == 1 and load.corrupt_lines == 1
+        assert load.records[0]["recorded_unix"] == 3.0
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        load = load_ledger(tmp_path / "absent.jsonl")
+        assert len(load) == 0 and load.corrupt_lines == 0
+
+
+class TestBaselines:
+    def test_latest_record_wins_per_case_and_fingerprint(self):
+        records = [
+            _record(wall=1.0, when=1.0),
+            _record(wall=2.0, when=5.0),
+            _record(case="serving", wall=9.0, when=2.0),
+        ]
+        base = latest_baselines(records)
+        key = ("batched_query", workload_fingerprint(WORKLOAD))
+        assert base[key]["wall_seconds"] == 2.0
+        assert len(base) == 2
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        report = compare([_record(wall=1.1, when=2.0)], [_record(wall=1.0)])
+        assert report["ok"]
+        assert report["results"][0]["status"] == "pass"
+
+    def test_wall_time_regression_fails(self):
+        report = compare([_record(wall=1.2, when=2.0)], [_record(wall=1.0)])
+        assert not report["ok"]
+        result = report["results"][0]
+        assert result["status"] == "fail"
+        assert any("wall-time" in v for v in result["violations"])
+
+    def test_rss_regression_fails(self):
+        report = compare(
+            [_record(rss=130_000, when=2.0)], [_record(rss=100_000)]
+        )
+        assert not report["ok"]
+        assert any(
+            "peak-RSS" in v for v in report["results"][0]["violations"]
+        )
+
+    def test_no_baseline_is_a_visible_skip_not_a_failure(self):
+        report = compare([_record(case="brand_new", when=2.0)], [_record()])
+        assert report["ok"]
+        result = report["results"][0]
+        assert result["status"] == "skip"
+        assert "no baseline" in result["reason"]
+
+    def test_cross_host_skips_unless_forced(self):
+        cand = [_record(wall=5.0, host="laptop", when=2.0)]
+        base = [_record(wall=1.0, host="ci")]
+        assert compare(cand, base)["results"][0]["status"] == "skip"
+        forced = compare(cand, base, same_host_only=False)
+        assert forced["results"][0]["status"] == "fail"
+
+    def test_format_comparison_names_the_verdict(self):
+        good = compare([_record(wall=1.0, when=2.0)], [_record(wall=1.0)])
+        bad = compare([_record(wall=2.0, when=2.0)], [_record(wall=1.0)])
+        assert "OK" in format_comparison(good)
+        assert "REGRESSION" in format_comparison(bad)
+
+
+class TestCliCompare:
+    def _write(self, path, records):
+        for record in records:
+            append_record(path, record)
+
+    def test_synthetic_regression_exits_nonzero(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.jsonl"
+        candidate = tmp_path / "candidate.jsonl"
+        self._write(baseline, [_record(wall=1.0)])
+        self._write(candidate, [_record(wall=1.2, when=2.0)])  # +20% > 15%
+        code = cli_main(
+            [
+                "report",
+                "--compare",
+                "--ledger",
+                str(candidate),
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_clean_candidate_exits_zero(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.jsonl"
+        candidate = tmp_path / "candidate.jsonl"
+        self._write(baseline, [_record(wall=1.0)])
+        self._write(candidate, [_record(wall=1.05, when=2.0)])
+        code = cli_main(
+            [
+                "report",
+                "--compare",
+                "--ledger",
+                str(candidate),
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_skip_is_printed_loudly(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.jsonl"
+        candidate = tmp_path / "candidate.jsonl"
+        self._write(baseline, [_record()])
+        self._write(candidate, [_record(case="novel_case", when=2.0)])
+        code = cli_main(
+            [
+                "report",
+                "--compare",
+                "--ledger",
+                str(candidate),
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SKIPPED novel_case" in out
+
+    def test_tolerance_flags_respected(self, tmp_path):
+        baseline = tmp_path / "baseline.jsonl"
+        candidate = tmp_path / "candidate.jsonl"
+        self._write(baseline, [_record(wall=1.0)])
+        self._write(candidate, [_record(wall=1.2, when=2.0)])
+        code = cli_main(
+            [
+                "report",
+                "--compare",
+                "--ledger",
+                str(candidate),
+                "--baseline",
+                str(baseline),
+                "--wall-tol",
+                "0.30",
+            ]
+        )
+        assert code == 0
+
+
+class TestPerfSmokeLedger:
+    def test_write_report_stamps_and_appends(self, tmp_path, monkeypatch):
+        import sys
+
+        sys.path.insert(0, "benchmarks")
+        try:
+            import perf_smoke
+        finally:
+            sys.path.pop(0)
+
+        ledger = tmp_path / "ledger.jsonl"
+        snapshot = tmp_path / "BENCH_case.json"
+        monkeypatch.setattr(perf_smoke, "LEDGER_PATH", ledger)
+        report = {"workload": {**WORKLOAD, "rounds": 3}, "result": 42}
+        perf_smoke._write_report(
+            snapshot, "unit_case", report, wall_seconds=1.5, metrics={"m": 1}
+        )
+        snap = json.loads(snapshot.read_text())
+        assert snap["workload_fingerprint"] == workload_fingerprint(WORKLOAD)
+        assert snap["git_sha"]
+        assert snap["result"] == 42
+        records = load_ledger(ledger).records
+        assert len(records) == 1
+        record = records[0]
+        assert record["case"] == "unit_case"
+        assert record["wall_seconds"] == 1.5
+        assert record["workload"] == WORKLOAD  # "rounds" stripped
+        assert record["peak_rss_kb"] > 0

@@ -1,0 +1,196 @@
+"""Distributed run monitor: heartbeats, stragglers, stalls, replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.mudbscan_d import mu_dbscan_d
+from repro.instrumentation.report import DISTRIBUTED_PHASE_ORDER
+from repro.observability.monitor import (
+    RunMonitor,
+    detect_stragglers,
+    load_heartbeats,
+    replay_heartbeats,
+)
+from repro.observability.profiler import PhaseProfiler
+from repro.observability.registry import MetricsRegistry
+
+
+def _hb(rank, phase="clustering", points=0, total=100, **extra):
+    payload = {
+        "rank": rank,
+        "phase": phase,
+        "points_done": points,
+        "points_total": total,
+        "comm_bytes": 1000 * (rank + 1),
+        "queue_depth": 0,
+        "sent_unix": float(extra.pop("sent_unix", 0.0)),
+    }
+    payload.update(extra)
+    return payload
+
+
+class TestStragglerRule:
+    def test_rank_far_behind_median_is_flagged(self):
+        progress = {0: 1000.0, 1: 990.0, 2: 1010.0, 3: 400.0}
+        assert detect_stragglers(progress) == [3]
+
+    def test_lockstep_world_never_flags_over_noise(self):
+        # MAD = 0 with three identical ranks; the absolute floor keeps
+        # a one-point deficit from flagging
+        progress = {0: 1000.0, 1: 1000.0, 2: 1000.0, 3: 999.0}
+        assert detect_stragglers(progress) == []
+
+    def test_single_rank_is_never_a_straggler(self):
+        assert detect_stragglers({0: 5.0}) == []
+        assert detect_stragglers({}) == []
+
+    def test_sensitivity_is_tunable(self):
+        progress = {0: 100.0, 1: 95.0, 2: 105.0, 3: 80.0}
+        strict = detect_stragglers(progress, k_mad=1.0, floor_fraction=0.01)
+        lax = detect_stragglers(progress, k_mad=10.0)
+        assert 3 in strict and lax == []
+
+
+class TestRunMonitor:
+    def test_injected_slow_rank_flagged_as_straggler(self):
+        monitor = RunMonitor(n_ranks=4, registry=MetricsRegistry(enabled=False))
+        for rank in range(3):
+            monitor.record(_hb(rank, points=900))
+        monitor.record(_hb(3, points=100))  # the injected slow rank
+        assert monitor.stragglers() == [3]
+        assert "STRAGGLER" in monitor.render()
+
+    def test_done_ranks_are_exempt_from_straggling(self):
+        monitor = RunMonitor(n_ranks=3, registry=MetricsRegistry(enabled=False))
+        monitor.record(_hb(0, points=100, total=100, **{"done": True}))
+        monitor.record(_hb(1, points=90))
+        monitor.record(_hb(2, points=95))
+        assert 0 not in monitor.stragglers()
+
+    def test_stall_detection_with_injected_clock(self):
+        now = [0.0]
+        monitor = RunMonitor(
+            n_ranks=2,
+            registry=MetricsRegistry(enabled=False),
+            stall_timeout_s=5.0,
+            clock=lambda: now[0],
+        )
+        monitor.record(_hb(0))
+        monitor.record(_hb(1))
+        assert monitor.stalled() == []
+        now[0] = 3.0
+        monitor.record(_hb(0))
+        now[0] = 7.0
+        # rank 1 last seen at t=0 (7s ago), rank 0 at t=3 (4s ago)
+        assert monitor.stalled() == [1]
+        assert "STALLED" in monitor.render()
+
+    def test_finished_rank_never_counts_as_stalled(self):
+        now = [0.0]
+        monitor = RunMonitor(
+            n_ranks=1,
+            registry=MetricsRegistry(enabled=False),
+            clock=lambda: now[0],
+        )
+        monitor.record(_hb(0, **{"done": True}))
+        now[0] = 100.0
+        assert monitor.stalled() == []
+
+    def test_heartbeats_publish_gauge_families(self):
+        registry = MetricsRegistry()
+        monitor = RunMonitor(n_ranks=2, registry=registry)
+        monitor.record(_hb(0, phase="partitioning", points=5, total=50))
+        monitor.record(_hb(0, phase="clustering", points=25, total=50))
+        monitor.record(_hb(1, phase="clustering", points=30, total=50))
+        samples = {
+            (fam.name, tuple(sorted(s.labels))): s.value
+            for fam in registry.collect()
+            for s in fam.samples
+        }
+        assert samples[("mudbscan_rank_progress_points", (("rank", "0"),))] == 25.0
+        assert samples[("mudbscan_rank_progress_points", (("rank", "1"),))] == 30.0
+        assert samples[("mudbscan_rank_comm_bytes", (("rank", "1"),))] == 2000.0
+        assert samples[("mudbscan_rank_heartbeats_total", (("rank", "0"),))] == 2.0
+        # the phase info gauge tracks transitions: partitioning left,
+        # clustering current
+        key = (("phase", "partitioning"), ("rank", "0"))
+        assert samples[("mudbscan_rank_phase_info", key)] == 0.0
+        key = (("phase", "clustering"), ("rank", "0"))
+        assert samples[("mudbscan_rank_phase_info", key)] == 1.0
+        assert ("mudbscan_monitor_stragglers", ()) in samples
+        assert ("mudbscan_monitor_stalled_ranks", ()) in samples
+
+    def test_render_lists_waiting_ranks(self):
+        monitor = RunMonitor(n_ranks=3, registry=MetricsRegistry(enabled=False))
+        monitor.record(_hb(0))
+        view = monitor.render()
+        assert "waiting" in view  # ranks 1, 2 not yet reporting
+
+    def test_summary_totals(self):
+        monitor = RunMonitor(n_ranks=2, registry=MetricsRegistry(enabled=False))
+        monitor.record(_hb(0, points=10, total=40))
+        monitor.record(_hb(1, points=20, total=60))
+        summary = monitor.summary()
+        assert summary["points_done"] == 30.0
+        assert summary["points_total"] == 100.0
+        assert summary["ranks_reporting"] == 2
+        assert summary["heartbeats_total"] == 2
+
+
+class TestHeartbeatLog:
+    def test_log_round_trip_and_replay(self, tmp_path):
+        log = tmp_path / "hb.jsonl"
+        with RunMonitor(
+            n_ranks=2, registry=MetricsRegistry(enabled=False), heartbeat_log=log
+        ) as monitor:
+            monitor.record(_hb(0, sent_unix=10.0))
+            monitor.record(_hb(1, sent_unix=11.0, **{"done": True}))
+        loaded = load_heartbeats(log)
+        assert [hb["rank"] for hb in loaded] == [0, 1]
+        replayed = replay_heartbeats(loaded)
+        assert replayed.heartbeats_total == 2
+        assert replayed.summary()["ranks_done"] == [1]
+
+    def test_corrupt_log_lines_are_skipped(self, tmp_path):
+        log = tmp_path / "hb.jsonl"
+        log.write_text('{"rank": 0, "points_done": 5}\n{"rank": 1, "poin')
+        loaded = load_heartbeats(log)
+        assert len(loaded) == 1 and loaded[0]["rank"] == 0
+
+
+class TestLiveDistributedRun:
+    def test_process_backend_run_under_full_observation(self, medium_blobs_3d):
+        """A 4-rank process run: heartbeat gauges per rank + a memory
+        split-up whose phases match DISTRIBUTED_PHASE_ORDER."""
+        from repro.instrumentation.report import memory_report_from_profiles
+
+        registry = MetricsRegistry()
+        monitor = RunMonitor(n_ranks=4, registry=registry)
+        profiler = PhaseProfiler()
+        res = mu_dbscan_d(
+            medium_blobs_3d,
+            0.2,
+            8,
+            n_ranks=4,
+            backend="process",
+            profiler=profiler,
+            monitor=monitor,
+        )
+        assert res.n_clusters > 0
+        # every rank heartbeat-reported and finished
+        summary = monitor.summary()
+        assert summary["ranks_reporting"] == 4
+        assert summary["ranks_done"] == [0, 1, 2, 3]
+        by_family = {fam.name: fam for fam in registry.collect()}
+        progress = by_family["mudbscan_rank_progress_points"]
+        assert {dict(s.labels)["rank"] for s in progress.samples} == {"0", "1", "2", "3"}
+        # the per-rank memory split-up covers the full distributed
+        # phase sequence, in order
+        per_rank = profiler.per_rank()
+        assert sorted(per_rank) == [0, 1, 2, 3]
+        for table in per_rank.values():
+            assert set(DISTRIBUTED_PHASE_ORDER) <= set(table)
+        view = memory_report_from_profiles(per_rank, profiler.rank_rusages())
+        positions = [view.index(p) for p in DISTRIBUTED_PHASE_ORDER]
+        assert positions == sorted(positions)

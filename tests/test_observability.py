@@ -345,3 +345,60 @@ class TestDisabledModeCost:
         assert reg._families == {}
         assert reg._collectors == []
         assert tracer.finished() == []
+
+
+class TestConcurrentExposition:
+    def test_render_is_consistent_under_concurrent_writers(self):
+        """Prometheus exposition while counters/gauges/histograms are
+        being hammered from other threads: every scrape must parse and
+        the final totals must be exact."""
+        reg = MetricsRegistry()
+        counter = reg.counter("writers_total", "hits", labels=("worker",))
+        gauge = reg.gauge("writers_gauge", "level", labels=("worker",))
+        hist = reg.histogram("writers_latency_seconds", "obs")
+        n_workers, n_iter = 8, 500
+        start = threading.Barrier(n_workers + 1)
+        errors: list[BaseException] = []
+
+        def writer(idx: int) -> None:
+            try:
+                start.wait()
+                labels = {"worker": str(idx)}
+                for i in range(n_iter):
+                    counter.labels(**labels).inc()
+                    gauge.labels(**labels).set(float(i))
+                    hist.observe(i / n_iter)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(n_workers)
+        ]
+        for t in threads:
+            t.start()
+        start.wait()
+        # scrape concurrently with the writers: text must always parse
+        for _ in range(20):
+            text = render_prometheus(reg)
+            for line in text.splitlines():
+                if line.startswith("#") or not line:
+                    continue
+                _, value = line.rsplit(" ", 1)
+                float(value)  # parseable value on every sample line
+        for t in threads:
+            t.join()
+        assert not errors
+        final = render_prometheus(reg)
+        samples = {}
+        for line in final.splitlines():
+            if line.startswith("#") or not line:
+                continue
+            name, value = line.rsplit(" ", 1)
+            samples[name] = float(value)
+        for idx in range(n_workers):
+            assert samples[f'writers_total{{worker="{idx}"}}'] == n_iter
+            assert samples[f'writers_gauge{{worker="{idx}"}}'] == n_iter - 1
+        assert samples["writers_latency_seconds_count"] == n_workers * n_iter
+        assert samples['writers_latency_seconds_bucket{le="+Inf"}'] == (
+            n_workers * n_iter
+        )

@@ -1,0 +1,187 @@
+"""Per-phase resource profiler: sampling, adoption, report tables."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.extras import ExtraKeys
+from repro.core.mudbscan import mu_dbscan
+from repro.distributed.mudbscan_d import mu_dbscan_d
+from repro.instrumentation.report import (
+    DISTRIBUTED_PHASE_ORDER,
+    PHASE_ORDER,
+    memory_bytes_from_trace,
+    memory_report_from_profile,
+    memory_report_from_profiles,
+)
+from repro.observability.profiler import (
+    NOOP_PROFILE,
+    PhaseProfiler,
+    current_profiler,
+    maybe_profile,
+    peak_rss_kb,
+    rank_rusage,
+    rss_kb,
+)
+from repro.observability.tracing import Tracer
+
+
+class TestSampling:
+    def test_phase_records_heap_growth(self):
+        prof = PhaseProfiler()
+        with prof.activate():
+            with prof.phase("grow"):
+                keep = bytearray(2_000_000)
+        rec = prof.as_dict()["grow"]
+        assert rec["traced_peak_bytes"] >= 2_000_000
+        assert rec["traced_delta_bytes"] >= 2_000_000
+        assert rec["seconds"] > 0
+        del keep
+
+    def test_reentering_phase_accumulates_and_maxes(self):
+        prof = PhaseProfiler()
+        with prof.activate():
+            with prof.phase("p"):
+                a = bytearray(1_000_000)
+                del a
+            first_peak = prof.as_dict()["p"]["traced_peak_bytes"]
+            with prof.phase("p"):
+                b = bytearray(3_000_000)
+                del b
+        rec = prof.as_dict()["p"]
+        assert rec["traced_peak_bytes"] >= 3_000_000
+        assert rec["traced_peak_bytes"] >= first_peak
+
+    def test_rss_only_mode_outside_activation(self):
+        # phase() works without activate(): no tracemalloc numbers, but
+        # the RSS series still records
+        prof = PhaseProfiler()
+        with prof.phase("raw"):
+            pass
+        rec = prof.as_dict()["raw"]
+        assert rec["traced_delta_bytes"] == 0
+        assert rec["rss_after_kb"] >= 0
+
+    def test_deep_mode_reports_allocation_sites(self):
+        prof = PhaseProfiler("deep", top_n=3)
+        with prof.activate():
+            with prof.phase("alloc"):
+                keep = [bytearray(500_000) for _ in range(3)]
+        rec = prof.as_dict()["alloc"]
+        sites = rec["top_allocations"]
+        assert sites and len(sites) <= 3
+        assert sites[0]["size_diff_bytes"] > 0
+        assert "test_profiler.py" in sites[0]["site"]
+        del keep
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseProfiler("verbose")
+
+    def test_phase_attrs_land_on_span(self):
+        tracer = Tracer()
+        prof = PhaseProfiler()
+        with tracer.activate(), prof.activate():
+            with tracer.span("fit"):
+                with tracer.span("clustering") as span, prof.phase(
+                    "clustering", span=span
+                ):
+                    keep = bytearray(1_000_000)
+        spans = tracer.finished()
+        mem = memory_bytes_from_trace(spans, root_name="fit")
+        assert mem["clustering"] >= 1_000_000
+        del keep
+
+
+class TestActivation:
+    def test_maybe_profile_without_profiler_is_noop(self):
+        assert current_profiler() is None
+        assert maybe_profile("anything") is NOOP_PROFILE
+
+    def test_activation_scopes_to_thread(self):
+        prof = PhaseProfiler()
+        with prof.activate():
+            assert current_profiler() is prof
+            with maybe_profile("inside"):
+                pass
+        assert current_profiler() is None
+        assert "inside" in prof.as_dict()
+
+    def test_context_round_trips_through_pickle(self):
+        prof = PhaseProfiler("deep", top_n=5)
+        ctx = pickle.loads(pickle.dumps(prof.context()))
+        child = PhaseProfiler.from_context(ctx)
+        assert child.mode == "deep" and child.top_n == 5
+        assert PhaseProfiler.from_context(None) is None
+
+    def test_rank_rusage_shape(self):
+        for scope in ("thread", "process"):
+            ru = rank_rusage(scope)
+            assert set(ru) == {"max_rss_kb", "user_cpu_s", "system_cpu_s"}
+            assert ru["max_rss_kb"] >= 0
+
+    def test_rss_helpers_monotone_sane(self):
+        assert peak_rss_kb() >= rss_kb() * 0  # both non-negative
+        assert rss_kb() > 0  # Linux CI: /proc is there
+
+
+class TestFitIntegration:
+    def test_fit_profile_covers_every_phase(self, small_blobs):
+        prof = PhaseProfiler()
+        res = mu_dbscan(small_blobs, 0.08, 6, profiler=prof)
+        phases = res.extras[ExtraKeys.MEMORY_PROFILE]
+        assert set(PHASE_ORDER) <= set(phases)
+        for name in PHASE_ORDER:
+            assert phases[name]["peak_rss_kb"] > 0
+
+    def test_active_profiler_resolved_like_tracer(self, small_blobs):
+        prof = PhaseProfiler()
+        with prof.activate():
+            res = mu_dbscan(small_blobs, 0.08, 6)
+        assert ExtraKeys.MEMORY_PROFILE in res.extras
+        assert set(PHASE_ORDER) <= set(prof.as_dict())
+
+    def test_unprofiled_fit_has_no_memory_extras(self, small_blobs):
+        res = mu_dbscan(small_blobs, 0.08, 6)
+        assert ExtraKeys.MEMORY_PROFILE not in res.extras
+
+    def test_profiled_fit_labels_unchanged(self, small_blobs):
+        plain = mu_dbscan(small_blobs, 0.08, 6)
+        prof = PhaseProfiler("deep")
+        profiled = mu_dbscan(small_blobs, 0.08, 6, profiler=prof)
+        np.testing.assert_array_equal(plain.labels, profiled.labels)
+
+
+class TestDistributedAdoption:
+    def test_per_rank_tables_cover_distributed_phases(self, medium_blobs_3d):
+        prof = PhaseProfiler()
+        res = mu_dbscan_d(medium_blobs_3d, 0.2, 8, n_ranks=4, profiler=prof)
+        per_rank = prof.per_rank()
+        assert sorted(per_rank) == [0, 1, 2, 3]
+        for table in per_rank.values():
+            assert set(DISTRIBUTED_PHASE_ORDER) <= set(table)
+        rusages = prof.rank_rusages()
+        assert sorted(rusages) == [0, 1, 2, 3]
+        assert res.extras[ExtraKeys.PER_RANK_MEMORY][1] == per_rank[1]
+        assert len(res.extras[ExtraKeys.PER_RANK_RUSAGE]) == 4
+
+    def test_memory_report_tables_name_the_phases(self, medium_blobs_3d):
+        prof = PhaseProfiler()
+        mu_dbscan_d(medium_blobs_3d, 0.2, 8, n_ranks=2, profiler=prof)
+        table = memory_report_from_profiles(
+            prof.per_rank(), prof.rank_rusages()
+        )
+        for phase in DISTRIBUTED_PHASE_ORDER:
+            assert phase in table
+        assert "peak RSS (MiB)" in table
+        assert len([ln for ln in table.splitlines() if ln and ln[0].isdigit()]) == 2
+
+    def test_sequential_report_table(self, small_blobs):
+        prof = PhaseProfiler()
+        mu_dbscan(small_blobs, 0.08, 6, profiler=prof)
+        table = memory_report_from_profile(prof.as_dict())
+        for phase in PHASE_ORDER:
+            assert phase in table
