@@ -3,11 +3,16 @@
 Two cases, selected by command line so CI can keep the fast one on
 every run and gate the expensive one separately:
 
-* **default** — the MC-batched neighborhood engine regression gate.
-  Runs μDBSCAN twice on a fixed 20k-point workload (per-point vs
-  batched query path) and writes ``BENCH_batched_query.json``.  Exits
-  non-zero when the batched clustering phase regresses by more than
-  10% — a regression gate for CI, not a benchmark.
+* **default** — the batched-engine regression gates.  Runs μDBSCAN
+  three ways on a fixed 20k-point workload — the per-point seed path
+  (scan builder, per-point queries), the batched query path (scan
+  builder) and the full grid path (grid-hash builder + batched queries,
+  the library default) — and writes ``BENCH_batched_query.json``.
+  Exits non-zero when the batched clustering phase regresses by more
+  than 10% against per-point, or when the grid path's end-to-end fit
+  falls below the required speedup over the per-point seed path.  All
+  three runs must agree on counters and cluster count (the builders
+  are bit-identical by construction; this is the smoke check).
 * **--serving** — the online-prediction case.  Fits the 20k workload
   into a :class:`repro.serving.FittedModel`, measures single-point
   latency through the :class:`QueryEngine` (p50/p99 over the latency
@@ -79,6 +84,10 @@ MIN_PTS = 60
 ROUNDS = 3
 #: fail when batched clustering is slower than per-point by more than this
 REGRESSION_TOLERANCE = 0.10
+#: required end-to-end fit speedup of the grid path (grid builder +
+#: batched queries) over the per-point seed path (scan builder +
+#: per-point queries)
+FIT_SPEEDUP_GATE = 2.5
 
 #: ranks the parallel case measures; the gate applies to the largest
 PARALLEL_RANKS = (2, 4)
@@ -181,16 +190,18 @@ def _usable_cores() -> int:
 # case 1: batched-query regression gate
 
 
-def _best_run(batch_queries: bool) -> dict:
-    """Best-of-ROUNDS phase timings (keyed on the clustering phase)."""
+def _best_run(batch_queries: bool, builder: str = "scan") -> dict:
+    """Best-of-ROUNDS phase timings (keyed on total fit seconds)."""
     pts = _workload()
     best: dict | None = None
     for _ in range(ROUNDS):
-        res = mu_dbscan(pts, EPS, MIN_PTS, batch_queries=batch_queries)
+        res = mu_dbscan(pts, EPS, MIN_PTS, batch_queries=batch_queries, builder=builder)
         phases = res.timers.as_dict()
-        if best is None or phases["clustering"] < best["phases"]["clustering"]:
+        fit_seconds = sum(phases.values())
+        if best is None or fit_seconds < best["fit_seconds"]:
             best = {
                 "phases": phases,
+                "fit_seconds": round(fit_seconds, 4),
                 "queries_run": res.counters.queries_run,
                 "queries_saved": res.counters.queries_saved,
                 "dist_calcs": res.counters.dist_calcs,
@@ -204,43 +215,75 @@ def _best_run(batch_queries: bool) -> dict:
 def run_batched_case() -> int:
     per_point = _best_run(batch_queries=False)
     batched = _best_run(batch_queries=True)
+    grid = _best_run(batch_queries=True, builder="grid")
 
-    # identical work and identical output is part of the contract
-    for key in ("queries_run", "queries_saved", "dist_calcs", "n_clusters"):
-        if per_point[key] != batched[key]:
-            print(
-                f"FAIL: {key} differs between paths "
-                f"(per-point {per_point[key]}, batched {batched[key]})"
-            )
-            return 2
+    # identical work and identical output is part of the contract — for
+    # the batched query engine *and* the grid-hash builder
+    for name, run in (("batched", batched), ("grid", grid)):
+        for key in ("queries_run", "queries_saved", "dist_calcs", "n_clusters"):
+            if per_point[key] != run[key]:
+                print(
+                    f"FAIL: {key} differs between paths "
+                    f"(per-point {per_point[key]}, {name} {run[key]})"
+                )
+                return 2
 
     speedup = per_point["phases"]["clustering"] / batched["phases"]["clustering"]
+    tree_speedup = (
+        per_point["phases"]["tree_construction"] / grid["phases"]["tree_construction"]
+    )
+    fit_speedup = per_point["fit_seconds"] / grid["fit_seconds"]
     report = {
         "workload": {**_workload_record(), "rounds": ROUNDS},
         "per_point": per_point,
         "batched": batched,
+        "grid": grid,
         "clustering_speedup": round(speedup, 3),
+        "tree_construction_speedup": round(tree_speedup, 3),
+        "fit_speedup": round(fit_speedup, 3),
+        "fit_speedup_gate": {
+            "required": FIT_SPEEDUP_GATE,
+            "passed": fit_speedup >= FIT_SPEEDUP_GATE,
+        },
     }
     _write_report(
         OUT_PATH,
         "batched_query",
         report,
-        wall_seconds=sum(batched["phases"].values()),
+        wall_seconds=grid["fit_seconds"],
         metrics={
             "clustering_seconds": batched["phases"]["clustering"],
             "clustering_speedup": round(speedup, 3),
+            "tree_construction_speedup": round(tree_speedup, 3),
+            "fit_speedup": round(fit_speedup, 3),
         },
     )
 
     print(
         f"clustering: per-point {per_point['phases']['clustering']:.3f}s, "
         f"batched {batched['phases']['clustering']:.3f}s "
-        f"-> {speedup:.2f}x (report: {OUT_PATH.name})"
+        f"-> {speedup:.2f}x"
+    )
+    print(
+        f"tree_construction: scan {per_point['phases']['tree_construction']:.3f}s, "
+        f"grid {grid['phases']['tree_construction']:.3f}s "
+        f"-> {tree_speedup:.2f}x"
+    )
+    print(
+        f"end-to-end fit: per-point seed {per_point['fit_seconds']:.3f}s, "
+        f"grid {grid['fit_seconds']:.3f}s "
+        f"-> {fit_speedup:.2f}x (report: {OUT_PATH.name})"
     )
     if speedup < 1.0 - REGRESSION_TOLERANCE:
         print(
             f"FAIL: batched clustering slower than per-point by more than "
             f"{REGRESSION_TOLERANCE:.0%}"
+        )
+        return 1
+    if fit_speedup < FIT_SPEEDUP_GATE:
+        print(
+            f"FAIL: grid-path fit reached {fit_speedup:.2f}x "
+            f"< required {FIT_SPEEDUP_GATE}x over the per-point seed path"
         )
         return 1
     return 0

@@ -30,6 +30,7 @@ import numpy as np
 from repro._version import __version__
 from repro.baselines import brute_dbscan, g_dbscan, grid_dbscan, rtree_dbscan
 from repro.core.mudbscan import mu_dbscan
+from repro.microcluster.builder import DEFAULT_BUILDER_BLOCK_SIZE
 from repro.microcluster.murtree import DEFAULT_BLOCK_SIZE
 from repro.core.result import ClusteringResult
 from repro.data.io import load_points
@@ -111,6 +112,8 @@ def _mu_kwargs(args: argparse.Namespace) -> dict:
     return {
         "batch_queries": not args.no_batch_queries,
         "block_size": args.block_size,
+        "builder": args.builder,
+        "builder_block_size": args.builder_block_size,
     }
 
 
@@ -466,6 +469,19 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             default=DEFAULT_BLOCK_SIZE,
             help="rows per batched distance block (memory/speed trade-off)",
+        )
+        p.add_argument(
+            "--builder",
+            choices=("grid", "scan"),
+            default="grid",
+            help="micro-cluster construction strategy (mu / mu-d only): "
+            "vectorized grid-hash sweep or reference per-point scan",
+        )
+        p.add_argument(
+            "--builder-block-size",
+            type=int,
+            default=DEFAULT_BUILDER_BLOCK_SIZE,
+            help="scan rows per grid-builder sweep block",
         )
         p.add_argument(
             "--trace-out", metavar="PATH", default=None,

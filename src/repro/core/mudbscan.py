@@ -31,6 +31,7 @@ from repro.geometry.metrics import EUCLIDEAN, Metric
 from repro.instrumentation.counters import Counters
 from repro.instrumentation.timers import PhaseTimer
 from repro.microcluster.microcluster import MCKind
+from repro.microcluster.builder import DEFAULT_BUILDER_BLOCK_SIZE
 from repro.microcluster.murtree import DEFAULT_BLOCK_SIZE, MuRTree
 from repro.observability.adapters import publish_run
 from repro.observability.profiler import PhaseProfiler, current_profiler, maybe_profile
@@ -50,6 +51,8 @@ def run_mu_dbscan_state(
     dynamic_wndq: bool = True,
     batch_queries: bool = True,
     block_size: int = DEFAULT_BLOCK_SIZE,
+    builder: str = "grid",
+    builder_block_size: int = DEFAULT_BUILDER_BLOCK_SIZE,
     max_entries: int = 64,
     metric: str | Metric = EUCLIDEAN,
     counters: Counters | None = None,
@@ -107,6 +110,8 @@ def run_mu_dbscan_state(
                 max_entries=max_entries,
                 counters=counters,
                 metric=metric,
+                builder=builder,
+                builder_block_size=builder_block_size,
             )
         with timers.phase("finding_reachable_groups"), maybe_span(
             "finding_reachable_groups"
@@ -149,6 +154,8 @@ def mu_dbscan(
     dynamic_wndq: bool = True,
     batch_queries: bool = True,
     block_size: int = DEFAULT_BLOCK_SIZE,
+    builder: str = "grid",
+    builder_block_size: int = DEFAULT_BUILDER_BLOCK_SIZE,
     max_entries: int = 64,
     metric: str | Metric = EUCLIDEAN,
     timers: PhaseTimer | None = None,
@@ -167,6 +174,13 @@ def mu_dbscan(
     aux_index, filtration, defer_2eps, dynamic_wndq, max_entries:
         Design knobs; the defaults reproduce the paper's algorithm, the
         alternatives are the DESIGN.md §5 ablations.
+    builder, builder_block_size:
+        Micro-cluster construction strategy — ``"grid"`` (default): the
+        vectorized grid-hash block sweep plus batched reachability and a
+        single STR bulk load of the first-level tree; ``"scan"``: the
+        reference per-point loop with dynamic inserts.  Results and work
+        counters are bit-identical (see docs/ALGORITHM.md, "Grid-hash
+        builder"); only ``tree_construction`` wall time changes.
     batch_queries, block_size:
         MC-batched neighborhood engine for the clustering phase — one
         vectorized distance block per micro-cluster instead of one
@@ -220,6 +234,8 @@ def mu_dbscan(
             dynamic_wndq=dynamic_wndq,
             batch_queries=batch_queries,
             block_size=block_size,
+            builder=builder,
+            builder_block_size=builder_block_size,
             max_entries=max_entries,
             metric=metric,
             counters=counters,
@@ -269,6 +285,8 @@ class MuDBSCAN:
         dynamic_wndq: bool = True,
         batch_queries: bool = True,
         block_size: int = DEFAULT_BLOCK_SIZE,
+        builder: str = "grid",
+        builder_block_size: int = DEFAULT_BUILDER_BLOCK_SIZE,
         max_entries: int = 64,
         metric: str | Metric = EUCLIDEAN,
     ) -> None:
@@ -280,6 +298,8 @@ class MuDBSCAN:
         self.dynamic_wndq = dynamic_wndq
         self.batch_queries = batch_queries
         self.block_size = block_size
+        self.builder = builder
+        self.builder_block_size = builder_block_size
         self.max_entries = max_entries
         self.metric = metric
         self.result_: ClusteringResult | None = None
@@ -296,6 +316,8 @@ class MuDBSCAN:
             dynamic_wndq=self.dynamic_wndq,
             batch_queries=self.batch_queries,
             block_size=self.block_size,
+            builder=self.builder,
+            builder_block_size=self.builder_block_size,
             max_entries=self.max_entries,
             metric=self.metric,
         )

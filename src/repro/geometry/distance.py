@@ -83,6 +83,11 @@ def pairwise_sq_dists(a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray:
     return out
 
 
+#: row-chunk the stable pairwise kernel when the (rows, |b|, d) diff
+#: temporary would exceed this many float64 elements (~256 MB)
+_STABLE_TEMP_ELEMS = 32_000_000
+
+
 def pairwise_sq_dists_stable(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Squared-distance matrix via the direct ``sum((x - y)^2)`` form.
 
@@ -92,7 +97,13 @@ def pairwise_sq_dists_stable(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     is evaluated inside a 1-row or a 10k-row block.  The serving layer
     relies on this to make pruned prediction exactly reproduce the
     brute-force oracle even for queries engineered to sit on the ε
-    boundary.  Costs ``|a| * |b| * d`` temporaries, so callers chunk.
+    boundary, and the grid-hash builder relies on it to replicate the
+    per-point scan's join decisions from batched blocks.
+
+    Peak memory is bounded internally: the ``|a| * |b| * d`` diff
+    temporary is computed in row chunks when it would grow past a fixed
+    budget — per-pair values are row-independent, so chunking cannot
+    change a single bit of the output.
     """
     a2d = _as2d(a)
     b2d = _as2d(b)
@@ -100,8 +111,18 @@ def pairwise_sq_dists_stable(a: np.ndarray, b: np.ndarray) -> np.ndarray:
         raise ValueError(
             f"dimension mismatch: {a2d.shape[1]}-d vs {b2d.shape[1]}-d points"
         )
-    diff = a2d[:, None, :] - b2d[None, :, :]
-    return np.einsum("ijk,ijk->ij", diff, diff)
+    n_a, d = a2d.shape
+    n_b = b2d.shape[0]
+    per_row = max(1, n_b * d)
+    if n_a * per_row <= _STABLE_TEMP_ELEMS:
+        diff = a2d[:, None, :] - b2d[None, :, :]
+        return np.einsum("ijk,ijk->ij", diff, diff)
+    out = np.empty((n_a, n_b), dtype=np.float64)
+    chunk = max(1, _STABLE_TEMP_ELEMS // per_row)
+    for start in range(0, n_a, chunk):
+        diff = a2d[start : start + chunk, None, :] - b2d[None, :, :]
+        np.einsum("ijk,ijk->ij", diff, diff, out=out[start : start + diff.shape[0]])
+    return out
 
 
 def neighbors_within(points: np.ndarray, q: np.ndarray, eps: float) -> np.ndarray:

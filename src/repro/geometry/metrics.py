@@ -56,11 +56,29 @@ class Metric:
     def raw_pairwise_stable(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Like :meth:`raw_pairwise`, but each entry is guaranteed to be
         a function of the two rows only — independent of block shape.
+
+        Contract (the grid-hash builder's kernel): row ``i`` of the
+        result is bit-identical to ``raw_to_point(b, a[i])``, so a
+        batched sweep reaches exactly the same join/defer verdicts as a
+        per-point scan, even for pairs engineered onto the ε boundary.
         Metrics whose ``raw_pairwise`` is already a per-pair direct form
-        (L1, L∞ broadcasting) inherit this default; Euclidean overrides
-        it because its BLAS expansion trick is shape-dependent in the
-        last ulp."""
-        return self.raw_pairwise(a, b)
+        (L1, L∞ broadcasting) inherit this default with row chunking to
+        bound the broadcast temporary; Euclidean overrides it because
+        its BLAS expansion trick is shape-dependent in the last ulp."""
+        from repro.geometry.distance import _STABLE_TEMP_ELEMS
+
+        a2 = np.atleast_2d(np.asarray(a, dtype=np.float64))
+        b2 = np.atleast_2d(np.asarray(b, dtype=np.float64))
+        per_row = max(1, b2.shape[0] * b2.shape[1])
+        if a2.shape[0] * per_row <= _STABLE_TEMP_ELEMS:
+            return self.raw_pairwise(a2, b2)
+        chunk = max(1, _STABLE_TEMP_ELEMS // per_row)
+        return np.concatenate(
+            [
+                self.raw_pairwise(a2[start : start + chunk], b2)
+                for start in range(0, a2.shape[0], chunk)
+            ]
+        )
 
     def raw_point_rect(self, q: np.ndarray, low: np.ndarray, high: np.ndarray) -> float:
         """Raw value of the minimum distance from ``q`` to the box."""

@@ -21,6 +21,7 @@ __all__ = [
     "point_rect_sq_dist",
     "sphere_intersects_rect",
     "sphere_intersects_rects",
+    "sphere_intersects_rects_block",
     "rect_overlaps_rects",
 ]
 
@@ -72,6 +73,29 @@ def sphere_intersects_rects(
     # them out explicitly.
     nonempty = np.all(lows <= highs, axis=1)
     return nonempty & (sq <= eps * eps)
+
+
+def sphere_intersects_rects_block(
+    points: np.ndarray, eps: float, lows: np.ndarray, highs: np.ndarray
+) -> np.ndarray:
+    """:func:`sphere_intersects_rects` for many query points at once.
+
+    Returns the ``(B, k)`` boolean mask of ball-vs-box intersections for
+    ``B`` query points against ``k`` rectangles.  Row ``i`` is
+    *bit-identical* to ``sphere_intersects_rects(points[i], eps, ...)``:
+    ``clip`` is pure selection and the squared-distance reduction runs
+    over the same contiguous last axis, so batching cannot move a
+    boundary verdict.  The grid-hash builder relies on this to replicate
+    the R-tree's leaf-level candidate test without the tree.
+    """
+    pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    lows = np.atleast_2d(np.asarray(lows, dtype=np.float64))
+    highs = np.atleast_2d(np.asarray(highs, dtype=np.float64))
+    clamped = np.clip(pts[:, None, :], lows[None, :, :], highs[None, :, :])
+    diff = pts[:, None, :] - clamped
+    sq = np.einsum("ijk,ijk->ij", diff, diff)
+    nonempty = np.all(lows <= highs, axis=1)
+    return nonempty[None, :] & (sq <= eps * eps)
 
 
 def rect_overlaps_rects(

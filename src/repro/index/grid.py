@@ -25,7 +25,7 @@ import numpy as np
 from repro.geometry.distance import sq_dists_to_point
 from repro.instrumentation.counters import Counters
 
-__all__ = ["UniformGrid"]
+__all__ = ["UniformGrid", "CenterGrid"]
 
 
 class UniformGrid:
@@ -145,3 +145,77 @@ class UniformGrid:
 
     def count_ball(self, q: np.ndarray, eps: float) -> int:
         return int(self.query_ball(q, eps).shape[0])
+
+
+class CenterGrid:
+    """Incremental hash-grid over micro-cluster centers.
+
+    The grid-hash builder appends centers as Algorithm 3 creates them
+    and, per block of scan points, gathers every center whose ε-box a
+    search ball could touch — a conservative superset shortlist, exactly
+    like the first-level R-tree's role, but answerable for a whole block
+    with array ops instead of one Python tree walk per point.
+
+    Unlike :class:`UniformGrid` (fixed point set, built once), this
+    structure grows: ``insert()`` buckets new centers by cell, and the
+    occupied-cell views used by the gather are rebuilt lazily only when
+    the cell population changed since the last block.
+    """
+
+    def __init__(self, origin: np.ndarray, cell_width: float, dim: int) -> None:
+        if cell_width <= 0.0:
+            raise ValueError(f"cell_width must be positive, got {cell_width}")
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self.origin = np.asarray(origin, dtype=np.float64).reshape(dim)
+        self.cell_width = float(cell_width)
+        self.dim = dim
+        self._cells: dict[tuple[int, ...], list[int]] = {}
+        self._n = 0
+        self._occ_coords: np.ndarray | None = None
+        self._occ_buckets: list[np.ndarray] | None = None
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def n_cells(self) -> int:
+        return len(self._cells)
+
+    def coords(self, points: np.ndarray) -> np.ndarray:
+        """Integer cell coordinates of ``points``, ``(k, d)`` int64.
+
+        Centers *are* scan points, so using one formula (and one origin)
+        for both sides keeps the point-cell/center-cell relationship
+        consistent to within the ±1 rounding slack the gather's safety
+        ring absorbs.
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        return np.floor((pts - self.origin) / self.cell_width).astype(np.int64)
+
+    def insert(self, first_id: int, centers: np.ndarray) -> None:
+        """Bucket centers ``first_id .. first_id + k - 1`` by cell."""
+        centers = np.atleast_2d(np.asarray(centers, dtype=np.float64))
+        if centers.shape[0] == 0:
+            return
+        cc = self.coords(centers)
+        for i in range(cc.shape[0]):
+            self._cells.setdefault(tuple(cc[i]), []).append(first_id + i)
+        self._n += centers.shape[0]
+        self._occ_coords = None
+        self._occ_buckets = None
+
+    def occupied(self) -> tuple[np.ndarray, list[np.ndarray]]:
+        """``(coords, buckets)`` over occupied cells — ``coords`` is the
+        ``(n_cells, d)`` int64 stack and ``buckets[i]`` the center ids in
+        cell ``i`` (ascending: ids are appended in creation order)."""
+        if self._occ_coords is None or self._occ_buckets is None:
+            if self._cells:
+                self._occ_coords = np.asarray(list(self._cells), dtype=np.int64)
+                self._occ_buckets = [
+                    np.asarray(ids, dtype=np.int64) for ids in self._cells.values()
+                ]
+            else:
+                self._occ_coords = np.empty((0, self.dim), dtype=np.int64)
+                self._occ_buckets = []
+        return self._occ_coords, self._occ_buckets

@@ -2,10 +2,10 @@
 
 Points are scanned once.  For each point ``p``:
 
-1. Search the first-level R-tree for an existing MC whose *center* is
-   strictly within ``eps`` of ``p`` → join it (nearest such center, for
-   determinism; the paper takes the first encountered, which depends on
-   tree layout — either choice yields a valid MC partition).
+1. Search for an existing MC whose *center* is strictly within ``eps``
+   of ``p`` → join it (nearest such center, lowest ``mc_id`` on exact
+   ties, for determinism; the paper takes the first encountered, which
+   depends on tree layout — either choice yields a valid MC partition).
 2. Otherwise, if some center lies within ``2 eps``, defer ``p`` to the
    ``unassignedList``.  Creating a new MC here would carve out a ball
    heavily overlapping an existing one; deferral keeps the MC count
@@ -21,6 +21,22 @@ time — every point must land somewhere).
 The first-level R-tree stores each MC as the fixed box ``center ± eps``:
 every member is strictly within ``eps`` of the center, so the box bounds
 the MC forever and never needs widening on insertion.
+
+Two builders implement the same semantics:
+
+* ``builder="scan"`` — the reference per-point loop: one R-tree probe
+  and one small distance block per point, dynamic ``tree.insert`` per
+  created MC.
+* ``builder="grid"`` (default) — the batched sweep documented in
+  docs/ALGORITHM.md ("Grid-hash builder"): centers are hashed into an
+  ε-cell :class:`~repro.index.grid.CenterGrid`; scan points are
+  processed in row-order blocks; per block one gather + one vectorized
+  distance/box-predicate pass computes every point's verdict against
+  the centers existing *before* the block, and a short exact fixup walk
+  replays intra-block MC creations in scan order.  The first-level tree
+  is STR bulk-loaded once at the end.  Labels, ``point_mc``, MC
+  membership order and every counter are **bit-identical** to the scan
+  builder — the parity suite in ``tests/test_builder.py`` pins it.
 """
 
 from __future__ import annotations
@@ -28,11 +44,23 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.metrics import EUCLIDEAN, Metric
+from repro.geometry.regions import sphere_intersects_rects_block
+from repro.index.bulk import str_bulk_load_point_boxes
+from repro.index.grid import CenterGrid
 from repro.index.rtree import RTree
 from repro.instrumentation.counters import Counters
 from repro.microcluster.microcluster import MicroCluster
 
-__all__ = ["build_micro_clusters"]
+__all__ = ["build_micro_clusters", "DEFAULT_BUILDER_BLOCK_SIZE"]
+
+#: rows per vectorized sweep block of the grid builder — bounds the
+#: transient (block x candidate-centers) distance matrices
+DEFAULT_BUILDER_BLOCK_SIZE = 4096
+
+#: grid cells per super-cell edge: block points are *grouped* for the
+#: candidate gather at this coarser resolution so each gathered matrix
+#: has enough rows to amortise its Python-level overhead
+_SUPER = 4
 
 
 class _CenterArray:
@@ -58,6 +86,11 @@ class _CenterArray:
     def take(self, ids: np.ndarray) -> np.ndarray:
         return self._buf[ids]
 
+    def view(self, m: int) -> np.ndarray:
+        """Zero-copy ``(m, d)`` view of the first ``m`` centers — bulk
+        callers slice this instead of re-fancy-indexing full prefixes."""
+        return self._buf[:m]
+
 
 def build_micro_clusters(
     points: np.ndarray,
@@ -67,6 +100,8 @@ def build_micro_clusters(
     counters: Counters | None = None,
     defer_2eps: bool = True,
     metric: Metric = EUCLIDEAN,
+    builder: str = "grid",
+    block_size: int = DEFAULT_BUILDER_BLOCK_SIZE,
 ) -> tuple[list[MicroCluster], RTree, np.ndarray]:
     """Run Algorithm 3 over ``points``.
 
@@ -82,6 +117,11 @@ def build_micro_clusters(
         The 2ε ``unassignedList`` rule.  ``False`` disables deferral
         (ablation 1 in DESIGN.md §5): every unassignable point
         immediately founds a new MC.
+    builder:
+        ``"grid"`` (default) — the vectorized block sweep; ``"scan"`` —
+        the reference per-point loop.  Identical results either way.
+    block_size:
+        Grid builder only: rows per vectorized sweep block.
 
     Returns
     -------
@@ -95,8 +135,45 @@ def build_micro_clusters(
         raise ValueError(f"points must be (n, d), got shape {pts.shape}")
     if eps <= 0.0:
         raise ValueError(f"eps must be positive, got {eps}")
-    n, dim = pts.shape
+    if builder not in ("scan", "grid"):
+        raise ValueError(f"builder must be 'scan' or 'grid', got {builder!r}")
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
     counters = counters if counters is not None else Counters()
+    if builder == "scan":
+        return _build_scan(
+            pts,
+            eps,
+            max_entries=max_entries,
+            counters=counters,
+            defer_2eps=defer_2eps,
+            metric=metric,
+        )
+    return _build_grid(
+        pts,
+        eps,
+        max_entries=max_entries,
+        counters=counters,
+        defer_2eps=defer_2eps,
+        metric=metric,
+        block_size=block_size,
+    )
+
+
+# ---------------------------------------------------------------------------
+# reference per-point builder
+
+
+def _build_scan(
+    pts: np.ndarray,
+    eps: float,
+    *,
+    max_entries: int,
+    counters: Counters,
+    defer_2eps: bool,
+    metric: Metric,
+) -> tuple[list[MicroCluster], RTree, np.ndarray]:
+    n, dim = pts.shape
     # candidate searches go through the (Euclidean) R-tree; a metric
     # ball fits in a Euclidean ball scaled by this factor
     cover = metric.l2_cover_factor(dim)
@@ -108,6 +185,10 @@ def build_micro_clusters(
     unassigned: list[int] = []
     eps_raw = metric.threshold(eps)
     two_eps_raw = metric.threshold(2.0 * eps)
+    # one candidate sweep at the wider radius serves both the ε-join
+    # test and the 2ε-deferral test, and one distance pass over the
+    # candidates' centers answers both
+    search_radius = (2.0 * eps if defer_2eps else eps) * cover
 
     def create_mc(row: int) -> int:
         mc_id = len(mcs)
@@ -125,12 +206,12 @@ def build_micro_clusters(
         if not mcs:
             create_mc(row)
             continue
-        # one candidate sweep at the wider radius serves both the ε-join
-        # test and the 2ε-deferral test, and one distance pass over the
-        # candidates' centers answers both
-        search_radius = (2.0 * eps if defer_2eps else eps) * cover
         candidates = tree.query_ball_candidates(p, search_radius)
         if candidates:
+            # ascending ids make argmin's tie-break (nearest center,
+            # lowest mc_id on exact raw ties) independent of tree layout
+            # — the grid builder resolves ties the same way
+            candidates.sort()
             cand = np.asarray(candidates, dtype=np.int64)
             counters.dist_calcs += cand.size
             raw = metric.raw_to_point(centers.take(cand), p)
@@ -151,6 +232,7 @@ def build_micro_clusters(
         p = pts[row]
         candidates = tree.query_ball_candidates(p, eps * cover)
         if candidates:
+            candidates.sort()
             cand = np.asarray(candidates, dtype=np.int64)
             counters.dist_calcs += cand.size
             raw = metric.raw_to_point(centers.take(cand), p)
@@ -163,4 +245,171 @@ def build_micro_clusters(
 
     for mc in mcs:
         mc.freeze(pts, eps, metric=metric)
+    return mcs, tree, point_mc
+
+
+# ---------------------------------------------------------------------------
+# vectorized grid-hash builder
+
+
+def _build_grid(
+    pts: np.ndarray,
+    eps: float,
+    *,
+    max_entries: int,
+    counters: Counters,
+    defer_2eps: bool,
+    metric: Metric,
+    block_size: int,
+) -> tuple[list[MicroCluster], RTree, np.ndarray]:
+    n, dim = pts.shape
+    cover = metric.l2_cover_factor(dim)
+    eps_raw = metric.threshold(eps)
+    two_eps_raw = metric.threshold(2.0 * eps)
+    search_radius = (2.0 * eps if defer_2eps else eps) * cover
+
+    tree = RTree(dim, max_entries=max_entries, counters=counters)
+    point_mc = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return [], tree, point_mc
+
+    centers = _CenterArray(dim)
+    center_rows: list[int] = []
+    members: list[list[int]] = []  # per MC, rows in scan assignment order
+    deferred: list[int] = []
+    grid = CenterGrid(pts.min(axis=0), eps, dim)
+
+    def block_candidates(
+        block: np.ndarray, bpts: np.ndarray, m_pre: int, radius: float, reach: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-row verdict inputs against the centers existing *before*
+        this block: candidate count, best (lowest) raw distance and the
+        id achieving it (lowest id on exact ties).
+
+        Candidate sets replicate the R-tree probe exactly: the grid
+        gather is a conservative superset (every center whose ε-box a
+        ball of ``radius`` could touch lies within ``reach`` cells, plus
+        one safety ring for floor-rounding slack), and the same
+        leaf-level ball-vs-box predicate then keeps exactly the tree's
+        candidates.
+        """
+        B = block.shape[0]
+        cnt = np.zeros(B, dtype=np.int64)
+        best_raw = np.full(B, np.inf)
+        best_id = np.full(B, -1, dtype=np.int64)
+        if m_pre == 0:
+            return cnt, best_raw, best_id
+        occ, buckets = grid.occupied()
+        pre_centers = centers.view(m_pre)
+        # group block rows by super-cell so each gathered candidate set
+        # is shared by a worthwhile number of matrix rows
+        sc = grid.coords(bpts) >> 2  # arithmetic shift = floor div by _SUPER
+        uniq, inverse = np.unique(sc, axis=0, return_inverse=True)
+        inverse = inverse.reshape(-1)
+        order = np.argsort(inverse, kind="stable")
+        bounds = np.r_[0, np.cumsum(np.bincount(inverse, minlength=uniq.shape[0]))]
+        # occupied center cells inside each super-cell's search window
+        lo = uniq * _SUPER - reach
+        hi = uniq * _SUPER + (_SUPER - 1) + reach
+        inside = (
+            (occ[None, :, :] >= lo[:, None, :]) & (occ[None, :, :] <= hi[:, None, :])
+        ).all(axis=2)
+        for u in range(uniq.shape[0]):
+            cells = np.flatnonzero(inside[u])
+            if cells.size == 0:
+                continue
+            if cells.size == 1:
+                ids = buckets[cells[0]]
+            else:
+                ids = np.sort(np.concatenate([buckets[c] for c in cells]))
+            rows_u = order[bounds[u] : bounds[u + 1]]
+            sub = bpts[rows_u]
+            cand_centers = pre_centers[ids]
+            raw = metric.raw_pairwise_stable(sub, cand_centers)
+            hit = sphere_intersects_rects_block(
+                sub, radius, cand_centers - eps, cand_centers + eps
+            )
+            c_u = hit.sum(axis=1)
+            masked = np.where(hit, raw, np.inf)
+            j = np.argmin(masked, axis=1)  # first minimum = lowest id
+            has = c_u > 0
+            cnt[rows_u] = c_u
+            best_raw[rows_u] = np.where(has, masked[np.arange(rows_u.size), j], np.inf)
+            best_id[rows_u] = np.where(has, ids[j], -1)
+        return cnt, best_raw, best_id
+
+    def sweep(rows: np.ndarray, radius: float, defer: bool) -> None:
+        """One Algorithm-3 pass over ``rows`` in order, blockwise."""
+        # every true candidate center is within radius + eps of the
+        # point on each axis; +1 ring absorbs floor-rounding slack
+        reach = int(np.ceil((radius + eps) / grid.cell_width)) + 1
+        for start in range(0, rows.shape[0], block_size):
+            block = rows[start : start + block_size]
+            bpts = pts[block]
+            m_pre = len(center_rows)
+            cnt, best_raw, best_id = block_candidates(
+                block, bpts, m_pre, radius, reach
+            )
+            # exact scan-order fixup: walk the block in row order; each
+            # created MC is immediately made visible (count, distance,
+            # nearest-center) to every later row of the block, exactly
+            # as a dynamic tree insert would have been
+            for i in range(block.shape[0]):
+                row = int(block[i])
+                c = int(cnt[i])
+                counters.dist_calcs += c
+                if c and best_raw[i] < eps_raw:
+                    mc_id = int(best_id[i])
+                    members[mc_id].append(row)
+                    point_mc[row] = mc_id
+                elif defer and c and best_raw[i] < two_eps_raw:
+                    deferred.append(row)
+                    counters.deferred_points += 1
+                else:
+                    mc_id = len(center_rows)
+                    center_rows.append(row)
+                    members.append([row])
+                    centers.append(pts[row])
+                    point_mc[row] = mc_id
+                    counters.micro_clusters += 1
+                    if i + 1 < block.shape[0]:
+                        rest = bpts[i + 1 :]
+                        # the tree's leaf test against the newborn box...
+                        clamped = np.clip(rest, pts[row] - eps, pts[row] + eps)
+                        diff = rest - clamped
+                        sq = np.einsum("ij,ij->i", diff, diff)
+                        hit = sq <= radius * radius
+                        if hit.any():
+                            cnt[i + 1 :][hit] += 1
+                            # ...and the scan's raw distances; strict <
+                            # keeps the lower (earlier) id on exact ties
+                            raw_new = metric.raw_to_point(rest, pts[row])
+                            sub_raw = best_raw[i + 1 :]
+                            sub_id = best_id[i + 1 :]
+                            better = hit & (raw_new < sub_raw)
+                            sub_raw[better] = raw_new[better]
+                            sub_id[better] = mc_id
+            if len(center_rows) > m_pre:
+                grid.insert(m_pre, centers.view(len(center_rows))[m_pre:])
+
+    # ---- pass 1: scan, join / defer / create --------------------------
+    sweep(np.arange(n, dtype=np.int64), search_radius, defer_2eps)
+    # ---- pass 2: place deferred points --------------------------------
+    if deferred:
+        sweep(np.asarray(deferred, dtype=np.int64), eps * cover, False)
+
+    m = len(center_rows)
+    mcs = [
+        MicroCluster.from_member_rows(
+            mc_id,
+            center_rows[mc_id],
+            np.asarray(members[mc_id], dtype=np.int64),
+            pts,
+            eps,
+            metric=metric,
+        )
+        for mc_id in range(m)
+    ]
+    if m:
+        str_bulk_load_point_boxes(tree, centers.view(m), eps)
     return mcs, tree, point_mc

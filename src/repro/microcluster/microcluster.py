@@ -105,11 +105,43 @@ class MicroCluster:
             raise RuntimeError("MicroCluster already frozen")
         rows = np.asarray(self._pending_rows, dtype=np.int64)
         self._pending_rows = None
+        self._finalize(rows, points, eps, metric)
+
+    def _finalize(
+        self, rows: np.ndarray, points: np.ndarray, eps: float, metric: Metric
+    ) -> None:
         self.member_rows = rows
         self.member_points = np.ascontiguousarray(points[rows], dtype=np.float64)
         self.mbr_low, self.mbr_high = mbr_of_points(self.member_points)
         raw = metric.raw_to_point(self.member_points, self.center)
         self.ic_rows = rows[raw < metric.threshold(eps * 0.5)]
+
+    @classmethod
+    def from_member_rows(
+        cls,
+        mc_id: int,
+        center_row: int,
+        member_rows: np.ndarray,
+        points: np.ndarray,
+        eps: float,
+        metric: Metric = EUCLIDEAN,
+    ) -> "MicroCluster":
+        """Construct a frozen MC whose membership is known up front.
+
+        Batch builders resolve whole assignment arrays before any
+        ``MicroCluster`` exists; this skips the per-row ``add_member``
+        path and freezes in one shot.  ``member_rows`` must lead with
+        ``center_row`` (the center is always its MC's first member) and
+        preserve the scan's assignment order — the frozen structures are
+        then bit-identical to an incrementally-built-and-frozen MC.
+        """
+        rows = np.asarray(member_rows, dtype=np.int64)
+        if rows.shape[0] == 0 or int(rows[0]) != int(center_row):
+            raise ValueError("member_rows must start with center_row")
+        mc = cls(mc_id, center_row, points[int(center_row)])
+        mc._pending_rows = None
+        mc._finalize(rows, points, eps, metric)
+        return mc
 
     # ------------------------------------------------------------------
     # classification (valid after freeze)

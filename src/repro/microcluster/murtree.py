@@ -27,9 +27,9 @@ from repro.geometry.metrics import EUCLIDEAN, Metric, get_metric
 from repro.geometry.regions import point_rect_sq_dist
 from repro.index.rtree import RTree, PointRTree
 from repro.instrumentation.counters import Counters
-from repro.microcluster.builder import build_micro_clusters
+from repro.microcluster.builder import DEFAULT_BUILDER_BLOCK_SIZE, build_micro_clusters
 from repro.microcluster.microcluster import MicroCluster
-from repro.microcluster.reachability import compute_reachable
+from repro.microcluster.reachability import compute_reachable, compute_reachable_batched
 
 __all__ = ["MuRTree", "BlockQueryResult", "DEFAULT_BLOCK_SIZE"]
 
@@ -153,6 +153,13 @@ class MuRTree:
         packing is both faster and tighter.  ``False`` exercises the
         dynamic insert path (and is what the index microbenchmark
         compares against).
+    builder:
+        Micro-cluster construction strategy: ``"grid"`` (default, the
+        vectorized grid-hash block sweep) or ``"scan"`` (the reference
+        per-point loop).  Bit-identical results either way; ``"grid"``
+        also switches reachability to the batched ``m × m`` sweep.
+    builder_block_size:
+        Grid builder only: scan rows per vectorized sweep block.
     """
 
     def __init__(
@@ -167,6 +174,8 @@ class MuRTree:
         counters: Counters | None = None,
         metric: str | Metric = EUCLIDEAN,
         aux_bulk: bool = True,
+        builder: str = "grid",
+        builder_block_size: int = DEFAULT_BUILDER_BLOCK_SIZE,
     ) -> None:
         if aux_index not in ("cached", "flat", "rtree"):
             raise ValueError(
@@ -187,6 +196,7 @@ class MuRTree:
         self.aux_index = aux_index
         self.filtration = filtration
         self.counters = counters if counters is not None else Counters()
+        self.builder = builder
 
         self.mcs: list[MicroCluster]
         self.level1: RTree
@@ -198,6 +208,8 @@ class MuRTree:
             counters=self.counters,
             defer_2eps=defer_2eps,
             metric=self.metric,
+            builder=builder,
+            block_size=builder_block_size,
         )
         if aux_index == "rtree":
             for mc in self.mcs:
@@ -223,6 +235,7 @@ class MuRTree:
         filtration: bool = True,
         counters: Counters | None = None,
         metric: str | Metric = EUCLIDEAN,
+        builder: str = "scan",
     ) -> "MuRTree":
         """Wrap an externally-maintained micro-cluster structure.
 
@@ -245,6 +258,10 @@ class MuRTree:
         self.filtration = filtration
         self.counters = counters if counters is not None else Counters()
         self.metric = get_metric(metric)
+        # "scan" keeps reachability on the caller's dynamic tree (the
+        # streaming extension maintains one); "grid" uses the batched
+        # m × m sweep, e.g. after a bulk seed fit
+        self.builder = builder
         self.mcs = mcs
         self.level1 = level1
         self.point_mc = np.asarray(point_mc, dtype=np.int64)
@@ -288,9 +305,14 @@ class MuRTree:
         groups" phase cost, and the μR-tree's extra memory footprint)."""
         if self._reachable_done:
             return
-        compute_reachable(
-            self.mcs, self.level1, self.eps, self.counters, metric=self.metric
-        )
+        if self.builder == "grid":
+            compute_reachable_batched(
+                self.mcs, self.eps, self.counters, metric=self.metric
+            )
+        else:
+            compute_reachable(
+                self.mcs, self.level1, self.eps, self.counters, metric=self.metric
+            )
         if self.aux_index == "cached":
             for mc in self.mcs:
                 assert mc.reach_ids is not None

@@ -14,11 +14,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.metrics import EUCLIDEAN, Metric
+from repro.geometry.regions import sphere_intersects_rects_block
 from repro.index.rtree import RTree
 from repro.instrumentation.counters import Counters
 from repro.microcluster.microcluster import MicroCluster
 
-__all__ = ["compute_reachable"]
+__all__ = ["compute_reachable", "compute_reachable_batched"]
 
 
 def compute_reachable(
@@ -53,3 +54,44 @@ def compute_reachable(
         reach = cand[raw <= limit_raw]
         reach.sort()
         mc.reach_ids = reach
+
+
+def compute_reachable_batched(
+    mcs: list[MicroCluster],
+    eps: float,
+    counters: Counters | None = None,
+    metric: Metric = EUCLIDEAN,
+    block_size: int = 4096,
+) -> None:
+    """Populate ``mc.reach_ids`` for every MC without touching the tree.
+
+    The per-MC path probes the first-level R-tree once per MC and then
+    tests the shortlisted centers; with ``m`` centers already available
+    as one matrix, an ``m × m`` sweep (chunked to ``block_size`` rows)
+    does both steps vectorized.  The tree probe's candidate set is
+    exactly the set of ``center ± eps`` boxes the ``3ε`` ball touches
+    (internal-node pruning never rejects a hit leaf), so replaying that
+    ball-vs-box predicate per pair reproduces the same candidate counts
+    — ``dist_calcs`` and the sorted ``reach_ids`` come out identical to
+    :func:`compute_reachable`.
+    """
+    if eps <= 0.0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    counters = counters if counters is not None else Counters()
+    m = len(mcs)
+    if m == 0:
+        return
+    centers = np.ascontiguousarray(np.stack([mc.center for mc in mcs]))
+    cover = metric.l2_cover_factor(centers.shape[1])
+    radius = 3.0 * eps * cover
+    limit_raw = metric.threshold(3.0 * eps)
+    lows = centers - eps
+    highs = centers + eps
+    for start in range(0, m, block_size):
+        sub = centers[start : start + block_size]
+        hit = sphere_intersects_rects_block(sub, radius, lows, highs)
+        counters.dist_calcs += int(hit.sum())
+        raw = metric.raw_pairwise_stable(sub, centers)
+        ok = hit & (raw <= limit_raw)
+        for i in range(sub.shape[0]):
+            mcs[start + i].reach_ids = np.flatnonzero(ok[i]).astype(np.int64)

@@ -33,8 +33,10 @@ from repro.geometry.distance import sq_dists_to_point
 from repro.index.rtree import RTree
 from repro.instrumentation.counters import Counters
 from repro.instrumentation.timers import PhaseTimer
+from repro.microcluster.builder import build_micro_clusters
 from repro.microcluster.microcluster import MCKind, MicroCluster
 from repro.microcluster.murtree import MuRTree
+from repro.microcluster.reachability import compute_reachable_batched
 
 __all__ = ["IncrementalMuDBSCAN"]
 
@@ -67,6 +69,7 @@ class IncrementalMuDBSCAN:
         if dim < 1:
             raise ValueError(f"dim must be >= 1, got {dim}")
         self.dim = dim
+        self.max_entries = max_entries
         self.counters = Counters()
         self._tree = RTree(dim, max_entries=max_entries, counters=self.counters)
         self._chunks: list[np.ndarray] = []
@@ -212,6 +215,55 @@ class IncrementalMuDBSCAN:
             self._mark_reach_dirty(mc_id)
             return True
         return False
+
+    # ------------------------------------------------------------------
+    # bulk seeding
+
+    def seed(self, batch: np.ndarray) -> None:
+        """Bulk-load an initial dataset through the grid-hash builder.
+
+        Per-point ``insert()`` pays one R-tree probe and one dynamic
+        tree insert per point; for the (usually large) first batch the
+        batched builder does the same Algorithm-3 work vectorized and
+        STR-packs the first-level tree once, then this method adopts the
+        result into the incremental structures — subsequent ``insert()``
+        batches continue on the bulk-loaded tree exactly as if every
+        seed point had been inserted one by one.
+
+        Only valid on an empty stream (the builder scans from scratch).
+        """
+        if len(self):
+            raise RuntimeError("seed() requires an empty stream; use insert()")
+        pts = np.ascontiguousarray(batch, dtype=np.float64)
+        if pts.ndim == 1:
+            pts = pts.reshape(1, -1)
+        if pts.ndim != 2 or pts.shape[1] != self.dim:
+            raise ValueError(
+                f"batch must be (k, {self.dim}), got shape {np.asarray(batch).shape}"
+            )
+        if pts.shape[0] == 0:
+            return
+        eps = self.params.eps
+        mcs, tree, point_mc = build_micro_clusters(
+            pts,
+            eps,
+            max_entries=self.max_entries,
+            counters=self.counters,
+            builder="grid",
+        )
+        compute_reachable_batched(mcs, eps, self.counters)
+        self._tree = tree
+        self._points = pts
+        self._chunks = []
+        self._point_mc = point_mc.tolist()
+        self._members = [list(map(int, mc.member_rows)) for mc in mcs]
+        self._centers = [mc.center.copy() for mc in mcs]
+        self._center_rows = [mc.center_row for mc in mcs]
+        self._reach_ids = [list(map(int, mc.reach_ids)) for mc in mcs]
+        # the builder's MCs are already frozen; _snapshot() reuses them
+        # and fills the cached reach blocks (reach_points is still None)
+        self._frozen = {mc.mc_id: mc for mc in mcs}
+        self._dirty = set()
 
     # ------------------------------------------------------------------
     # clustering (Algorithms 4-8 over the maintained structure)

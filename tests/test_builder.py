@@ -2,8 +2,12 @@
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
+from repro.data.registry import dataset_names, load_dataset
 from repro.geometry.distance import sq_dists_to_point
+from repro.geometry.metrics import CHEBYSHEV, EUCLIDEAN, MANHATTAN
 from repro.instrumentation.counters import Counters
 from repro.microcluster.builder import build_micro_clusters
 
@@ -78,3 +82,134 @@ class TestBuildMicroClusters:
             build_micro_clusters(np.zeros((2, 2)), eps=0.0)
         with pytest.raises(ValueError, match=r"\(n, d\)"):
             build_micro_clusters(np.zeros(4), eps=1.0)
+        with pytest.raises(ValueError, match="builder"):
+            build_micro_clusters(np.zeros((2, 2)), eps=1.0, builder="fast")
+        with pytest.raises(ValueError, match="block_size"):
+            build_micro_clusters(np.zeros((2, 2)), eps=1.0, block_size=0)
+
+
+def _assert_builders_identical(pts, eps, *, metric=EUCLIDEAN, defer_2eps=True, block_size=4096):
+    """Run both builders and require bit-identical structures + counters."""
+    c_scan, c_grid = Counters(), Counters()
+    scan_mcs, scan_tree, scan_pm = build_micro_clusters(
+        pts, eps, counters=c_scan, defer_2eps=defer_2eps, metric=metric, builder="scan"
+    )
+    grid_mcs, grid_tree, grid_pm = build_micro_clusters(
+        pts,
+        eps,
+        counters=c_grid,
+        defer_2eps=defer_2eps,
+        metric=metric,
+        builder="grid",
+        block_size=block_size,
+    )
+    assert np.array_equal(scan_pm, grid_pm)
+    assert len(scan_mcs) == len(grid_mcs)
+    for a, b in zip(scan_mcs, grid_mcs):
+        assert a.mc_id == b.mc_id
+        assert a.center_row == b.center_row
+        assert np.array_equal(a.member_rows, b.member_rows)  # order included
+        assert np.array_equal(a.member_points, b.member_points)
+        assert np.array_equal(a.ic_rows, b.ic_rows)
+        assert np.array_equal(a.mbr_low, b.mbr_low)
+        assert np.array_equal(a.mbr_high, b.mbr_high)
+    for field in ("dist_calcs", "deferred_points", "micro_clusters"):
+        assert getattr(c_scan, field) == getattr(c_grid, field), field
+    # same MC boxes in the first-level tree (node layout may differ:
+    # dynamic Guttman inserts vs one STR pack)
+    assert sorted(scan_tree.iter_payloads()) == sorted(grid_tree.iter_payloads())
+    return grid_mcs
+
+
+class TestGridBuilderParity:
+    """The grid-hash builder must be bit-for-bit the scan builder."""
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_registry_euclidean(self, name):
+        pts, spec = load_dataset(name, scale=0.12, seed=7)
+        _assert_builders_identical(pts, spec.eps)
+
+    @pytest.mark.parametrize("name", dataset_names()[::3])
+    def test_registry_chebyshev(self, name):
+        # L-inf exercises the cover-factor-scaled (sqrt(d)) search radius
+        pts, spec = load_dataset(name, scale=0.1, seed=11)
+        _assert_builders_identical(pts, spec.eps, metric=CHEBYSHEV)
+
+    @pytest.mark.parametrize("name", dataset_names()[1::4])
+    def test_registry_manhattan(self, name):
+        pts, spec = load_dataset(name, scale=0.1, seed=13)
+        _assert_builders_identical(pts, spec.eps, metric=MANHATTAN)
+
+    @pytest.mark.parametrize("defer_2eps", [True, False])
+    def test_no_defer_ablation(self, medium_blobs_3d, defer_2eps):
+        _assert_builders_identical(medium_blobs_3d, 0.1, defer_2eps=defer_2eps)
+
+    def test_empty_and_singleton(self):
+        _assert_builders_identical(np.empty((0, 3)), 0.5)
+        _assert_builders_identical(np.array([[1.0, 2.0, 3.0]]), 0.5)
+
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(1, 120),
+        dim=st.integers(1, 4),
+        scale_num=st.integers(1, 8),
+    )
+    def test_adversarial_eps_boundary(self, seed, n, dim, scale_num):
+        """Points engineered onto the ε / 2ε decision boundaries.
+
+        Draw points from a lattice of pitch ε/4: many pairs land at
+        *exactly* k·ε/4 apart per axis, so join-vs-defer-vs-create
+        verdicts hinge on the last ulp of the distance computation —
+        precisely where a shape-dependent batched kernel would diverge
+        from the per-point scan.
+        """
+        eps = 0.25 * scale_num
+        rng = np.random.default_rng(seed)
+        pts = rng.integers(0, 12, size=(n, dim)).astype(np.float64) * (eps / 4.0)
+        for metric in (EUCLIDEAN, MANHATTAN, CHEBYSHEV):
+            _assert_builders_identical(pts, eps, metric=metric, block_size=16)
+
+
+class TestIntraBlockFixup:
+    """A block containing a new-MC founder plus later joiners must replay
+    the sequential scan exactly (the founder is invisible to the
+    pre-block vectorized pass)."""
+
+    @pytest.fixture
+    def crafted(self):
+        eps = 1.0
+        pts = np.array(
+            [
+                [0.0, 0.0],    # 0: founds MC 0
+                [10.0, 0.0],   # 1: founds MC 1 (far from MC 0)
+                [10.4, 0.0],   # 2: joins MC 1 in the same block
+                [11.5, 0.0],   # 3: within 2ε of MC 1's center -> deferred
+                [0.3, 0.1],    # 4: joins MC 0
+                [10.9, 0.0],   # 5: joins MC 1 (0.9 < eps)
+                [12.3, 0.0],   # 6: founds MC 2; point 3 later joins it
+            ]
+        )
+        return pts, eps
+
+    @pytest.mark.parametrize("block_size", [1, 7, 4096])
+    def test_block_sizes(self, crafted, block_size):
+        pts, eps = crafted
+        mcs = _assert_builders_identical(pts, eps, block_size=block_size)
+        assert len(mcs) == 3
+        assert [list(mc.member_rows) for mc in mcs] == [[0, 4], [1, 2, 5], [6, 3]]
+
+    def test_deferral_happened(self, crafted):
+        pts, eps = crafted
+        counters = Counters()
+        build_micro_clusters(pts, eps, counters=counters, builder="grid")
+        assert counters.deferred_points == 1
+        assert counters.micro_clusters == 3
+
+    @pytest.mark.parametrize("block_size", [1, 3, 5, 64])
+    def test_dense_chain_all_block_sizes(self, block_size):
+        # a chain of points 0.6·eps apart: every third point founds an MC
+        # and its in-block successors must immediately see it
+        eps = 1.0
+        pts = np.stack([np.arange(40) * 0.6, np.zeros(40)], axis=1)
+        _assert_builders_identical(pts, eps, block_size=block_size)

@@ -143,3 +143,38 @@ class TestIncrementalStructure:
         assert second.timers.get("tree_construction") < max(
             0.5 * batch.timers.get("tree_construction"), 0.02
         )
+
+
+class TestSeedFit:
+    """seed() bulk-loads the initial dataset through the grid builder."""
+
+    def test_seed_equals_batch_run(self):
+        pts = blobs_with_noise(500, 3, 4, noise_fraction=0.2, seed=58)
+        inc = IncrementalMuDBSCAN(eps=0.12, min_pts=5, dim=3)
+        inc.seed(pts)
+        res = inc.cluster()
+        ref = mu_dbscan(pts, 0.12, 5)
+        assert check_exact(res, ref, points=pts).ok
+
+    def test_insert_after_seed_stays_exact(self):
+        pts = blobs_with_noise(400, 2, 4, noise_fraction=0.25, seed=59)
+        inc = IncrementalMuDBSCAN(eps=0.08, min_pts=5, dim=2)
+        inc.seed(pts[:250])
+        inc.insert(pts[250:])
+        res = inc.cluster()
+        ref = brute_dbscan(pts, 0.08, 5)
+        assert check_exact(res, ref, points=pts).ok
+
+    def test_seed_requires_empty_stream(self):
+        pts = uniform_box(50, 2, seed=60)
+        inc = IncrementalMuDBSCAN(eps=0.1, min_pts=3, dim=2)
+        inc.insert(pts[:10])
+        with pytest.raises(RuntimeError, match="empty stream"):
+            inc.seed(pts[10:])
+
+    def test_seed_empty_batch_is_noop(self):
+        inc = IncrementalMuDBSCAN(eps=0.1, min_pts=3, dim=2)
+        inc.seed(np.empty((0, 2)))
+        assert len(inc) == 0
+        inc.insert(uniform_box(30, 2, seed=61))
+        assert len(inc) == 30
