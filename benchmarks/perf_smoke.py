@@ -29,6 +29,13 @@ every run and gate the expensive one separately:
   instrumentation must be free when nobody is watching) or the
   enabled-mode wall clock exceeds it by more than 10% (span capping
   keeps watching affordable).
+* **--quality** — the engine-quality gate.  Sweeps the dataset
+  registry through :func:`repro.validation.quality.quality_sweep`,
+  scoring the approximate engines (``sampled``, ``summary``) against
+  the exact engine (ARI, NMI, cluster-count drift, fit speedup) and
+  writes ``BENCH_QUALITY.json``.  Exits non-zero when any dataset's
+  ARI falls below the gate (0.95) — approximation quality regresses CI
+  exactly like wall time does.
 * **--parallel** — the execution-backend wall-clock case.  Runs
   sequential μDBSCAN, then μDBSCAN-D on the ``process`` backend at 2
   and 4 ranks, on the same 20k workload, and writes
@@ -57,6 +64,7 @@ Usage::
     PYTHONPATH=src python benchmarks/perf_smoke.py --serving        # prediction
     PYTHONPATH=src python benchmarks/perf_smoke.py --parallel       # wall clock
     PYTHONPATH=src python benchmarks/perf_smoke.py --observability  # overhead
+    PYTHONPATH=src python benchmarks/perf_smoke.py --quality        # engine ARI
 """
 
 from __future__ import annotations
@@ -107,8 +115,13 @@ OBSERVABILITY_OVERHEAD_GATE = 0.05
 ENABLED_OVERHEAD_GATE = 0.10
 OBSERVABILITY_ROUNDS = 3
 
+#: registry scale for the quality sweep — small enough to stay a smoke
+#: test, large enough for stable ARI (REPRO_QUALITY_SCALE overrides)
+QUALITY_SCALE = float(os.environ.get("REPRO_QUALITY_SCALE", "0.5"))
+
 _ROOT = Path(__file__).resolve().parent.parent
 OUT_PATH = _ROOT / "BENCH_batched_query.json"
+QUALITY_OUT_PATH = _ROOT / "BENCH_QUALITY.json"
 PARALLEL_OUT_PATH = _ROOT / "BENCH_parallel_wall.json"
 SERVING_OUT_PATH = _ROOT / "BENCH_serving.json"
 OBSERVABILITY_OUT_PATH = _ROOT / "BENCH_observability.json"
@@ -493,6 +506,61 @@ def run_observability_case() -> int:
 
 
 # ---------------------------------------------------------------------------
+# case: engine-quality gate (sampled/summary vs exact over the registry)
+
+
+def run_quality_case() -> int:
+    from repro.data.registry import dataset_names
+    from repro.validation.quality import quality_gate_failures, quality_sweep
+
+    names = dataset_names()
+    print(
+        f"quality sweep: {len(names)} registry datasets at scale "
+        f"{QUALITY_SCALE} (engines: sampled, summary)"
+    )
+    start = time.perf_counter()
+    sweep = quality_sweep(scale=QUALITY_SCALE)
+    sweep_wall = time.perf_counter() - start
+
+    report = {
+        "workload": {
+            "datasets": len(sweep["datasets"]),
+            "scale": QUALITY_SCALE,
+            "engines": sorted(sweep["engines"]),
+            "gate_ari": sweep["gate_ari"],
+        },
+        **sweep,
+    }
+    metrics = {"sweep_wall_seconds": round(sweep_wall, 4)}
+    for engine, agg in sweep["engines"].items():
+        metrics[f"{engine}_min_ari"] = round(agg["min_ari"], 4)
+        metrics[f"{engine}_mean_ari"] = round(agg["mean_ari"], 4)
+        metrics[f"{engine}_mean_speedup"] = round(agg["mean_speedup"], 3)
+    _write_report(
+        QUALITY_OUT_PATH,
+        "engine_quality",
+        report,
+        wall_seconds=sweep_wall,
+        metrics=metrics,
+    )
+
+    for engine, agg in sweep["engines"].items():
+        print(
+            f"{engine}: ARI min {agg['min_ari']:.3f} / mean "
+            f"{agg['mean_ari']:.3f}, NMI min {agg['min_nmi']:.3f}, "
+            f"fit speedup mean {agg['mean_speedup']:.2f}x "
+            f"(min {agg['min_speedup']:.2f}x)"
+        )
+    print(f"report: {QUALITY_OUT_PATH.name}")
+    failures = quality_gate_failures(sweep)
+    if failures:
+        for line in failures:
+            print(f"FAIL: {line}")
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # case 3: process-backend wall-clock speedup
 
 
@@ -600,6 +668,12 @@ def main(argv: list[str] | None = None) -> int:
         help="run the observability disabled-mode overhead gate",
     )
     parser.add_argument(
+        "--quality",
+        action="store_true",
+        help="run the engine-quality gate (sampled/summary vs exact "
+        "over the dataset registry)",
+    )
+    parser.add_argument(
         "--ledger",
         metavar="PATH",
         default=None,
@@ -617,14 +691,18 @@ def main(argv: list[str] | None = None) -> int:
         LEDGER_PATH = None
     elif args.ledger:
         LEDGER_PATH = Path(args.ledger)
-    if sum((args.parallel, args.serving, args.observability)) > 1:
-        parser.error("choose one of --parallel / --serving / --observability")
+    if sum((args.parallel, args.serving, args.observability, args.quality)) > 1:
+        parser.error(
+            "choose one of --parallel / --serving / --observability / --quality"
+        )
     if args.parallel:
         return run_parallel_case()
     if args.serving:
         return run_serving_case()
     if args.observability:
         return run_observability_case()
+    if args.quality:
+        return run_quality_case()
     return run_batched_case()
 
 

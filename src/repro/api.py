@@ -43,15 +43,40 @@ def fit(
     points: np.ndarray,
     eps: float,
     min_pts: int,
+    *,
+    engine: str | Any = "exact",
     **opts: Any,
 ) -> ClusteringResult:
-    """Cluster ``points`` with μDBSCAN (exact DBSCAN semantics).
+    """Cluster ``points`` with the selected clustering engine.
 
-    A direct alias of :func:`repro.core.mudbscan.mu_dbscan`; every
-    keyword it accepts (``metric``, ``batch_queries``, ``block_size``,
-    ``tracer``, the ablation switches …) passes through unchanged.
+    ``engine`` picks the exactness tier (docs/ENGINES.md):
+
+    * ``"exact"`` (default) — μDBSCAN, exact DBSCAN semantics.  A
+      direct alias of :func:`repro.core.mudbscan.mu_dbscan`; every
+      keyword it accepts (``metric``, ``batch_queries``,
+      ``block_size``, ``builder``, ``builder_block_size``, ``tracer``,
+      the ablation switches …) passes through unchanged.
+    * ``"sampled"`` — DBSCAN++-style sampled candidate cores.  Engine
+      options ``sample_fraction`` / ``selection`` / ``seed`` are
+      extracted from the keywords; the shared knobs (``metric``,
+      ``block_size``, ``builder``, ``builder_block_size``,
+      ``aux_index``, ``max_entries``, ``tracer``) pass through.
+    * ``"summary"`` — clustering over micro-cluster summaries; engine
+      option ``link_factor``, same shared knobs.
+
+    A pre-configured :class:`repro.engines.ClusteringEngine` instance
+    is also accepted.  Approximate engines tag their result with
+    ``extras["engine"]`` / ``extras["engine_options"]`` provenance;
+    quality versus the exact engine is tracked by
+    :mod:`repro.validation.quality`.
     """
-    return mu_dbscan(points, eps, min_pts, **opts)
+    if engine == "exact":
+        # the unchanged exact path — bit-identical to mu_dbscan()
+        return mu_dbscan(points, eps, min_pts, **opts)
+    from repro.engines import resolve_engine
+
+    eng, fit_opts = resolve_engine(engine, opts)
+    return eng.fit(points, eps, min_pts, **fit_opts)
 
 
 @deprecated_alias(minpts="min_pts", min_samples="min_pts", nranks="n_ranks", num_ranks="n_ranks")

@@ -1,0 +1,32 @@
+"""Clustering engines — tiered exactness behind one facade.
+
+``repro.api.fit(points, eps, min_pts, engine=...)`` selects between:
+
+* ``"exact"`` (default) — full μDBSCAN, exact DBSCAN semantics;
+* ``"sampled"`` — DBSCAN++-style sampled candidate cores;
+* ``"summary"`` — clustering over micro-cluster summaries.
+
+See docs/ENGINES.md for selection guidance and the measured
+quality/speed trade-off, and :mod:`repro.validation.quality` for the
+harness that keeps the approximate engines honest (ARI/NMI vs exact).
+"""
+
+from repro.engines.base import (
+    ClusteringEngine,
+    ENGINE_TYPES,
+    engine_names,
+    resolve_engine,
+)
+from repro.engines.exact import ExactEngine
+from repro.engines.sampled import SampledCoreEngine
+from repro.engines.summary import SummaryEngine
+
+__all__ = [
+    "ClusteringEngine",
+    "ENGINE_TYPES",
+    "engine_names",
+    "resolve_engine",
+    "ExactEngine",
+    "SampledCoreEngine",
+    "SummaryEngine",
+]

@@ -1,0 +1,42 @@
+"""The exact engine — μDBSCAN itself behind the engine contract.
+
+Delegates verbatim to :func:`repro.core.mudbscan.mu_dbscan` and
+:func:`repro.serving.model.fit_model`: labels, core mask, counters and
+extras are *bit-identical* to calling those entry points directly (the
+fingerprint-parity tests pin this), so routing ``fit(engine="exact")``
+through the engine layer costs nothing but a dict lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar
+
+import numpy as np
+
+from repro.engines.base import ClusteringEngine
+
+__all__ = ["ExactEngine"]
+
+
+class ExactEngine(ClusteringEngine):
+    """Exact DBSCAN semantics via the full μDBSCAN pipeline."""
+
+    name: ClassVar[str] = "exact"
+    OPTIONS: ClassVar[tuple[str, ...]] = ()
+
+    @property
+    def algorithm(self) -> str:
+        return "mu_dbscan"
+
+    def _fit_state(self, points, params, *, counters, timers, **fit_opts):
+        raise AssertionError("ExactEngine overrides fit/fit_model directly")
+
+    def fit(self, points: np.ndarray, eps: float, min_pts: int, **opts: Any):
+        from repro.core.mudbscan import mu_dbscan
+
+        return mu_dbscan(points, eps, min_pts, **opts)
+
+    def fit_model(self, points: np.ndarray, eps: float, min_pts: int, **opts: Any):
+        from repro.serving.model import fit_model
+
+        return fit_model(points, eps, min_pts, **opts)

@@ -145,6 +145,7 @@ def publish_run(
     timers: PhaseTimer,
     *,
     algorithm: str = "mu_dbscan",
+    engine: str = "exact",
 ) -> None:
     """Push one finished run's counters + phase timings into ``registry``.
 
@@ -153,32 +154,37 @@ def publish_run(
     renderer read the same numbers the :class:`ClusteringResult`
     carries.  Phase seconds accumulate across runs into the same
     labelled series; re-use one registry per run for per-run reports.
+    ``engine`` tags every family with the producing clustering engine
+    ("exact" / "sampled" / "summary" — see docs/ENGINES.md), so tiered
+    runs stay separable in one registry.
     """
     if not registry.enabled:
         return
     phase_gauge = registry.gauge(
         "mudbscan_phase_seconds",
         "accumulated seconds per named phase",
-        labels=("algorithm", "phase"),
+        labels=("algorithm", "engine", "phase"),
     )
     for phase, seconds in timers.as_dict().items():
-        phase_gauge.labels(algorithm=algorithm, phase=phase).inc(seconds)
+        phase_gauge.labels(algorithm=algorithm, engine=engine, phase=phase).inc(seconds)
     counts = counters.as_dict()
     fraction = counts.pop("query_save_fraction")
     for key, value in counts.items():
         registry.counter(
             f"mudbscan_work_{key}_total",
             f"accumulated {key.replace('_', ' ')}",
-            labels=("algorithm",),
-        ).labels(algorithm=algorithm).inc(float(value))
+            labels=("algorithm", "engine"),
+        ).labels(algorithm=algorithm, engine=engine).inc(float(value))
     registry.gauge(
         "mudbscan_work_query_save_fraction",
         "fraction of neighborhood queries avoided",
-        labels=("algorithm",),
-    ).labels(algorithm=algorithm).set(float(fraction))
+        labels=("algorithm", "engine"),
+    ).labels(algorithm=algorithm, engine=engine).set(float(fraction))
     registry.counter(
-        "mudbscan_runs_total", "completed clustering runs", labels=("algorithm",)
-    ).labels(algorithm=algorithm).inc()
+        "mudbscan_runs_total",
+        "completed clustering runs",
+        labels=("algorithm", "engine"),
+    ).labels(algorithm=algorithm, engine=engine).inc()
 
 
 def publish_comm_stats(

@@ -211,7 +211,12 @@ class FittedModel:
             algorithm=algorithm,
             counters=state.counters,
             extras=dict(extras or {}),
-            meta={"created_unix": time.time(), "repro_version": __version__},
+            meta={
+                "created_unix": time.time(),
+                "repro_version": __version__,
+                "engine": "exact",
+                "engine_options": {},
+            },
             _murtree=murtree,  # fit-side index is already warm — reuse it
         )
 
@@ -233,6 +238,17 @@ class FittedModel:
     @property
     def metric(self) -> Metric:
         return get_metric(self.metric_name)
+
+    @property
+    def engine(self) -> str:
+        """Clustering engine that produced the artifact.
+
+        Read from the header's ``meta`` (recorded at fit time together
+        with the engine's options under ``meta["engine_options"]``);
+        artifacts from before the engine abstraction default to
+        ``"exact"`` — the only engine that existed.
+        """
+        return str(self.meta.get("engine", "exact"))
 
     def member_rows(self, mc_id: int) -> np.ndarray:
         return self.member_flat[
@@ -263,7 +279,7 @@ class FittedModel:
             f"FittedModel[{self.algorithm}]: n={self.n} d={self.dim} "
             f"clusters={k} mcs={self.n_micro_clusters} "
             f"(eps={self.params.eps}, MinPts={self.params.min_pts}, "
-            f"metric={self.metric_name})"
+            f"metric={self.metric_name}, engine={self.engine})"
         )
 
     # ------------------------------------------------------------------
@@ -461,21 +477,38 @@ def fit_model(
     eps: float,
     min_pts: int,
     *,
+    engine: str | Any = "exact",
     metric: str | Metric = EUCLIDEAN,
     batch_queries: bool = True,
     block_size: int = DEFAULT_BLOCK_SIZE,
     **mu_kwargs: Any,
 ) -> FittedModel:
-    """Fit μDBSCAN and package the run as a :class:`FittedModel`.
+    """Fit the selected engine and package the run as a
+    :class:`FittedModel`.
 
-    Accepts the same knobs as :func:`repro.core.mudbscan.mu_dbscan`;
-    float32 (or any numeric) input is canonicalised to float64, the
-    repo-wide coordinate dtype.
+    ``engine="exact"`` (default) accepts the same knobs as
+    :func:`repro.core.mudbscan.mu_dbscan` (including ``builder`` /
+    ``builder_block_size``); ``"sampled"`` / ``"summary"`` additionally
+    take their engine options (``sample_fraction``, ``selection``,
+    ``seed`` / ``link_factor`` — docs/ENGINES.md) and drop the
+    exact-pipeline ablation switches.  The artifact header records the
+    engine and its options, so a loaded model reports its provenance
+    and predicts without a refit whatever tier produced it.  Float32
+    (or any numeric) input is canonicalised to float64, the repo-wide
+    coordinate dtype.
     """
+    if engine != "exact":
+        from repro.engines import resolve_engine
+
+        eng, fit_opts = resolve_engine(engine, {**mu_kwargs, "metric": metric,
+                                                "block_size": block_size})
+        return eng.fit_model(points, eps, min_pts, **fit_opts)
     pts = np.ascontiguousarray(points, dtype=np.float64)
     params = DBSCANParams(eps=eps, min_pts=min_pts)
     counters = Counters()
-    with maybe_span("fit", n=int(pts.shape[0]), eps=eps, min_pts=min_pts):
+    with maybe_span(
+        "fit", n=int(pts.shape[0]), eps=eps, min_pts=min_pts, engine="exact"
+    ):
         state, timers = run_mu_dbscan_state(
             pts,
             params,

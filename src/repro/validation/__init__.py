@@ -6,6 +6,9 @@ cluster membership, same cluster count — plus the noise condition and a
 border-validity check.  :mod:`repro.validation.metrics` quantifies the
 quality gap of the *approximate* baselines (HPDBSCAN-like,
 RP-DBSCAN-like) against an exact clustering.
+:mod:`repro.validation.quality` sweeps the dataset registry to score
+the approximate clustering engines (``sampled`` / ``summary``) against
+the exact engine — the ARI gate that CI enforces.
 """
 
 from repro.validation.exactness import ExactnessReport, check_exact, assert_exact
@@ -13,8 +16,15 @@ from repro.validation.definition import DefinitionReport, validate_definition
 from repro.validation.metrics import (
     rand_index,
     adjusted_rand_index,
+    normalized_mutual_info,
     cluster_count_drift,
     label_sets_equal,
+)
+from repro.validation.quality import (
+    ARI_GATE,
+    QualityRecord,
+    quality_sweep,
+    quality_gate_failures,
 )
 
 __all__ = [
@@ -25,6 +35,11 @@ __all__ = [
     "assert_exact",
     "rand_index",
     "adjusted_rand_index",
+    "normalized_mutual_info",
     "cluster_count_drift",
     "label_sets_equal",
+    "ARI_GATE",
+    "QualityRecord",
+    "quality_sweep",
+    "quality_gate_failures",
 ]

@@ -14,6 +14,7 @@ from scipy.special import comb
 __all__ = [
     "rand_index",
     "adjusted_rand_index",
+    "normalized_mutual_info",
     "cluster_count_drift",
     "label_sets_equal",
 ]
@@ -60,6 +61,35 @@ def adjusted_rand_index(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
     if max_index == expected:
         return 1.0
     return (sum_cells - expected) / (max_index - expected)
+
+
+def normalized_mutual_info(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Normalized mutual information (arithmetic mean normalization).
+
+    ``I(A; B) / ((H(A) + H(B)) / 2)`` over the contingency table (noise
+    = a regular class, like the other metrics here).  1.0 for identical
+    partitions, ~0 for independent ones.  When both partitions are
+    trivial (a single class each) they are identical and the score is
+    1.0; when exactly one is trivial no information is shared and the
+    score is 0.0.
+    """
+    table = _contingency(labels_a, labels_b).astype(np.float64)
+    n = table.sum()
+    if n == 0:
+        return 1.0
+    p_ij = table / n
+    p_a = p_ij.sum(axis=1)
+    p_b = p_ij.sum(axis=0)
+    h_a = float(-np.sum(p_a * np.log(p_a, where=p_a > 0, out=np.zeros_like(p_a))))
+    h_b = float(-np.sum(p_b * np.log(p_b, where=p_b > 0, out=np.zeros_like(p_b))))
+    denom = 0.5 * (h_a + h_b)
+    if denom == 0.0:
+        return 1.0  # both partitions are the single trivial class
+    outer = np.outer(p_a, p_b)
+    nz = p_ij > 0
+    mi = float(np.sum(p_ij[nz] * np.log(p_ij[nz] / outer[nz])))
+    # clip tiny negative/overshoot from float round-off
+    return float(min(1.0, max(0.0, mi / denom)))
 
 
 def cluster_count_drift(labels_candidate: np.ndarray, labels_exact: np.ndarray) -> float:

@@ -1,0 +1,160 @@
+"""Quality harness — approximate engines measured against exact.
+
+The engine abstraction (docs/ENGINES.md) deliberately trades exactness
+for speed; this module is what keeps the trade honest.
+:func:`quality_sweep` runs every registry dataset through the exact
+engine and each engine under test, scoring agreement (ARI, NMI,
+cluster-count drift) and the measured fit speedup.  The benchmark
+harness (``benchmarks/perf_smoke.py --quality``) stamps the sweep into
+``BENCH_QUALITY.json`` and the benchmark ledger, and CI fails the
+quality gate when any dataset's ARI falls below :data:`ARI_GATE` —
+quality regressions gate exactly like wall-time regressions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.data.registry import dataset_names, load_dataset
+from repro.validation.metrics import (
+    adjusted_rand_index,
+    cluster_count_drift,
+    normalized_mutual_info,
+)
+
+__all__ = ["ARI_GATE", "QualityRecord", "quality_sweep", "quality_gate_failures"]
+
+#: minimum per-dataset ARI an approximate engine must reach vs exact
+ARI_GATE = 0.95
+
+#: engines the default sweep measures (exact is the reference)
+DEFAULT_ENGINES = ("sampled", "summary")
+
+
+@dataclass
+class QualityRecord:
+    """One (dataset, engine) cell of the sweep."""
+
+    dataset: str
+    engine: str
+    n: int
+    ari: float
+    nmi: float
+    count_drift: float
+    n_clusters: int
+    n_clusters_exact: int
+    exact_seconds: float
+    engine_seconds: float
+    speedup: float
+    engine_options: dict[str, Any] = field(default_factory=dict)
+
+
+def _score(
+    points, eps: float, min_pts: int, engine: str, exact, exact_seconds: float,
+    options: Mapping[str, Any],
+) -> QualityRecord:
+    from repro.api import fit
+
+    start = time.perf_counter()
+    res = fit(points, eps, min_pts, engine=engine, **dict(options))
+    seconds = time.perf_counter() - start
+    return QualityRecord(
+        dataset="",
+        engine=engine,
+        n=int(points.shape[0]),
+        ari=adjusted_rand_index(res.labels, exact.labels),
+        nmi=normalized_mutual_info(res.labels, exact.labels),
+        count_drift=cluster_count_drift(res.labels, exact.labels),
+        n_clusters=res.n_clusters,
+        n_clusters_exact=exact.n_clusters,
+        exact_seconds=exact_seconds,
+        engine_seconds=seconds,
+        speedup=exact_seconds / seconds if seconds > 0 else float("inf"),
+        engine_options=dict(res.extras.get("engine_options", {})),
+    )
+
+
+def quality_sweep(
+    datasets: Iterable[str] | None = None,
+    engines: Iterable[str] = DEFAULT_ENGINES,
+    *,
+    scale: float | None = None,
+    engine_options: Mapping[str, Mapping[str, Any]] | None = None,
+    seed: int | None = None,
+) -> dict[str, Any]:
+    """Score ``engines`` against the exact engine over the registry.
+
+    Parameters
+    ----------
+    datasets:
+        Registry dataset names (default: the whole registry).
+    engines:
+        Engine names to score (default: ``sampled`` and ``summary``).
+    scale:
+        Registry size multiplier (default: the ``REPRO_SCALE`` rule).
+    engine_options:
+        Optional per-engine option overrides, e.g.
+        ``{"sampled": {"sample_fraction": 0.5}}``.
+    seed:
+        Dataset generation seed override.
+
+    Returns a JSON-able report: per-cell ``records``, per-engine
+    aggregates (``min_ari`` / ``mean_ari`` / ``min_nmi`` /
+    ``mean_speedup``), the gate value and the overall ``passed`` flag
+    (every record's ARI ≥ :data:`ARI_GATE`).
+    """
+    from repro.api import fit
+
+    engines = list(engines)
+    names = list(datasets) if datasets is not None else dataset_names()
+    overrides = dict(engine_options or {})
+    records: list[QualityRecord] = []
+    for name in names:
+        points, spec = load_dataset(name, scale=scale, seed=seed)
+        start = time.perf_counter()
+        exact = fit(points, spec.eps, spec.min_pts)
+        exact_seconds = time.perf_counter() - start
+        for engine in engines:
+            rec = _score(
+                points, spec.eps, spec.min_pts, engine, exact, exact_seconds,
+                overrides.get(engine, {}),
+            )
+            rec.dataset = name
+            records.append(rec)
+
+    per_engine: dict[str, dict[str, float]] = {}
+    for engine in engines:
+        cells = [r for r in records if r.engine == engine]
+        if not cells:
+            continue
+        per_engine[engine] = {
+            "min_ari": min(r.ari for r in cells),
+            "mean_ari": sum(r.ari for r in cells) / len(cells),
+            "min_nmi": min(r.nmi for r in cells),
+            "mean_nmi": sum(r.nmi for r in cells) / len(cells),
+            "mean_speedup": sum(r.speedup for r in cells) / len(cells),
+            "min_speedup": min(r.speedup for r in cells),
+        }
+    return {
+        "gate_ari": ARI_GATE,
+        "scale": scale,
+        "datasets": names,
+        "engines": per_engine,
+        "records": [asdict(r) for r in records],
+        "passed": all(r.ari >= ARI_GATE for r in records),
+    }
+
+
+def quality_gate_failures(report: Mapping[str, Any]) -> list[str]:
+    """Human-readable gate violations of a :func:`quality_sweep` report."""
+    gate = float(report.get("gate_ari", ARI_GATE))
+    out = []
+    for rec in report.get("records", []):
+        if rec["ari"] < gate:
+            out.append(
+                f"{rec['engine']} on {rec['dataset']}: "
+                f"ARI {rec['ari']:.3f} < gate {gate}"
+            )
+    return out

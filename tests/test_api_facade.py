@@ -47,6 +47,29 @@ class TestFacade:
         baseline = mu_dbscan(small_blobs, eps=0.08, min_pts=6)
         np.testing.assert_array_equal(res.labels, baseline.labels)
 
+    def test_fit_forwards_builder_options(self, small_blobs):
+        baseline = mu_dbscan(small_blobs, eps=0.08, min_pts=6)
+        for engine in ("exact", "sampled", "summary"):
+            res = fit(
+                small_blobs, eps=0.08, min_pts=6, engine=engine,
+                builder="scan", builder_block_size=64,
+            )
+            # builder choice only changes how MCs are built, never the
+            # MCs themselves — same count on every path
+            assert (
+                res.extras[ExtraKeys.N_MICRO_CLUSTERS]
+                == baseline.extras[ExtraKeys.N_MICRO_CLUSTERS]
+            )
+        # a bogus builder is rejected on every engine path, proving the
+        # keyword really reaches the micro-cluster layer
+        with pytest.raises(ValueError, match="builder"):
+            fit(small_blobs, eps=0.08, min_pts=6, builder="nope")
+        with pytest.raises(ValueError, match="builder"):
+            fit(
+                small_blobs, eps=0.08, min_pts=6, engine="summary",
+                builder="nope",
+            )
+
     def test_deep_imports_still_work(self):
         from repro.core.mudbscan import mu_dbscan as deep_fit
         from repro.distributed.mudbscan_d import mu_dbscan_d as deep_fit_d

@@ -227,9 +227,15 @@ class TestFitInstrumentation:
         for phase in PHASE_ORDER:
             assert phases[phase] == pytest.approx(res.timers.get(phase))
         assert reg.get_sample(
-            "mudbscan_work_queries_run_total", {"algorithm": "mu_dbscan"}
+            "mudbscan_work_queries_run_total",
+            {"algorithm": "mu_dbscan", "engine": "exact"},
         ) == float(res.counters.queries_run)
-        assert reg.get_sample("mudbscan_runs_total", {"algorithm": "mu_dbscan"}) == 1
+        assert (
+            reg.get_sample(
+                "mudbscan_runs_total", {"algorithm": "mu_dbscan", "engine": "exact"}
+            )
+            == 1
+        )
 
     def test_fit_trace_reproduces_table_iii_split(self, small_blobs):
         tracer = Tracer()

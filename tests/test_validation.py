@@ -10,6 +10,7 @@ from repro.validation.metrics import (
     adjusted_rand_index,
     cluster_count_drift,
     label_sets_equal,
+    normalized_mutual_info,
     rand_index,
 )
 
@@ -102,6 +103,49 @@ class TestMetrics:
         a = rng.integers(0, 5, size=500)
         b = rng.integers(0, 5, size=500)
         assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_nmi_identical(self):
+        labels = np.array([0, 0, 1, 1, -1])
+        assert normalized_mutual_info(labels, labels) == pytest.approx(1.0)
+
+    def test_nmi_symmetric_and_permutation_invariant(self):
+        a = np.array([0, 0, 1, 1, 2])
+        b = np.array([2, 2, 0, 0, 1])
+        assert normalized_mutual_info(a, b) == pytest.approx(1.0)
+        c = np.array([0, 1, 1, 0, 0])
+        assert normalized_mutual_info(a, c) == pytest.approx(
+            normalized_mutual_info(c, a)
+        )
+
+    def test_nmi_known_contingency_table(self):
+        # contingency [[2, 0], [1, 1]]: MI = 0.215762 nats,
+        # H(A) = ln 2, H(B) = 0.562335 -> NMI = 0.343711
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 0, 0, 1])
+        assert normalized_mutual_info(a, b) == pytest.approx(
+            0.3437110184854508
+        )
+
+    def test_nmi_independent_near_zero(self, rng):
+        a = rng.integers(0, 5, size=2000)
+        b = rng.integers(0, 5, size=2000)
+        assert normalized_mutual_info(a, b) < 0.05
+
+    def test_nmi_trivial_partitions(self):
+        ones = np.zeros(4, dtype=np.int64)
+        split = np.array([0, 0, 1, 1])
+        # both trivial: identical by definition
+        assert normalized_mutual_info(ones, ones) == 1.0
+        # exactly one trivial: nothing shared
+        assert normalized_mutual_info(ones, split) == 0.0
+        assert normalized_mutual_info(split, ones) == 0.0
+
+    def test_nmi_bounded(self, rng):
+        for _ in range(10):
+            a = rng.integers(-1, 4, size=100)
+            b = rng.integers(-1, 4, size=100)
+            score = normalized_mutual_info(a, b)
+            assert 0.0 <= score <= 1.0
 
     def test_cluster_count_drift(self):
         a = np.array([0, 1, 2, -1])
