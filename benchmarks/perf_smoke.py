@@ -36,6 +36,17 @@ every run and gate the expensive one separately:
   writes ``BENCH_QUALITY.json``.  Exits non-zero when any dataset's
   ARI falls below the gate (0.95) — approximation quality regresses CI
   exactly like wall time does.
+* **--fleet** — the serving-fleet case.  Fits the workload, then
+  measures batched prediction throughput through a 1-worker fleet and
+  a 4-worker kd-sharded fleet (same pipe/shared-memory path, so the
+  comparison isolates parallelism), ramps an open-loop load test to
+  the saturation point, re-runs sustained at 80% of it and records
+  the p99, and finishes with a hot-swap drill under sustained traffic
+  (must lose zero requests).  Writes ``BENCH_FLEET.json``.  The
+  ≥2.5×-at-4-workers throughput gate and the p99 bound are enforced
+  only on hosts with ≥4 usable cores (the ``enforced`` field says
+  so); single-core runners record the numbers and print a visible
+  SKIP.  ``REPRO_FLEET_SCALE`` shrinks the workload for CI smoke.
 * **--parallel** — the execution-backend wall-clock case.  Runs
   sequential μDBSCAN, then μDBSCAN-D on the ``process`` backend at 2
   and 4 ranks, on the same 20k workload, and writes
@@ -63,6 +74,7 @@ Usage::
     PYTHONPATH=src python benchmarks/perf_smoke.py                  # batched gate
     PYTHONPATH=src python benchmarks/perf_smoke.py --serving        # prediction
     PYTHONPATH=src python benchmarks/perf_smoke.py --parallel       # wall clock
+    PYTHONPATH=src python benchmarks/perf_smoke.py --fleet          # serving fleet
     PYTHONPATH=src python benchmarks/perf_smoke.py --observability  # overhead
     PYTHONPATH=src python benchmarks/perf_smoke.py --quality        # engine ARI
 """
@@ -109,6 +121,16 @@ SERVING_SINGLE_POINT_REQUESTS = 400
 SERVING_SPEEDUP_GATE = 2.0
 SERVING_ROUNDS = 3
 
+#: fleet case: worker count under test + required throughput scaling
+FLEET_WORKERS = 4
+FLEET_SPEEDUP_GATE = 2.5
+FLEET_ROUNDS = 3
+#: sustained-load p99 bound (seconds) at 80% of the saturation rate
+FLEET_P99_CAP_S = 0.25
+#: workload multiplier so CI can run the case small (fit + 9 worker
+#: spawns stay a smoke test)
+FLEET_SCALE = float(os.environ.get("REPRO_FLEET_SCALE", "1.0"))
+
 #: disabled-mode observability wall-clock overhead allowed over plain
 OBSERVABILITY_OVERHEAD_GATE = 0.05
 #: enabled-mode (live tracer + registry) overhead allowed over plain
@@ -124,6 +146,7 @@ OUT_PATH = _ROOT / "BENCH_batched_query.json"
 QUALITY_OUT_PATH = _ROOT / "BENCH_QUALITY.json"
 PARALLEL_OUT_PATH = _ROOT / "BENCH_parallel_wall.json"
 SERVING_OUT_PATH = _ROOT / "BENCH_serving.json"
+FLEET_OUT_PATH = _ROOT / "BENCH_FLEET.json"
 OBSERVABILITY_OUT_PATH = _ROOT / "BENCH_observability.json"
 
 #: where _write_report appends ledger records; main() may redirect or
@@ -424,6 +447,204 @@ def run_serving_case() -> int:
 
 
 # ---------------------------------------------------------------------------
+# case: serving fleet (multi-worker throughput, saturation, hot swap)
+
+
+def run_fleet_case() -> int:
+    import threading
+
+    from repro.serving import Fleet, FleetConfig, fit_model, loadgen, predict_model
+
+    n_points = max(2_000, int(N_POINTS * FLEET_SCALE))
+    pts = blobs_with_noise(
+        n_points, DIM, N_BLOBS, noise_fraction=NOISE_FRACTION, seed=SEED
+    )
+    cores = _usable_cores()
+    gate_armed = cores >= FLEET_WORKERS
+
+    model = fit_model(pts, EPS, MIN_PTS)
+    model_v2 = fit_model(pts, EPS, MIN_PTS + 10)  # the swap drill's v2
+    queries = _serving_queries(pts)
+    print(
+        f"fleet workload: {n_points} points, {model.n_micro_clusters} MCs, "
+        f"{queries.shape[0]} queries, {cores} usable core(s)"
+    )
+
+    def _fleet_qps(n_workers: int) -> float:
+        best = float("inf")
+        with Fleet(model, FleetConfig(n_workers=n_workers, router="kd")) as fleet:
+            got = fleet.predict(queries[:256], timeout=120)
+            want = predict_model(model, queries[:256])
+            if not np.array_equal(got.labels, want.labels):
+                raise AssertionError(
+                    f"{n_workers}-worker fleet disagrees with the single-process engine"
+                )
+            for _ in range(FLEET_ROUNDS):
+                start = time.perf_counter()
+                fleet.predict(queries, timeout=300)
+                best = min(best, time.perf_counter() - start)
+        return queries.shape[0] / best
+
+    single_qps = _fleet_qps(1)
+    fleet_qps = _fleet_qps(FLEET_WORKERS)
+    speedup = fleet_qps / single_qps
+    print(
+        f"batched throughput: 1 worker {single_qps:,.0f} q/s, "
+        f"{FLEET_WORKERS} workers {fleet_qps:,.0f} q/s -> {speedup:.2f}x"
+    )
+
+    # saturation + sustained 80% load + hot-swap drill, all on one fleet
+    with Fleet(model, FleetConfig(n_workers=FLEET_WORKERS, router="kd")) as fleet:
+        saturation = loadgen.find_saturation(
+            fleet,
+            queries,
+            start_rate=20.0,
+            growth=2.0,
+            max_steps=6,
+            n_requests=60,
+            batch_size=16,
+            n_clients=8,
+            rng=np.random.default_rng(SEED),
+        )
+        knee = saturation["saturated_rate"] or saturation["sustainable_rate"]
+        sustained_rate = 0.8 * (saturation["sustainable_rate"] or knee or 20.0)
+        sustained = loadgen.run_open_loop(
+            fleet,
+            queries,
+            rate=sustained_rate,
+            n_requests=120,
+            batch_size=16,
+            n_clients=8,
+            rng=np.random.default_rng(SEED + 1),
+        )
+        sustained_p99 = sustained.percentile(99)
+        print(
+            f"saturation: sustainable {saturation['sustainable_rate']} req/s, "
+            f"knee {saturation['saturated_rate']}; sustained at "
+            f"{sustained_rate:.1f} req/s -> p99 {sustained_p99 * 1e3:.1f}ms, "
+            f"errors {sustained.error_rate:.1%}"
+        )
+
+        # hot-swap drill: sustained traffic across v1 -> v2, zero failures
+        stop = threading.Event()
+        failures = [0]
+        completed = [0]
+
+        def _traffic() -> None:
+            rng = np.random.default_rng(SEED + 2)
+            while not stop.is_set():
+                rows = rng.integers(0, queries.shape[0], 16)
+                try:
+                    fleet.predict(queries[rows], timeout=60)
+                    completed[0] += 1
+                except Exception:
+                    failures[0] += 1
+
+        drivers = [threading.Thread(target=_traffic, daemon=True) for _ in range(4)]
+        for t in drivers:
+            t.start()
+        time.sleep(0.5)
+        swap_report = fleet.swap(model_v2)
+        time.sleep(0.5)
+        stop.set()
+        for t in drivers:
+            t.join(timeout=30)
+        post_swap = fleet.predict(queries[:256], timeout=120)
+        v2_oracle = predict_model(model_v2, queries[:256])
+        swap_exact = bool(np.array_equal(post_swap.labels, v2_oracle.labels))
+        print(
+            f"hot swap: {completed[0]} requests across the swap, "
+            f"{failures[0]} failed, drain {swap_report.drain_seconds:.2f}s, "
+            f"post-swap parity {'ok' if swap_exact else 'BROKEN'}"
+        )
+
+    report = {
+        "workload": {
+            **_workload_record(),
+            "n_points": n_points,
+            "fleet_scale": FLEET_SCALE,
+            "rounds": FLEET_ROUNDS,
+        },
+        "usable_cores": cores,
+        "n_workers": FLEET_WORKERS,
+        "router": "kd",
+        "throughput": {
+            "single_worker_qps": round(single_qps, 1),
+            "fleet_qps": round(fleet_qps, 1),
+            "speedup": round(speedup, 3),
+        },
+        "saturation": saturation,
+        "sustained_80pct": {
+            "rate": round(sustained_rate, 2),
+            **sustained.summary(),
+        },
+        "hot_swap": {
+            "requests_during_swap": completed[0],
+            "failed_requests": failures[0],
+            "from_version": swap_report.from_version,
+            "to_version": swap_report.to_version,
+            "warmup_seconds": swap_report.warmup_seconds,
+            "drain_seconds": swap_report.drain_seconds,
+            "post_swap_exact": swap_exact,
+        },
+        "speedup_gate": {
+            "required": FLEET_SPEEDUP_GATE,
+            "at_workers": FLEET_WORKERS,
+            "enforced": gate_armed,
+            "passed": speedup >= FLEET_SPEEDUP_GATE,
+        },
+        "p99_gate": {
+            "required_max_seconds": FLEET_P99_CAP_S,
+            "enforced": gate_armed,
+            "passed": bool(sustained_p99 <= FLEET_P99_CAP_S),
+        },
+    }
+    _write_report(
+        FLEET_OUT_PATH,
+        "fleet",
+        report,
+        wall_seconds=queries.shape[0] / fleet_qps,
+        metrics={
+            "single_worker_qps": round(single_qps, 1),
+            "fleet_qps": round(fleet_qps, 1),
+            "fleet_speedup": round(speedup, 3),
+            "sustained_p99_ms": round(sustained_p99 * 1e3, 3),
+            "swap_failed_requests": failures[0],
+            "usable_cores": cores,
+        },
+    )
+    print(f"report: {FLEET_OUT_PATH.name}")
+
+    if failures[0] > 0:
+        print(f"FAIL: hot swap lost {failures[0]} request(s); the drill requires zero")
+        return 1
+    if not swap_exact:
+        print("FAIL: post-swap predictions disagree with a fresh v2 oracle")
+        return 2
+    if not gate_armed:
+        print(
+            f"SKIP fleet gates: {cores} usable core(s) < {FLEET_WORKERS} workers "
+            "— multi-worker throughput cannot manifest on this host "
+            "(numbers recorded, enforced: false)"
+        )
+        return 0
+    failed = False
+    if speedup < FLEET_SPEEDUP_GATE:
+        print(
+            f"FAIL: {FLEET_WORKERS}-worker fleet reached {speedup:.2f}x "
+            f"< required {FLEET_SPEEDUP_GATE}x over a single worker"
+        )
+        failed = True
+    if sustained_p99 > FLEET_P99_CAP_S:
+        print(
+            f"FAIL: sustained p99 {sustained_p99 * 1e3:.1f}ms exceeds the "
+            f"{FLEET_P99_CAP_S * 1e3:.0f}ms bound at 80% of saturation"
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+# ---------------------------------------------------------------------------
 # case: observability disabled-mode overhead gate
 
 
@@ -674,6 +895,12 @@ def main(argv: list[str] | None = None) -> int:
         "over the dataset registry)",
     )
     parser.add_argument(
+        "--fleet",
+        action="store_true",
+        help="run the serving-fleet case (multi-worker throughput, "
+        "saturation curve, hot-swap drill)",
+    )
+    parser.add_argument(
         "--ledger",
         metavar="PATH",
         default=None,
@@ -691,10 +918,14 @@ def main(argv: list[str] | None = None) -> int:
         LEDGER_PATH = None
     elif args.ledger:
         LEDGER_PATH = Path(args.ledger)
-    if sum((args.parallel, args.serving, args.observability, args.quality)) > 1:
+    if sum((args.parallel, args.serving, args.observability, args.quality,
+            args.fleet)) > 1:
         parser.error(
-            "choose one of --parallel / --serving / --observability / --quality"
+            "choose one of --parallel / --serving / --observability / "
+            "--quality / --fleet"
         )
+    if args.fleet:
+        return run_fleet_case()
     if args.parallel:
         return run_parallel_case()
     if args.serving:

@@ -12,6 +12,8 @@
         --trace-out trace.jsonl --metrics-out metrics.prom
     mudbscan predict --model model.mudb --input queries.npy
     mudbscan serve --model model.mudb --port 8765
+    mudbscan serve --model model.mudb --workers 4 --router kd --port 8766
+    mudbscan loadtest --model model.mudb --workers 2 --saturation
 
 (also reachable as ``python -m repro.cli``)
 """
@@ -470,6 +472,35 @@ def cmd_monitor(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    if args.workers > 1:
+        import asyncio
+
+        from repro.observability.registry import MetricsRegistry
+        from repro.serving.fleet import Fleet, FleetConfig, FrontDoor
+
+        config = FleetConfig(
+            n_workers=args.workers,
+            router=args.router,
+            cache_size=args.cache_size,
+            block_size=args.block_size,
+        )
+        registry = MetricsRegistry(enabled=True)
+        with Fleet(args.model, config, registry=registry) as fleet:
+            door = FrontDoor(
+                fleet,
+                host=args.host,
+                port=args.port,
+                max_inflight=args.max_inflight,
+                default_deadline_ms=args.deadline_ms,
+                verbose=True,
+            )
+            try:
+                asyncio.run(door.serve())
+            except KeyboardInterrupt:
+                pass
+            print("fleet drained and stopped")
+        return 0
+
     from repro.serving import QueryEngine, load_model, serve_forever
 
     model = load_model(args.model)
@@ -481,6 +512,89 @@ def cmd_serve(args: argparse.Namespace) -> int:
         block_size=args.block_size,
     )
     serve_forever(engine, host=args.host, port=args.port)
+    return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """Drive open-loop load at a serving target and report the curve."""
+    import contextlib as _ctx
+
+    from repro.serving import loadgen
+    from repro.serving.model import load_model
+
+    model = load_model(args.model) if args.model else None
+    if args.replay:
+        pool = load_points(args.replay)
+    elif model is not None:
+        pool = loadgen.synthetic_queries(
+            model, args.pool_size, rng=np.random.default_rng(args.seed)
+        )
+    else:
+        raise SystemExit("provide --replay QUERIES.npy or --model for synthetic traffic")
+
+    stack = _ctx.ExitStack()
+    with stack:
+        if args.url:
+            target = args.url
+        elif model is not None and args.workers > 1:
+            from repro.serving.fleet import Fleet, FleetConfig
+
+            target = stack.enter_context(
+                Fleet(model, FleetConfig(n_workers=args.workers, router=args.router))
+            )
+        elif model is not None:
+            from repro.serving import QueryEngine
+
+            target = stack.enter_context(QueryEngine(model, max_wait_ms=0.0))
+        else:
+            raise SystemExit("provide --url or --model")
+
+        kwargs = dict(
+            n_requests=args.requests,
+            batch_size=args.batch_size,
+            arrivals=args.arrivals,
+            n_clients=args.clients,
+            rng=np.random.default_rng(args.seed),
+        )
+        if args.saturation:
+            out = loadgen.find_saturation(
+                target, pool, start_rate=args.rate, growth=args.growth,
+                max_steps=args.max_steps, p99_cap_s=args.p99_cap_ms / 1000.0
+                if args.p99_cap_ms else None, **kwargs,
+            )
+            print(
+                f"sustainable rate: {out['sustainable_rate']} req/s   "
+                f"saturated at: {out['saturated_rate']} req/s"
+            )
+            summaries = out["steps"]
+        else:
+            rates = [float(r) for r in args.rates.split(",")] if args.rates else [args.rate]
+            results = loadgen.sweep_rates(target, pool, rates, **kwargs)
+            summaries = [r.summary() for r in results]
+            out = {"steps": summaries}
+        rows = [
+            [
+                s["offered_rate"],
+                s["achieved_rate"],
+                s["achieved_qps"],
+                f"{s['latency_seconds']['p50'] * 1000:.2f}",
+                f"{s['latency_seconds']['p99'] * 1000:.2f}",
+                f"{s['error_rate']:.1%}",
+            ]
+            for s in summaries
+        ]
+        print(
+            format_table(
+                ["offered req/s", "achieved req/s", "points/s", "p50 ms", "p99 ms", "errors"],
+                rows,
+                title=f"open-loop load ({args.arrivals} arrivals, "
+                f"batch={args.batch_size}, clients={args.clients})",
+            )
+        )
+        if args.json_out:
+            with open(args.json_out, "w") as fh:
+                json.dump(out, fh, indent=2)
+            print(f"wrote {args.json_out}")
     return 0
 
 
@@ -689,6 +803,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="LRU answer-cache entries (0 disables caching)",
     )
     serve.add_argument("--block-size", type=int, default=DEFAULT_BLOCK_SIZE)
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes; >1 serves through the sharded fleet "
+        "behind the async front door (docs/SERVING.md)",
+    )
+    serve.add_argument(
+        "--router", choices=("kd", "none"), default="kd",
+        help="fleet routing: 'kd' spatial shards (one per worker, exact "
+        "via the 2eps halo) or 'none' full replicas round-robined",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="fleet admission limit; beyond it requests get 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=2000.0,
+        help="default per-request deadline budget (X-Deadline-Ms overrides)",
+    )
+
+    load = sub.add_parser(
+        "loadtest", help="open-loop load test against a serving target"
+    )
+    load.add_argument("--model", default=None, help="model artifact (in-process target / synthetic pool)")
+    load.add_argument("--url", default=None, help="HTTP target (front door or single service)")
+    load.add_argument(
+        "--replay", default=None, metavar="PATH",
+        help="replay real query points (.npy/.csv/.tsv) instead of synthetic",
+    )
+    load.add_argument("--workers", type=int, default=1, help="in-process fleet size")
+    load.add_argument("--router", choices=("kd", "none"), default="kd")
+    load.add_argument("--rate", type=float, default=50.0, help="offered req/s (or ramp start)")
+    load.add_argument(
+        "--rates", default=None,
+        help="comma-separated offered rates for a sweep (overrides --rate)",
+    )
+    load.add_argument(
+        "--saturation", action="store_true",
+        help="ramp the rate geometrically until the target stops keeping up",
+    )
+    load.add_argument("--growth", type=float, default=2.0, help="ramp factor per step")
+    load.add_argument("--max-steps", type=int, default=8)
+    load.add_argument(
+        "--p99-cap-ms", type=float, default=None,
+        help="treat p99 above this as saturated during the ramp",
+    )
+    load.add_argument("--requests", type=int, default=200, help="requests per step")
+    load.add_argument("--batch-size", type=int, default=16, help="points per request")
+    load.add_argument("--clients", type=int, default=8, help="concurrent client connections")
+    load.add_argument("--arrivals", choices=("poisson", "uniform"), default="poisson")
+    load.add_argument("--pool-size", type=int, default=2048, help="synthetic query pool size")
+    load.add_argument("--seed", type=int, default=0)
+    load.add_argument("--json-out", default=None, metavar="PATH")
     return parser
 
 
@@ -704,6 +870,7 @@ def main(argv: list[str] | None = None) -> int:
         "fit": cmd_fit,
         "predict": cmd_predict,
         "serve": cmd_serve,
+        "loadtest": cmd_loadtest,
     }
     return handlers[args.command](args)
 

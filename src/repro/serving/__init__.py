@@ -14,6 +14,11 @@ The fit→save→serve pipeline the production story needs:
   instrumentation.
 * :mod:`repro.serving.service` — the stdlib HTTP JSON endpoint behind
   ``mudbscan serve``.
+* :mod:`repro.serving.fleet` — the sharded multi-worker fleet: spatial
+  kd-routing with a 2ε exactness halo, shared-memory model loading,
+  hot model swap, and the async admission-controlled front door.
+* :mod:`repro.serving.loadgen` — the open-loop load-test harness
+  behind ``mudbscan loadtest`` and ``perf_smoke --fleet``.
 
 See docs/SERVING.md for the artifact format and the exactness argument.
 """
@@ -28,7 +33,15 @@ from repro.serving.model import (
 )
 from repro.serving.predict import PredictResult, brute_predict, predict_model
 from repro.serving.engine import PredictRow, QueryEngine
-from repro.serving.service import make_server, serve_forever
+from repro.serving.service import make_server, serve_forever, shutdown_gracefully
+from repro.serving.fleet import (
+    Fleet,
+    FleetConfig,
+    FrontDoor,
+    ShardedPredictor,
+    plan_shards,
+    start_in_thread,
+)
 
 __all__ = [
     "FORMAT_VERSION",
@@ -44,4 +57,11 @@ __all__ = [
     "QueryEngine",
     "make_server",
     "serve_forever",
+    "shutdown_gracefully",
+    "Fleet",
+    "FleetConfig",
+    "FrontDoor",
+    "ShardedPredictor",
+    "plan_shards",
+    "start_in_thread",
 ]

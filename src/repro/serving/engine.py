@@ -164,14 +164,15 @@ class QueryEngine:
             self.registry.register_collector(
                 LatencyWindowCollector(self.latency)
             )
-            self.registry.register_collector(
-                CountersCollector(
-                    self.model.serving_counters, namespace="mudbscan_serving_index"
-                )
-            )
+            self.registry.register_collector(self._collect_index_counters)
         self._cache: OrderedDict[bytes, PredictRow] = OrderedDict()
         self._cache_lock = threading.Lock()
         self._predict_lock = threading.Lock()
+        # cache keys are namespaced by the served model's content hash +
+        # engine tier, so a hot swap can never serve another model's rows
+        self._model_token = self._token_for(model)
+        self._warm = False
+        self._swaps = 0
         # micro-batch queue: (coords, future, t_submitted)
         self._queue: list[tuple[np.ndarray, Future, float]] = []
         self._queue_cv = threading.Condition()
@@ -223,12 +224,42 @@ class QueryEngine:
             "points in the served model (labelled with its parameters)",
             [Sample("mudbscan_serving_model_points", model_labels, float(self.model.n))],
         )
+        yield FamilySnapshot(
+            "mudbscan_serving_model_swaps",
+            "counter",
+            "hot model swaps performed (labelled with the live version)",
+            [
+                Sample(
+                    "mudbscan_serving_model_swaps",
+                    (("version", self.model_version),),
+                    float(self._swaps),
+                )
+            ],
+        )
+
+    def _collect_index_counters(self):
+        """Index-work counters of the *currently served* model (a level
+        of indirection so a hot swap redirects the series too)."""
+        yield from CountersCollector(
+            self.model.serving_counters, namespace="mudbscan_serving_index"
+        )()
 
     # ------------------------------------------------------------------
     # cache
 
+    @staticmethod
+    def _token_for(model) -> bytes:
+        return f"{model.version_token()}:{model.engine}\x00".encode()
+
     def _key(self, point: np.ndarray) -> bytes:
-        return np.round(point, self.cache_decimals).tobytes()
+        return self._model_token + np.round(point, self.cache_decimals).tobytes()
+
+    def flush_cache(self) -> int:
+        """Drop every cached answer; returns how many were held."""
+        with self._cache_lock:
+            n = len(self._cache)
+            self._cache.clear()
+        return n
 
     def _cache_get(self, key: bytes) -> PredictRow | None:
         if self.cache_size == 0:
@@ -365,6 +396,54 @@ class QueryEngine:
                     fut.set_exception(exc)
 
     # ------------------------------------------------------------------
+    # readiness + hot swap
+
+    @property
+    def model_version(self) -> str:
+        """Content-hash version of the model currently being served."""
+        return self.model.version_token()
+
+    @property
+    def ready(self) -> bool:
+        """Warm and accepting traffic (the ``/readyz`` signal)."""
+        return self._warm and not self._closed
+
+    def warmup(self) -> None:
+        """Run one throwaway prediction so the first real request pays
+        no lazy-initialisation latency; flips :attr:`ready`."""
+        probe = (
+            self.model.points[int(self.model.center_rows[0])]
+            if self.model.n_micro_clusters
+            else np.zeros(max(self.model.dim, 1))
+        )
+        with self._predict_lock:
+            predict_model(self.model, probe.reshape(1, -1), block_size=self.block_size)
+        self._warm = True
+
+    def swap_model(self, new_model) -> str:
+        """Atomically replace the served model (hot swap).
+
+        The new model's serving index is built *before* any lock is
+        taken (the expensive part), then the flip — model pointer,
+        cache namespace token, cache flush — happens under the predict
+        lock, so no prediction can straddle two models.  In-flight
+        requests that already keyed against the old token may still
+        write entries under it; those keys are unreachable after the
+        token change, so a swapped-in model can never serve another
+        model's cached labels.  Returns the new version token.
+        """
+        new_model.murtree  # warm the index outside the lock
+        new_token = self._token_for(new_model)
+        with self._predict_lock:
+            self.model = new_model
+            self._model_token = new_token
+        self.flush_cache()
+        self._swaps += 1
+        self.counters.add_extra("serve_model_swaps")
+        self.warmup()
+        return new_model.version_token()
+
+    # ------------------------------------------------------------------
     # lifecycle + stats
 
     def stats(self) -> dict:
@@ -378,7 +457,11 @@ class QueryEngine:
                 "eps": self.model.params.eps,
                 "min_pts": self.model.params.min_pts,
                 "metric": self.model.metric_name,
+                "version": self.model_version,
+                "engine": self.model.engine,
             },
+            "ready": self.ready,
+            "swaps": self._swaps,
             "requests": extra.get("serve_requests", 0),
             "batches": extra.get("serve_batches", 0),
             "batched_rows": extra.get("serve_batched_rows", 0),

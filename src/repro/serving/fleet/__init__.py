@@ -1,0 +1,53 @@
+"""Sharded multi-worker serving fleet (docs/SERVING.md, "The fleet").
+
+Layout:
+
+* :mod:`~repro.serving.fleet.router` — kd-sharding of micro-cluster
+  centers with the 2ε halo that keeps routing exact.
+* :mod:`~repro.serving.fleet.worker` — the worker process entry and
+  its parent-side pipe client.
+* :mod:`~repro.serving.fleet.swap` — model generations + hot swap.
+* :mod:`~repro.serving.fleet.fleet` — the :class:`Fleet` orchestrator.
+* :mod:`~repro.serving.fleet.frontdoor` — async HTTP door with
+  admission control, back-pressure and deadline budgets.
+"""
+
+from repro.serving.fleet.fleet import Fleet, FleetClosed, FleetConfig
+from repro.serving.fleet.frontdoor import FrontDoor, FrontDoorHandle, start_in_thread
+from repro.serving.fleet.router import (
+    ShardedPredictor,
+    ShardModel,
+    ShardPlan,
+    build_shard_model,
+    merge_shard_results,
+    plan_shards,
+)
+from repro.serving.fleet.swap import (
+    Generation,
+    SwapReport,
+    launch_generation,
+    retire_generation,
+)
+from repro.serving.fleet.worker import WorkerClient, WorkerDied, fleet_worker_main
+
+__all__ = [
+    "Fleet",
+    "FleetClosed",
+    "FleetConfig",
+    "FrontDoor",
+    "FrontDoorHandle",
+    "Generation",
+    "ShardModel",
+    "ShardPlan",
+    "ShardedPredictor",
+    "SwapReport",
+    "WorkerClient",
+    "WorkerDied",
+    "build_shard_model",
+    "fleet_worker_main",
+    "launch_generation",
+    "merge_shard_results",
+    "plan_shards",
+    "retire_generation",
+    "start_in_thread",
+]

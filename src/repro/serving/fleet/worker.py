@@ -1,0 +1,315 @@
+"""Fleet worker process + its parent-side handle.
+
+A worker is one spawned process serving one shard (or a full replica)
+of a :class:`~repro.serving.model.FittedModel`:
+
+* the **payload arrays ride shared memory** — the parent reads the
+  artifact once, places the arrays in
+  :mod:`multiprocessing.shared_memory` segments (the process backend's
+  dataset idiom), and every worker maps them read-only and rebuilds its
+  model over the views with :meth:`FittedModel.from_arrays` — no
+  per-worker artifact read, no per-worker pickle of the dataset;
+* **sharded workers** then materialise their kd-shard sub-model
+  (:func:`~repro.serving.fleet.router.build_shard_model`) from the
+  mapped full model and translate nearest-core rows back to global ids
+  before answering, so the parent's merge never needs shard context;
+* requests/responses are small pickled tuples on a dedicated pipe pair
+  per worker; a worker answers ``predict`` through its own
+  :class:`~repro.serving.engine.QueryEngine` (versioned LRU cache,
+  latency window), and ``stats`` with the engine's counters so the
+  front door can aggregate per-worker ``/metrics``;
+* **SIGTERM drains**: the in-progress request is finished and answered
+  before the worker exits (the fleet's graceful-shutdown contract).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from concurrent.futures import Future
+from multiprocessing import connection, shared_memory
+from typing import Any
+
+import numpy as np
+
+from repro.serving.engine import QueryEngine
+from repro.serving.model import FittedModel
+
+__all__ = ["WorkerClient", "fleet_worker_main"]
+
+#: (segment name, shape, dtype str) describing one shared array
+ShmSpec = tuple[str, tuple[int, ...], str]
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach without re-registering ownership (parent owns lifetime)."""
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+def fleet_worker_main(
+    worker_id: int,
+    shm_specs: dict[str, ShmSpec],
+    header: dict[str, Any],
+    plan,
+    shard_id: int | None,
+    req_conn: connection.Connection,
+    resp_conn: connection.Connection,
+    engine_opts: dict[str, Any],
+) -> None:
+    """Spawn-side entry: map the model, build the shard, serve the pipe."""
+    terminating = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: terminating.set())
+    segments: list[shared_memory.SharedMemory] = []
+    try:
+        arrays: dict[str, np.ndarray] = {}
+        for name, (seg_name, shape, dtype_str) in shm_specs.items():
+            shm = _attach_segment(seg_name)
+            segments.append(shm)
+            arr = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=shm.buf)
+            arr.flags.writeable = False
+            arrays[name] = arr
+        full = FittedModel.from_arrays(arrays, header)
+        global_rows: np.ndarray | None = None
+        if plan is not None and shard_id is not None:
+            from repro.serving.fleet.router import build_shard_model
+
+            shard = build_shard_model(full, plan, shard_id)
+            model, global_rows = shard.model, shard.global_rows
+        else:
+            model = full
+        engine = QueryEngine(model, max_wait_ms=0.0, **engine_opts)
+        engine.warmup()
+        resp_conn.send(
+            (
+                "ready",
+                {
+                    "worker_id": worker_id,
+                    "pid": os.getpid(),
+                    "shard_id": shard_id,
+                    "version": full.version_token(),
+                    "n_points": model.n,
+                    "n_micro_clusters": model.n_micro_clusters,
+                },
+            )
+        )
+        try:
+            _serve_loop(
+                worker_id, engine, global_rows, req_conn, resp_conn, terminating
+            )
+        finally:
+            engine.close()
+    except BaseException as exc:  # noqa: BLE001 — ferried to the parent
+        try:
+            resp_conn.send(("fatal", repr(exc)))
+        except Exception:
+            pass
+    finally:
+        for shm in segments:
+            try:
+                shm.close()
+            except BufferError:
+                pass  # live model views pin the mapping; exit unmaps it
+
+
+def _serve_loop(
+    worker_id: int,
+    engine: QueryEngine,
+    global_rows: np.ndarray | None,
+    req_conn: connection.Connection,
+    resp_conn: connection.Connection,
+    terminating: threading.Event,
+) -> None:
+    while True:
+        # poll so a SIGTERM between requests is noticed promptly; a
+        # request already being answered below always completes first
+        if not req_conn.poll(0.05):
+            if terminating.is_set():
+                resp_conn.send(("bye", {"worker_id": worker_id, "reason": "sigterm"}))
+                return
+            continue
+        try:
+            msg = req_conn.recv()
+        except (EOFError, OSError):
+            return  # parent went away; nothing left to answer
+        kind = msg[0]
+        if kind == "predict":
+            _, req_id, queries, deadline_ts = msg
+            if deadline_ts is not None and time.time() > deadline_ts:
+                resp_conn.send(("error", req_id, "deadline exceeded before work"))
+                continue
+            try:
+                res = engine.predict(queries)
+                nearest = res.nearest_core
+                if global_rows is not None:
+                    out = np.full(nearest.shape, -1, dtype=np.int64)
+                    hit = nearest >= 0
+                    out[hit] = global_rows[nearest[hit]]
+                    nearest = out
+                resp_conn.send(
+                    (
+                        "result",
+                        req_id,
+                        (
+                            res.labels,
+                            res.would_be_core,
+                            nearest,
+                            res.nearest_core_dist,
+                            res.n_neighbors,
+                        ),
+                    )
+                )
+            except Exception as exc:  # keep serving after a bad request
+                resp_conn.send(("error", req_id, repr(exc)))
+        elif kind == "stats":
+            _, req_id = msg
+            stats = engine.stats()
+            stats["worker_id"] = worker_id
+            stats["pid"] = os.getpid()
+            resp_conn.send(("stats", req_id, stats))
+        elif kind == "shutdown":
+            resp_conn.send(("bye", {"worker_id": worker_id, "reason": "shutdown"}))
+            return
+        # unknown kinds are ignored (forward compatibility)
+
+
+class WorkerDied(RuntimeError):
+    """The worker process exited while requests were outstanding."""
+
+
+class WorkerClient:
+    """Parent-side handle: request/response multiplexing over the pipes.
+
+    ``submit`` is non-blocking — it posts the request and returns a
+    :class:`~concurrent.futures.Future`; a background reader thread
+    resolves futures as responses arrive, so many requests can be in
+    flight per worker and the front door never blocks on pipe I/O.
+    """
+
+    def __init__(self, worker_id: int, proc, req_conn, resp_conn) -> None:
+        self.worker_id = worker_id
+        self.proc = proc
+        self._req_conn = req_conn
+        self._resp_conn = resp_conn
+        self._send_lock = threading.Lock()
+        self._pending: dict[int, Future] = {}
+        self._pending_lock = threading.Lock()
+        self._next_id = 0
+        self.ready_meta: dict[str, Any] | None = None
+        self.ready_event = threading.Event()
+        self.fatal: str | None = None
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"fleet-worker-reader-{worker_id}", daemon=True
+        )
+        self._reader.start()
+
+    # -- reader ---------------------------------------------------------
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                msg = self._resp_conn.recv()
+            except (EOFError, OSError):
+                self._fail_pending(WorkerDied(f"worker {self.worker_id} died"))
+                self.ready_event.set()  # unblock waiters; ready_meta stays None
+                return
+            kind = msg[0]
+            if kind == "ready":
+                self.ready_meta = msg[1]
+                self.ready_event.set()
+            elif kind in ("result", "stats"):
+                self._resolve(msg[1], lambda fut, payload=msg[2]: fut.set_result(payload))
+            elif kind == "error":
+                self._resolve(
+                    msg[1],
+                    lambda fut, text=msg[2]: fut.set_exception(RuntimeError(text)),
+                )
+            elif kind == "fatal":
+                self.fatal = msg[1]
+                self._fail_pending(WorkerDied(f"worker {self.worker_id}: {msg[1]}"))
+                self.ready_event.set()
+                return
+            elif kind == "bye":
+                self._fail_pending(WorkerDied(f"worker {self.worker_id} shut down"))
+                return
+
+    def _resolve(self, req_id: int, action) -> None:
+        with self._pending_lock:
+            fut = self._pending.pop(req_id, None)
+        if fut is not None and not fut.done():
+            action(fut)
+
+    def _fail_pending(self, exc: Exception) -> None:
+        with self._pending_lock:
+            pending, self._pending = self._pending, {}
+        for fut in pending.values():
+            if not fut.done():
+                fut.set_exception(exc)
+
+    # -- requests -------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self.proc.is_alive() and self.fatal is None
+
+    def wait_ready(self, timeout: float = 60.0) -> dict[str, Any]:
+        if not self.ready_event.wait(timeout):
+            raise TimeoutError(f"worker {self.worker_id} not ready after {timeout}s")
+        if self.ready_meta is None:
+            raise WorkerDied(
+                f"worker {self.worker_id} failed during startup"
+                + (f": {self.fatal}" if self.fatal else "")
+            )
+        return self.ready_meta
+
+    def _post(self, message: tuple) -> Future:
+        fut: Future = Future()
+        with self._pending_lock:
+            req_id = self._next_id
+            self._next_id += 1
+            self._pending[req_id] = fut
+        try:
+            with self._send_lock:
+                self._req_conn.send((message[0], req_id, *message[1:]))
+        except (OSError, ValueError, BrokenPipeError) as exc:
+            self._resolve(req_id, lambda f: None)
+            fut.set_exception(WorkerDied(f"worker {self.worker_id}: {exc!r}"))
+        return fut
+
+    def submit_predict(
+        self, queries: np.ndarray, deadline_ts: float | None = None
+    ) -> Future:
+        """Future resolving to the worker's answer arrays tuple."""
+        return self._post(("predict", queries, deadline_ts))
+
+    def fetch_stats(self, timeout: float = 5.0) -> dict[str, Any]:
+        return self._post(("stats",)).result(timeout=timeout)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Ask the worker to exit, then join (terminate as last resort)."""
+        try:
+            with self._send_lock:
+                self._req_conn.send(("shutdown",))
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+        self.proc.join(timeout=timeout)
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(timeout=5.0)
+        self._reader.join(timeout=5.0)
+        self._fail_pending(WorkerDied(f"worker {self.worker_id} shut down"))
+        for conn in (self._req_conn, self._resp_conn):
+            try:
+                conn.close()
+            except OSError:
+                pass

@@ -30,7 +30,7 @@ import struct
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -150,6 +150,7 @@ class FittedModel:
     #: counters the serving-side index charges its query work to —
     #: starts at zero so tests can assert no construction work happened
     serving_counters: Counters = field(default_factory=Counters)
+    _version_token: str | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.points = np.ascontiguousarray(self.points, dtype=np.float64)
@@ -249,6 +250,83 @@ class FittedModel:
         ``"exact"`` — the only engine that existed.
         """
         return str(self.meta.get("engine", "exact"))
+
+    def version_token(self) -> str:
+        """Stable short content hash identifying *this* model's answers.
+
+        Two models with the same token answer every query identically
+        (same points, labels, core flags, MC structure, parameters and
+        engine tier), so the token is safe as a cache namespace: the
+        query engine prefixes its LRU keys with it, and a hot swap to
+        any different model can never resurface stale cached rows.
+        Deterministic across processes — the fleet's workers and the
+        front door agree on it without coordination.
+        """
+        if self._version_token is None:
+            h = hashlib.sha256()
+            for arr in (
+                self.points, self.labels, self.core_mask, self.point_mc,
+                self.center_rows, self.member_flat, self.reach_flat,
+            ):
+                h.update(np.ascontiguousarray(arr).tobytes())
+            h.update(
+                f"{self.params.eps}|{self.params.min_pts}|{self.metric_name}"
+                f"|{self.engine}".encode()
+            )
+            self._version_token = h.hexdigest()[:16]
+        return self._version_token
+
+    # ------------------------------------------------------------------
+    # shared-memory transport (the fleet's zero-copy load path)
+
+    #: array attributes that make up the payload, in container order
+    ARRAY_FIELDS = (
+        "points", "labels", "core_mask", "point_mc", "center_rows",
+        "member_offsets", "member_flat", "reach_offsets", "reach_flat",
+    )
+
+    def array_fields(self) -> dict[str, np.ndarray]:
+        """The payload arrays by name — what goes into shared memory."""
+        return {name: getattr(self, name) for name in self.ARRAY_FIELDS}
+
+    def header_dict(self) -> dict[str, Any]:
+        """The scalar state a worker needs alongside the shared arrays."""
+        return {
+            "eps": self.params.eps,
+            "min_pts": self.params.min_pts,
+            "metric": self.metric_name,
+            "algorithm": self.algorithm,
+            "counters": _jsonable(self.counters.to_dict()),
+            "extras": _jsonable(self.extras),
+            "meta": _jsonable(self.meta),
+        }
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: Mapping[str, np.ndarray], header: Mapping[str, Any]
+    ) -> "FittedModel":
+        """Rebuild a model from named arrays + a :meth:`header_dict`.
+
+        The fleet worker path: the parent reads the artifact once,
+        places the arrays in shared-memory segments, and each worker
+        reconstructs its model directly over the mapped (read-only)
+        views — ``__post_init__``'s canonicalisation keeps already-
+        contiguous float64/int64 views as-is, so no copy is made.
+        """
+        missing = [name for name in cls.ARRAY_FIELDS if name not in arrays]
+        if missing:
+            raise ModelFormatError(f"payload is missing arrays: {missing}")
+        return cls(
+            **{name: arrays[name] for name in cls.ARRAY_FIELDS},
+            params=DBSCANParams(
+                eps=float(header["eps"]), min_pts=int(header["min_pts"])
+            ),
+            metric_name=str(header.get("metric", "euclidean")),
+            algorithm=str(header.get("algorithm", "mu_dbscan")),
+            counters=Counters.from_dict(header.get("counters", {})),
+            extras=dict(header.get("extras", {})),
+            meta=dict(header.get("meta", {})),
+        )
 
     def member_rows(self, mc_id: int) -> np.ndarray:
         return self.member_flat[

@@ -5,7 +5,12 @@ Endpoints (``mudbscan serve`` starts this server):
 * ``POST /predict`` — body ``{"points": [[x, y, ...], ...]}`` (or a
   single ``{"point": [x, y, ...]}``); responds with the
   :meth:`PredictResult.as_payload` arrays.
-* ``GET /healthz`` — liveness + model summary.
+* ``GET /healthz`` — liveness + model summary (answers as soon as the
+  socket is bound; says nothing about warmth).
+* ``GET /readyz`` — readiness: 200 only once the model is loaded *and*
+  the engine is warm (one probe prediction done), 503 before that and
+  after close.  Routers and rolling restarts gate traffic on this, not
+  on ``/healthz``.
 * ``GET /stats`` — engine counters, cache hit rates, latency p50/p99.
 * ``GET /metrics`` — Prometheus text exposition of the engine's
   metrics registry (request/batch counts, cache hit ratio, latency
@@ -15,11 +20,19 @@ Built on :class:`http.server.ThreadingHTTPServer` — no third-party web
 framework, per the repo's stdlib+numpy dependency policy.  Each request
 thread funnels into the engine's micro-batcher, so concurrent clients
 are answered in shared vectorized blocks.
+
+Shutdown is graceful: SIGTERM (and Ctrl-C) stop the accept loop, wait
+for every **in-flight request** to finish (keep-alive connections may
+linger idle — requests are what's tracked, not sockets), then close
+the socket and the engine.  :func:`shutdown_gracefully` is the same
+path callable in-process (tests, embedding).
 """
 
 from __future__ import annotations
 
 import json
+import signal
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
@@ -27,11 +40,50 @@ import numpy as np
 from repro.observability.prometheus import CONTENT_TYPE, render_prometheus
 from repro.serving.engine import QueryEngine
 
-__all__ = ["ServingHandler", "make_server", "serve_forever"]
+__all__ = ["ServingHandler", "make_server", "serve_forever", "shutdown_gracefully"]
 
 #: refuse request bodies larger than this (64 MiB) — a basic guard for
 #: an endpoint meant to sit behind real traffic
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _InflightGauge:
+    """Counts requests being answered right now; the drain barrier.
+
+    Connections don't work as the drain unit — an idle keep-alive
+    socket holds a handler thread open indefinitely — so the handler
+    brackets each *request* with this gauge and graceful shutdown
+    waits for it to reach zero.
+    """
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._lock = threading.Lock()
+        self._zero = threading.Event()
+        self._zero.set()
+
+    def __enter__(self) -> "_InflightGauge":
+        with self._lock:
+            self._count += 1
+            self._zero.clear()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        with self._lock:
+            self._count -= 1
+            if self._count <= 0:
+                self._zero.set()
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def wait_drained(self, timeout: float | None = None) -> bool:
+        with self._lock:
+            if self._count <= 0:
+                return True
+        return self._zero.wait(timeout)
 
 
 class ServingHandler(BaseHTTPRequestHandler):
@@ -62,6 +114,14 @@ class ServingHandler(BaseHTTPRequestHandler):
         self._send_json(status, {"error": message})
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        with self.server.inflight:  # type: ignore[attr-defined]
+            self._do_get()
+
+    def do_POST(self) -> None:  # noqa: N802
+        with self.server.inflight:  # type: ignore[attr-defined]
+            self._do_post()
+
+    def _do_get(self) -> None:
         if self.path == "/healthz":
             model = self.engine.model
             self._send_json(
@@ -73,6 +133,16 @@ class ServingHandler(BaseHTTPRequestHandler):
                     "dim": model.dim,
                     "eps": model.params.eps,
                     "min_pts": model.params.min_pts,
+                },
+            )
+        elif self.path == "/readyz":
+            ready = self.engine.ready
+            self._send_json(
+                200 if ready else 503,
+                {
+                    "ready": ready,
+                    "version": self.engine.model_version,
+                    "swaps": self.engine.stats()["swaps"],
                 },
             )
         elif self.path == "/stats":
@@ -87,7 +157,7 @@ class ServingHandler(BaseHTTPRequestHandler):
         else:
             self._fail(404, f"unknown path {self.path!r}")
 
-    def do_POST(self) -> None:  # noqa: N802
+    def _do_post(self) -> None:
         if self.path != "/predict":
             self._fail(404, f"unknown path {self.path!r}")
             return
@@ -158,8 +228,31 @@ def make_server(
     server = ThreadingHTTPServer((host, port), ServingHandler)
     server.engine = engine  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
+    server.inflight = _InflightGauge()  # type: ignore[attr-defined]
     server.daemon_threads = True
     return server
+
+
+def shutdown_gracefully(
+    server: ThreadingHTTPServer,
+    engine: QueryEngine | None = None,
+    *,
+    drain_timeout: float = 30.0,
+) -> bool:
+    """Stop accepting, drain in-flight requests, close; True if drained.
+
+    Safe to call from any thread (including a signal handler via a
+    helper thread) and idempotent.
+    """
+    server.shutdown()  # stop the accept loop; live handler threads continue
+    drained = server.inflight.wait_drained(drain_timeout)  # type: ignore[attr-defined]
+    try:
+        server.server_close()
+    except OSError:
+        pass
+    if engine is not None:
+        engine.close()
+    return drained
 
 
 def serve_forever(
@@ -169,19 +262,45 @@ def serve_forever(
     *,
     verbose: bool = True,
 ) -> None:
-    """Blocking entry point used by ``mudbscan serve``."""
+    """Blocking entry point used by ``mudbscan serve``.
+
+    Warms the engine in the background (so ``/readyz`` flips to 200
+    once the probe prediction lands) and drains gracefully on SIGTERM
+    or Ctrl-C.
+    """
     server = make_server(engine, host, port, verbose=verbose)
     bound_host, bound_port = server.server_address[:2]
     print(
         f"serving {engine.model.summary()}\n"
         f"listening on http://{bound_host}:{bound_port} "
-        f"(POST /predict, GET /healthz, GET /stats, GET /metrics) "
-        f"— Ctrl-C to stop"
+        f"(POST /predict, GET /healthz, GET /readyz, GET /stats, "
+        f"GET /metrics) — SIGTERM/Ctrl-C drains and stops"
     )
+    threading.Thread(target=engine.warmup, name="serve-warmup", daemon=True).start()
+
+    done = threading.Event()
+
+    def _drain_and_stop() -> None:
+        shutdown_gracefully(server, engine)
+        done.set()
+
+    def _on_sigterm(*_args) -> None:
+        # shutdown() must not run on the serve_forever thread (it waits
+        # for that loop to exit) — hand it to a helper thread
+        threading.Thread(target=_drain_and_stop, daemon=True).start()
+
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
     try:
         server.serve_forever()
+        done.wait(60.0)
     except KeyboardInterrupt:
-        print("shutting down")
+        print("draining in-flight requests")
+        _drain_and_stop()
     finally:
-        server.server_close()
-        engine.close()
+        signal.signal(signal.SIGTERM, previous)
+        if not done.is_set():
+            try:
+                server.server_close()
+            except OSError:
+                pass
+            engine.close()

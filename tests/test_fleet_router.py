@@ -1,0 +1,207 @@
+"""Sharded routing exactness: kd shards + 2ε halo vs the full model.
+
+The fleet's acceptance bar: for every registry dataset, predictions
+through the sharded path (route → per-shard predict → merge) are
+**bitwise equal** to the single-process engine and the brute oracle —
+including queries engineered to sit exactly on shard cut planes and at
+ε-boundaries, across shard counts and metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.registry import REGISTRY, dataset_names
+from repro.serving.fleet.router import (
+    KDCut,
+    ShardedPredictor,
+    build_shard_model,
+    plan_shards,
+)
+from repro.serving.model import fit_model
+from repro.serving.predict import PredictResult, brute_predict, predict_model
+
+#: keep each registry dataset to roughly this many points for the sweep
+_TARGET_N = 240
+
+
+def _registry_workload(name: str):
+    spec = REGISTRY[name]
+    scale = min(1.0, _TARGET_N / spec.base_n)
+    pts = spec.generate(scale=scale)
+    return pts, spec
+
+
+def _collect_cuts(node) -> list[tuple[int, float]]:
+    if isinstance(node, int):
+        return []
+    assert isinstance(node, KDCut)
+    return [(node.axis, node.cut)] + _collect_cuts(node.left) + _collect_cuts(node.right)
+
+
+def _query_suite(pts: np.ndarray, eps: float, plan, seed: int = 7) -> np.ndarray:
+    """On/off-manifold + ε-boundary + shard-cut-plane queries."""
+    rng = np.random.default_rng(seed)
+    n, d = pts.shape
+    lo, hi = pts.min(axis=0), pts.max(axis=0)
+    span = np.maximum(hi - lo, 1.0)
+    take = rng.choice(n, size=min(24, n), replace=False)
+    on_manifold = pts[take] + rng.normal(0.0, 0.05 * eps, (take.size, d))
+    off_manifold = hi + span * rng.uniform(1.0, 2.0, (8, d))
+    boundary = pts[take[:8]].copy()
+    boundary[:, 0] += eps  # exactly ε away: strict-< excludes it
+    # queries pinned on / just beside every kd cut plane — the routing
+    # tie (q[axis] == cut routes right) must not change any answer
+    cut_rows = []
+    for axis, cut in _collect_cuts(plan.tree):
+        for nudge in (0.0, -1e-12, 1e-12, -0.5 * eps, 0.5 * eps):
+            q = pts[int(rng.integers(0, n))].astype(np.float64).copy()
+            q[axis] = cut + nudge
+            cut_rows.append(q)
+    cuts = np.asarray(cut_rows) if cut_rows else np.empty((0, d))
+    return np.vstack([on_manifold, off_manifold, boundary, pts[take[:6]], cuts])
+
+
+def _assert_bitwise(got: PredictResult, want: PredictResult, ctx: str) -> None:
+    np.testing.assert_array_equal(got.labels, want.labels, err_msg=ctx)
+    np.testing.assert_array_equal(got.would_be_core, want.would_be_core, err_msg=ctx)
+    np.testing.assert_array_equal(got.nearest_core, want.nearest_core, err_msg=ctx)
+    np.testing.assert_array_equal(got.n_neighbors, want.n_neighbors, err_msg=ctx)
+    # bitwise, not allclose: the shard computes the same distances on
+    # the same rows, so even the float field must match exactly
+    np.testing.assert_array_equal(
+        got.nearest_core_dist, want.nearest_core_dist, err_msg=ctx
+    )
+
+
+@pytest.mark.parametrize("name", dataset_names())
+def test_registry_sharded_parity(name):
+    """Every registry dataset, shard counts 2/3/5: bitwise == full model
+    and the brute oracle, ε-boundary and cut-plane queries included."""
+    pts, spec = _registry_workload(name)
+    model = fit_model(pts, spec.eps, spec.min_pts)
+    for n_shards in (2, 3, 5):
+        sharded = ShardedPredictor(model, n_shards)
+        queries = _query_suite(pts, spec.eps, sharded.plan)
+        full = predict_model(model, queries)
+        _assert_bitwise(
+            sharded.predict(queries), full, f"{name} n_shards={n_shards}"
+        )
+    oracle = brute_predict(
+        pts, model.labels, model.core_mask, spec.eps, spec.min_pts, queries
+    )
+    np.testing.assert_array_equal(full.labels, oracle.labels, err_msg=name)
+    np.testing.assert_array_equal(full.nearest_core, oracle.nearest_core, err_msg=name)
+
+
+@pytest.mark.parametrize("metric", ["euclidean", "manhattan", "chebyshev"])
+def test_metric_sweep_parity(small_blobs, metric):
+    model = fit_model(small_blobs, 0.1, 5, metric=metric)
+    sharded = ShardedPredictor(model, 3)
+    queries = _query_suite(small_blobs, 0.1, sharded.plan, seed=11)
+    _assert_bitwise(
+        sharded.predict(queries), predict_model(model, queries), metric
+    )
+
+
+class TestPlanInvariants:
+    def test_owned_is_a_partition(self, small_blobs):
+        model = fit_model(small_blobs, 0.08, 6)
+        for n_shards in (1, 2, 4, 7):
+            plan = plan_shards(model, n_shards)
+            owned_all = np.concatenate(plan.owned_mcs)
+            assert owned_all.size == model.n_micro_clusters
+            assert np.array_equal(
+                np.sort(owned_all), np.arange(model.n_micro_clusters)
+            )
+            for s in range(n_shards):
+                # the sub-model set always contains what the shard owns
+                assert np.isin(plan.owned_mcs[s], plan.shard_mcs[s]).all()
+
+    def test_halo_covers_routing_radius(self, small_blobs):
+        """Any MC within the prediction routing radius of a query must
+        be in that query's shard set — the exactness invariant."""
+        model = fit_model(small_blobs, 0.08, 6)
+        plan = plan_shards(model, 4)
+        centers = model.points[model.center_rows]
+        metric = model.metric
+        rng = np.random.default_rng(3)
+        queries = rng.uniform(
+            small_blobs.min(axis=0) - 0.2, small_blobs.max(axis=0) + 0.2, (400, 2)
+        )
+        # prediction reads MCs within 2ε(1+slack); halo widens once more
+        reach_raw = metric.threshold(plan.halo_radius)
+        assignments = plan.assign(queries)
+        for i in range(queries.shape[0]):
+            raw = metric.raw_to_point(centers, queries[i])
+            needed = np.flatnonzero(raw <= reach_raw)
+            shard_set = plan.shard_mcs[int(assignments[i])]
+            missing = np.setdiff1d(needed, shard_set)
+            assert missing.size == 0, f"query {i} missing MCs {missing}"
+
+    def test_assign_matches_boxes(self, small_blobs):
+        model = fit_model(small_blobs, 0.08, 6)
+        plan = plan_shards(model, 4)
+        rng = np.random.default_rng(5)
+        queries = rng.uniform(-1.5, 1.5, (300, 2))
+        assignments = plan.assign(queries)
+        inside = (queries[:, None, :] >= plan.box_lows[None]) & (
+            queries[:, None, :] <= plan.box_highs[None]
+        )
+        inside = inside.all(axis=2)
+        for i, s in enumerate(assignments):
+            assert inside[i, s], f"query {i} routed outside its box"
+
+    def test_more_shards_than_centers(self, small_blobs):
+        """Shard count above the MC count leaves some shards empty but
+        never breaks routing or parity."""
+        model = fit_model(small_blobs[:40], 0.08, 4)
+        n_shards = model.n_micro_clusters + 3
+        sharded = ShardedPredictor(model, n_shards)
+        queries = np.random.default_rng(9).uniform(-1, 2, (64, 2))
+        _assert_bitwise(
+            sharded.predict(queries), predict_model(model, queries), "sparse"
+        )
+
+    def test_single_shard_is_identity(self, small_blobs):
+        model = fit_model(small_blobs, 0.08, 6)
+        plan = plan_shards(model, 1)
+        assert isinstance(plan.tree, int)
+        shard = build_shard_model(model, plan, 0)
+        assert shard.model.n == model.n
+        assert np.array_equal(shard.global_rows, np.arange(model.n))
+
+
+class TestShardModel:
+    def test_rows_ascend_for_tiebreak(self, small_blobs):
+        """Sub-model rows must ascend in global row id so the smallest-
+        row-id tie-break survives translation."""
+        model = fit_model(small_blobs, 0.08, 6)
+        plan = plan_shards(model, 3)
+        for s in range(3):
+            shard = build_shard_model(model, plan, s)
+            assert np.all(np.diff(shard.global_rows) > 0)
+            # labels/core flags are the global ones, sliced
+            np.testing.assert_array_equal(
+                shard.model.labels, model.labels[shard.global_rows]
+            )
+            np.testing.assert_array_equal(
+                shard.model.core_mask, model.core_mask[shard.global_rows]
+            )
+
+    def test_equidistant_tiebreak_across_cut(self):
+        """Two cores exactly equidistant from a query but in different
+        shards: the merged answer must pick the smaller global row id,
+        exactly like the full model."""
+        # two tight clumps; a query midway is equidistant to both edges
+        left = np.linspace(-1.0, -0.9, 12).reshape(-1, 1)
+        right = np.linspace(0.9, 1.0, 12).reshape(-1, 1)
+        pts = np.hstack([np.vstack([left, right]), np.zeros((24, 1))])
+        model = fit_model(pts, 0.15, 3)
+        sharded = ShardedPredictor(model, 2)
+        # equidistant to row 11 (-0.9) and row 12 (0.9); also on-cut
+        q = np.array([[0.0, 0.0], [0.95, 0.0], [-0.95, 0.0]])
+        _assert_bitwise(
+            sharded.predict(q), predict_model(model, q), "tiebreak"
+        )

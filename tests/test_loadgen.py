@@ -1,0 +1,203 @@
+"""Unit tests for the open-loop load generator (no servers spawned)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving import loadgen
+from repro.serving.loadgen import (
+    LoadResult,
+    find_saturation,
+    make_schedule,
+    run_open_loop,
+    synthetic_queries,
+)
+from repro.serving.model import fit_model
+
+
+class _StubTarget:
+    """In-process target that records calls and fails on demand."""
+
+    def __init__(self, fail_every: int = 0) -> None:
+        self.calls: list[np.ndarray] = []
+        self.fail_every = fail_every
+
+    def predict(self, queries: np.ndarray):
+        self.calls.append(np.asarray(queries))
+        if self.fail_every and len(self.calls) % self.fail_every == 0:
+            raise RuntimeError("injected failure")
+        return object()
+
+
+class _RateLimitedTarget:
+    """Saturates (errors) once the instantaneous offered rate exceeds a cap."""
+
+    def __init__(self, max_rate: float) -> None:
+        self.max_rate = max_rate
+        self.current_rate = 0.0
+
+    def predict(self, queries: np.ndarray):
+        if self.current_rate > self.max_rate:
+            raise RuntimeError("over capacity")
+        return object()
+
+
+class TestSchedule:
+    def test_shape_and_monotonic(self):
+        s = make_schedule(100, 50.0)
+        assert s.shape == (100,)
+        assert s[0] == 0.0
+        assert np.all(np.diff(s) >= 0)
+
+    def test_uniform_spacing(self):
+        s = make_schedule(10, 4.0, arrivals="uniform")
+        np.testing.assert_allclose(np.diff(s), 0.25)
+
+    def test_poisson_mean_gap(self):
+        rng = np.random.default_rng(0)
+        s = make_schedule(20_000, 100.0, arrivals="poisson", rng=rng)
+        gaps = np.diff(s)
+        assert abs(gaps.mean() - 0.01) < 0.001
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            make_schedule(10, 0.0)
+        with pytest.raises(ValueError):
+            make_schedule(10, -5.0)
+        with pytest.raises(ValueError):
+            make_schedule(10, 1.0, arrivals="bursty")
+
+
+class TestSyntheticQueries:
+    def test_covers_model_box(self, small_blobs):
+        model = fit_model(small_blobs, 0.1, 5)
+        q = synthetic_queries(model, 500, rng=np.random.default_rng(1))
+        assert q.shape == (500, 2)
+        lo, hi = small_blobs.min(axis=0), small_blobs.max(axis=0)
+        span = hi - lo
+        assert np.all(q >= lo - 0.1 * span - 1e-9)
+        assert np.all(q <= hi + 0.1 * span + 1e-9)
+
+
+class TestOpenLoop:
+    def test_all_requests_complete(self):
+        target = _StubTarget()
+        pool = np.random.default_rng(0).uniform(0, 1, (64, 2))
+        res = run_open_loop(
+            target, pool, rate=2000.0, n_requests=40, batch_size=4, n_clients=4
+        )
+        assert res.n_requests == 40
+        assert len(target.calls) == 40
+        assert all(c.shape == (4, 2) for c in target.calls)
+        assert res.status_counts() == {200: 40}
+        assert res.error_rate == 0.0
+        assert np.all(np.isfinite(res.latencies))
+        assert res.achieved_qps > 0
+
+    def test_errors_become_599(self):
+        target = _StubTarget(fail_every=2)
+        pool = np.zeros((8, 2))
+        res = run_open_loop(
+            target, pool, rate=2000.0, n_requests=30, batch_size=2, n_clients=2
+        )
+        counts = res.status_counts()
+        assert counts.get(599, 0) == 15 and counts.get(200, 0) == 15
+        assert res.error_rate == pytest.approx(0.5)
+
+    def test_open_loop_holds_rate(self):
+        """The generator paces by the schedule, not by completions."""
+        target = _StubTarget()
+        pool = np.zeros((8, 2))
+        res = run_open_loop(
+            target,
+            pool,
+            rate=100.0,
+            n_requests=50,
+            batch_size=1,
+            arrivals="uniform",
+            n_clients=4,
+        )
+        # 50 req at 100/s is ~0.5 s of schedule; wall time must track it
+        assert 0.4 < res.wall_seconds < 2.0
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            run_open_loop(_StubTarget(), np.empty((0, 2)), rate=10.0)
+
+
+class TestLoadResult:
+    def _mk(self, statuses, latencies):
+        return LoadResult(
+            offered_rate=10.0,
+            n_requests=len(statuses),
+            batch_size=2,
+            wall_seconds=1.0,
+            latencies=np.asarray(latencies, dtype=float),
+            statuses=np.asarray(statuses),
+        )
+
+    def test_percentiles_ignore_errors(self):
+        res = self._mk([200, 200, 599], [0.1, 0.3, 9.9])
+        assert res.percentile(50) == pytest.approx(0.2)
+        assert res.achieved_qps == pytest.approx(4.0)  # 2 ok × batch 2 / 1 s
+
+    def test_summary_is_json_ready(self):
+        import json
+
+        res = self._mk([200, 429], [0.1, 0.2])
+        s = res.summary()
+        json.dumps(s)
+        assert s["status_counts"] == {"200": 1, "429": 1}
+        assert s["error_rate"] == pytest.approx(0.5)
+
+
+class TestSaturation:
+    def test_finds_the_knee(self):
+        """Geometric ramp brackets the capacity of a rigged target."""
+        target = _RateLimitedTarget(max_rate=45.0)
+        pool = np.zeros((8, 2))
+
+        real_run = run_open_loop
+
+        def _instrumented(t, q, *, rate, **kw):
+            t.current_rate = rate
+            return real_run(t, q, rate=rate, **kw)
+
+        # patch through the module so find_saturation picks it up
+        orig = loadgen.run_open_loop
+        loadgen.run_open_loop = _instrumented
+        try:
+            out = find_saturation(
+                target,
+                pool,
+                start_rate=10.0,
+                growth=2.0,
+                max_steps=6,
+                n_requests=20,
+                batch_size=1,
+                n_clients=4,
+                arrivals="uniform",
+            )
+        finally:
+            loadgen.run_open_loop = orig
+        assert out["sustainable_rate"] == 40.0
+        assert out["saturated_rate"] == 80.0
+        assert len(out["steps"]) == 4  # 10, 20, 40, 80
+
+    def test_never_saturates(self):
+        target = _StubTarget()
+        pool = np.zeros((8, 2))
+        out = find_saturation(
+            target,
+            pool,
+            start_rate=50.0,
+            growth=2.0,
+            max_steps=2,
+            n_requests=20,
+            batch_size=1,
+            n_clients=4,
+            arrivals="uniform",
+        )
+        assert out["saturated_rate"] is None
+        assert out["sustainable_rate"] == 100.0

@@ -227,3 +227,86 @@ class TestLatencyWindow:
         for t in threads:
             t.join()
         assert w.total_recorded > 0
+
+
+class TestReadinessAndSwap:
+    def test_ready_flips_on_warmup_and_close(self, model):
+        engine = QueryEngine(model)
+        try:
+            assert not engine.ready
+            engine.warmup()
+            assert engine.ready
+        finally:
+            engine.close()
+        assert not engine.ready  # closed engines are never ready
+
+    def test_stats_carry_version_and_swaps(self, model, small_blobs):
+        with QueryEngine(model) as engine:
+            engine.predict(small_blobs[:4])
+            s = engine.stats()
+            assert s["model"]["version"] == model.version_token()
+            assert s["swaps"] == 0
+            assert s["ready"] is False
+
+    def test_flush_cache_reports_evicted_count(self, model, small_blobs):
+        with QueryEngine(model, cache_size=64) as engine:
+            engine.predict(small_blobs[:16])
+            n = engine.cache_len()
+            assert n > 0
+            assert engine.flush_cache() == n
+            assert engine.cache_len() == 0
+            assert engine.flush_cache() == 0
+
+    def test_swap_serves_fresh_answers_at_same_coords(self, small_blobs):
+        """Cache entries keyed against model A must never answer for
+        model B: after a swap, identical coordinates get B's labels."""
+        a = fit_model(small_blobs, 0.08, 6)
+        # same points, min_pts above n: every query is noise under B
+        b = fit_model(small_blobs, 0.08, small_blobs.shape[0] + 1)
+        q = small_blobs[:16]
+        with QueryEngine(a) as engine:
+            before = engine.predict(q)
+            engine.predict(q)  # second hit comes from the cache
+            assert engine.stats()["cache"]["hits"] >= q.shape[0]
+            token = engine.swap_model(b)
+            assert token == b.version_token() == engine.model_version
+            got = engine.predict(q)
+            want = predict_model(b, q)
+            np.testing.assert_array_equal(got.labels, want.labels)
+            assert engine.stats()["swaps"] == 1
+            assert engine.ready  # swap re-warms
+        # the two models genuinely disagree, so staleness would show
+        assert not np.array_equal(before.labels, want.labels)
+
+    def test_swap_under_concurrent_reads(self, small_blobs):
+        """Readers racing a swap always get a self-consistent answer
+        from exactly one of the two models."""
+        a = fit_model(small_blobs, 0.08, 6)
+        b = fit_model(small_blobs, 0.08, small_blobs.shape[0] + 1)
+        q = small_blobs[:8]
+        want_a = predict_model(a, q).labels
+        want_b = predict_model(b, q).labels
+        with QueryEngine(a, cache_size=0) as engine:
+            stop = threading.Event()
+            bad: list = []
+
+            def reader():
+                while not stop.is_set():
+                    labels = engine.predict(q).labels
+                    if not (
+                        np.array_equal(labels, want_a)
+                        or np.array_equal(labels, want_b)
+                    ):
+                        bad.append(labels)
+
+            threads = [threading.Thread(target=reader) for _ in range(3)]
+            for t in threads:
+                t.start()
+            time.sleep(0.05)
+            engine.swap_model(b)
+            time.sleep(0.05)
+            stop.set()
+            for t in threads:
+                t.join()
+            assert bad == []
+            np.testing.assert_array_equal(engine.predict(q).labels, want_b)

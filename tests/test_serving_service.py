@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -160,3 +161,80 @@ class TestConcurrency:
         for t in threads:
             t.join()
         assert results == want.labels.tolist()
+
+
+class TestReadyzAndDrain:
+    def test_readyz_tracks_engine_warmup(self, small_blobs):
+        """503 until the engine is warm, 200 after — distinct from
+        /healthz, which only says the process is up."""
+        model = fit_model(small_blobs, 0.08, 6)
+        engine = QueryEngine(model, max_wait_ms=1.0)
+        server = make_server(engine, port=0)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{port}"
+        try:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(base + "/readyz")
+            assert err.value.code == 503
+            assert json.loads(err.value.read())["ready"] is False
+            # healthz is already fine while readyz refuses
+            assert _get(base + "/healthz")[0] == 200
+            engine.warmup()
+            status, body = _get(base + "/readyz")
+            assert status == 200
+            assert body["ready"] is True
+            assert body["version"] == model.version_token()
+        finally:
+            server.shutdown()
+            server.server_close()
+            engine.close()
+            thread.join(timeout=5.0)
+
+    def test_graceful_shutdown_drains_inflight(self, small_blobs):
+        """shutdown_gracefully waits for an admitted request to finish:
+        the slow in-flight POST still gets its 200."""
+        from repro.serving.service import shutdown_gracefully
+
+        model = fit_model(small_blobs, 0.08, 6)
+        engine = QueryEngine(model, max_wait_ms=1.0)
+        server = make_server(engine, port=0)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{port}"
+
+        release = threading.Event()
+        orig_predict = engine.predict
+
+        def slow_predict(queries):
+            release.wait(timeout=10.0)
+            return orig_predict(queries)
+
+        engine.predict = slow_predict
+        statuses: list[int] = []
+
+        def inflight_request():
+            statuses.append(
+                _post(base + "/predict", {"points": small_blobs[:4].tolist()})[0]
+            )
+
+        req = threading.Thread(target=inflight_request)
+        req.start()
+        time.sleep(0.2)  # request is inside the handler, parked on the event
+
+        drained: list[bool] = []
+
+        def drain():
+            drained.append(shutdown_gracefully(server, engine, drain_timeout=30.0))
+
+        stopper = threading.Thread(target=drain)
+        stopper.start()
+        time.sleep(0.2)
+        release.set()
+        req.join(timeout=10.0)
+        stopper.join(timeout=10.0)
+        thread.join(timeout=5.0)
+        assert statuses == [200]
+        assert drained == [True]
