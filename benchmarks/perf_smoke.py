@@ -47,6 +47,17 @@ every run and gate the expensive one separately:
   only on hosts with ≥4 usable cores (the ``enforced`` field says
   so); single-core runners record the numbers and print a visible
   SKIP.  ``REPRO_FLEET_SCALE`` shrinks the workload for CI smoke.
+* **--streaming** — the incremental-maintenance case.  Replays a
+  drifting multi-component stream through
+  :class:`repro.streaming.StreamingMuDBSCAN` twice — same batches,
+  sliding windows of W and 2W — with random deletes mixed in, and
+  writes ``BENCH_STREAMING.json`` (sustained updates/sec + the
+  steady-state probe counts at both window sizes).  Exits non-zero
+  when windowed label parity (ARI = 1.0 vs a batch refit of the live
+  window) fails at either window, or when the steady-state probe
+  count grows with the window by more than the sub-linearity gate —
+  the counter-level proof that no update ever re-clusters the buffer.
+  ``REPRO_STREAMING_SCALE`` shrinks the replay for CI smoke.
 * **--parallel** — the execution-backend wall-clock case.  Runs
   sequential μDBSCAN, then μDBSCAN-D on the ``process`` backend at 2
   and 4 ranks, on the same 20k workload, and writes
@@ -77,6 +88,7 @@ Usage::
     PYTHONPATH=src python benchmarks/perf_smoke.py --fleet          # serving fleet
     PYTHONPATH=src python benchmarks/perf_smoke.py --observability  # overhead
     PYTHONPATH=src python benchmarks/perf_smoke.py --quality        # engine ARI
+    PYTHONPATH=src python benchmarks/perf_smoke.py --streaming      # live updates
 """
 
 from __future__ import annotations
@@ -141,6 +153,22 @@ OBSERVABILITY_ROUNDS = 3
 #: test, large enough for stable ARI (REPRO_QUALITY_SCALE overrides)
 QUALITY_SCALE = float(os.environ.get("REPRO_QUALITY_SCALE", "0.5"))
 
+#: streaming case: replay length, insert batch, the two windows whose
+#: steady-state probe counts are compared, and deletes per batch
+STREAMING_SCALE = float(os.environ.get("REPRO_STREAMING_SCALE", "1.0"))
+STREAMING_N = max(2_000, int(8_000 * STREAMING_SCALE))
+STREAMING_BATCH = max(125, int(500 * STREAMING_SCALE))
+STREAMING_WINDOWS = (
+    max(500, int(2_000 * STREAMING_SCALE)),
+    max(1_000, int(4_000 * STREAMING_SCALE)),
+)
+STREAMING_DELETES_PER_BATCH = 25
+STREAMING_EPS = 0.08
+STREAMING_MIN_PTS = 20
+#: allowed growth of steady-state probes when the window doubles (a
+#: full re-cluster per batch would double them; locality keeps ~1.0)
+STREAMING_SUBLINEAR_GATE = 1.3
+
 _ROOT = Path(__file__).resolve().parent.parent
 OUT_PATH = _ROOT / "BENCH_batched_query.json"
 QUALITY_OUT_PATH = _ROOT / "BENCH_QUALITY.json"
@@ -148,6 +176,7 @@ PARALLEL_OUT_PATH = _ROOT / "BENCH_parallel_wall.json"
 SERVING_OUT_PATH = _ROOT / "BENCH_serving.json"
 FLEET_OUT_PATH = _ROOT / "BENCH_FLEET.json"
 OBSERVABILITY_OUT_PATH = _ROOT / "BENCH_observability.json"
+STREAMING_OUT_PATH = _ROOT / "BENCH_STREAMING.json"
 
 #: where _write_report appends ledger records; main() may redirect or
 #: clear it (--ledger / --no-ledger)
@@ -782,6 +811,150 @@ def run_quality_case() -> int:
 
 
 # ---------------------------------------------------------------------------
+# case: streaming maintenance (sustained updates/sec + sub-linearity)
+
+
+def _streaming_workload() -> np.ndarray:
+    """A drifting stream that breaks into bounded components.
+
+    Points arrive along a slowly-advancing x axis; every ``group``
+    arrivals the center jumps by more than ε, so the live window always
+    holds several disconnected clusters of bounded size.  Doubling the
+    window then doubles the *number* of components, not their size —
+    which is exactly what separates local maintenance (flat per-batch
+    cost) from a full re-cluster (cost ∝ window).
+    """
+    rng = np.random.default_rng(SEED)
+    idx = np.arange(STREAMING_N)
+    x = idx * 0.0006 + (idx // 600) * 0.5 + rng.normal(0, 0.02, STREAMING_N)
+    yz = rng.normal(0, 0.06, (STREAMING_N, 2))
+    return np.column_stack([x, yz])
+
+
+def _streaming_replay(pts: np.ndarray, window: int) -> dict:
+    from repro.streaming import StreamingMuDBSCAN
+    from repro.validation.exactness import check_window_parity
+
+    rng = np.random.default_rng(SEED + 1)
+    clusterer = StreamingMuDBSCAN(
+        eps=STREAMING_EPS, min_pts=STREAMING_MIN_PTS, window=window
+    )
+    updates = 0
+    steady_queries: list[int] = []
+    start = time.perf_counter()
+    for lo in range(0, pts.shape[0], STREAMING_BATCH):
+        clusterer.partial_fit(pts[lo : lo + STREAMING_BATCH])
+        stats = clusterer.last_update_stats
+        updates += stats["inserted"] + stats["expired"]
+        if clusterer.n_live >= window:
+            steady_queries.append(int(stats["queries"]))
+        k = min(STREAMING_DELETES_PER_BATCH, clusterer.n_live)
+        if k:
+            clusterer.delete(rng.choice(clusterer.ids_, size=k, replace=False))
+            updates += k
+    wall = time.perf_counter() - start
+    parity = check_window_parity(
+        clusterer.result(), clusterer.window_points, metric=clusterer.metric
+    )
+    steady = (
+        sum(steady_queries) / len(steady_queries) if steady_queries else 0.0
+    )
+    return {
+        "window": window,
+        "updates": updates,
+        "wall_seconds": round(wall, 4),
+        "updates_per_second": round(updates / wall, 1),
+        "steady_state_batches": len(steady_queries),
+        "steady_mean_queries_per_batch": round(steady, 1),
+        "n_live_final": clusterer.n_live,
+        "n_clusters_final": clusterer.n_clusters_,
+        "compactions": clusterer.compactions_total,
+        "parity": {
+            "ari": parity.ari,
+            "exact": parity.exact.ok,
+            "ok": parity.ok,
+            "n_window": parity.n_window,
+        },
+    }
+
+
+def run_streaming_case() -> int:
+    pts = _streaming_workload()
+    small_w, large_w = STREAMING_WINDOWS
+    print(
+        f"streaming replay: {STREAMING_N} points in batches of "
+        f"{STREAMING_BATCH} (+{STREAMING_DELETES_PER_BATCH} deletes/batch), "
+        f"windows {small_w} and {large_w}"
+    )
+    small = _streaming_replay(pts, small_w)
+    large = _streaming_replay(pts, large_w)
+    for run in (small, large):
+        print(
+            f"window {run['window']}: {run['updates_per_second']:,.0f} "
+            f"updates/s, steady probes/batch "
+            f"{run['steady_mean_queries_per_batch']:.0f} "
+            f"({run['n_clusters_final']} clusters, "
+            f"{run['compactions']} compactions), "
+            f"parity ari={run['parity']['ari']:.4f}"
+        )
+
+    ratio = (
+        large["steady_mean_queries_per_batch"]
+        / small["steady_mean_queries_per_batch"]
+        if small["steady_mean_queries_per_batch"]
+        else float("inf")
+    )
+    parity_ok = small["parity"]["ok"] and large["parity"]["ok"]
+    report = {
+        "workload": {
+            "n_points": STREAMING_N,
+            "batch": STREAMING_BATCH,
+            "deletes_per_batch": STREAMING_DELETES_PER_BATCH,
+            "windows": list(STREAMING_WINDOWS),
+            "eps": STREAMING_EPS,
+            "min_pts": STREAMING_MIN_PTS,
+            "seed": SEED,
+            "streaming_scale": STREAMING_SCALE,
+        },
+        "small_window": small,
+        "large_window": large,
+        "steady_query_ratio": round(ratio, 3),
+        "sublinear_gate": {
+            "required_max": STREAMING_SUBLINEAR_GATE,
+            "passed": ratio <= STREAMING_SUBLINEAR_GATE,
+        },
+        "parity_gate": {"required": True, "passed": parity_ok},
+    }
+    _write_report(
+        STREAMING_OUT_PATH,
+        "streaming",
+        report,
+        wall_seconds=large["wall_seconds"],
+        metrics={
+            "updates_per_second": large["updates_per_second"],
+            "steady_query_ratio": round(ratio, 3),
+            "parity_ari": large["parity"]["ari"],
+        },
+    )
+    print(
+        f"steady probes: {small['steady_mean_queries_per_batch']:.0f} -> "
+        f"{large['steady_mean_queries_per_batch']:.0f} per batch as the "
+        f"window doubles ({ratio:.2f}x; report: {STREAMING_OUT_PATH.name})"
+    )
+    if not parity_ok:
+        print("FAIL: streaming labels diverged from the batch refit")
+        return 2
+    if ratio > STREAMING_SUBLINEAR_GATE:
+        print(
+            f"FAIL: steady-state probe count grew {ratio:.2f}x when the "
+            f"window doubled (> {STREAMING_SUBLINEAR_GATE}x) — update cost "
+            "is scaling with the buffer, not the touched region"
+        )
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # case 3: process-backend wall-clock speedup
 
 
@@ -901,6 +1074,12 @@ def main(argv: list[str] | None = None) -> int:
         "saturation curve, hot-swap drill)",
     )
     parser.add_argument(
+        "--streaming",
+        action="store_true",
+        help="run the streaming-maintenance case (sustained updates/sec, "
+        "windowed parity, sub-linearity counter gate)",
+    )
+    parser.add_argument(
         "--ledger",
         metavar="PATH",
         default=None,
@@ -919,11 +1098,13 @@ def main(argv: list[str] | None = None) -> int:
     elif args.ledger:
         LEDGER_PATH = Path(args.ledger)
     if sum((args.parallel, args.serving, args.observability, args.quality,
-            args.fleet)) > 1:
+            args.fleet, args.streaming)) > 1:
         parser.error(
             "choose one of --parallel / --serving / --observability / "
-            "--quality / --fleet"
+            "--quality / --fleet / --streaming"
         )
+    if args.streaming:
+        return run_streaming_case()
     if args.fleet:
         return run_fleet_case()
     if args.parallel:

@@ -1,13 +1,14 @@
 #!/usr/bin/env python
-"""Streaming clustering — μDBSCAN over an arriving data stream.
+"""Streaming clustering — μDBSCAN over a live insert/delete stream.
 
 The paper's §VII names stream clustering as the natural extension of
 the micro-cluster design, because MCs absorb new points with a single
 index probe and never need rebuilding.  This example feeds a drifting
 point stream (a blob that moves between batches, plus background
-noise) into :class:`repro.streaming.IncrementalMuDBSCAN`, re-clusters
-after every batch, and compares the incremental cost against
-re-running batch μDBSCAN from scratch each time.
+noise) into :func:`repro.stream`, retires a slice of the oldest points
+after every batch, and compares the incremental maintenance cost
+against re-running batch μDBSCAN on the live window from scratch —
+checking exact label parity (ARI = 1.0) each time.
 
 Usage::
 
@@ -21,9 +22,9 @@ import time
 
 import numpy as np
 
-from repro import brute_dbscan, check_exact, mu_dbscan
+from repro import mu_dbscan, stream
 from repro.instrumentation.report import format_table
-from repro.streaming import IncrementalMuDBSCAN
+from repro.validation.exactness import check_window_parity
 
 
 def make_batch(step: int, size: int, rng: np.random.Generator) -> np.ndarray:
@@ -43,53 +44,56 @@ def main() -> int:
     eps, min_pts = 0.05, 5
 
     rng = np.random.default_rng(17)
-    inc = IncrementalMuDBSCAN(eps=eps, min_pts=min_pts, dim=2)
+    inc = stream(eps=eps, min_pts=min_pts)
 
     rows = []
     all_ok = True
     for step in range(batches):
         batch = make_batch(step, batch_size, rng)
         t0 = time.perf_counter()
-        inc.insert(batch)
-        result = inc.cluster()
+        inc.partial_fit(batch)
+        if step > 0:  # retire a quarter of the oldest live points
+            inc.expire(batch_size // 4)
         t_inc = time.perf_counter() - t0
 
-        points_so_far = inc.points
+        window = inc.window_points
         t0 = time.perf_counter()
-        batch_result = mu_dbscan(points_so_far, eps, min_pts)
+        mu_dbscan(window, eps, min_pts)
         t_batch = time.perf_counter() - t0
 
-        ok = check_exact(result, batch_result, points=points_so_far).ok
-        all_ok = all_ok and ok
+        report = check_window_parity(inc.result(), window, metric=inc.metric)
+        all_ok = all_ok and report.ok
         rows.append(
             [
                 step + 1,
                 len(inc),
-                result.n_clusters,
+                inc.n_clusters_,
                 inc.n_micro_clusters,
                 f"{t_inc:.3f}",
                 f"{t_batch:.3f}",
                 f"{t_batch / t_inc:.1f}x" if t_inc > 0 else "-",
-                "yes" if ok else "NO",
+                "yes" if report.ok else "NO",
             ]
         )
 
     print(
         format_table(
-            ["batch", "points", "clusters", "MCs", "incremental s",
-             "from-scratch s", "saving", "exact"],
+            ["batch", "live", "clusters", "MCs", "incremental s",
+             "from-scratch s", "saving", "ARI=1.0"],
             rows,
             title=(
-                "streaming muDBSCAN: insert + re-cluster per batch vs "
-                "re-running batch muDBSCAN on everything"
+                "streaming muDBSCAN: insert + expire per batch vs "
+                "re-running batch muDBSCAN on the live window"
             ),
         )
     )
-    final = inc.cluster()
-    oracle = brute_dbscan(inc.points, eps, min_pts)
-    report = check_exact(final, oracle, points=inc.points)
-    print(f"\nfinal state vs brute-force oracle: {report}")
-    return 0 if (all_ok and report.ok) else 1
+    final = check_window_parity(inc.result(), inc.window_points, metric=inc.metric)
+    print(
+        f"\nfinal window vs batch refit: ari={final.ari:.4f} "
+        f"exact={final.exact.ok} n_window={final.n_window} "
+        f"(compactions={inc.compactions_total})"
+    )
+    return 0 if (all_ok and final.ok) else 1
 
 
 if __name__ == "__main__":

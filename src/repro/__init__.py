@@ -27,9 +27,9 @@ Layout:
 * :mod:`repro.observability` — metrics registry, tracing and
   Prometheus exposition (off by default; see docs/OBSERVABILITY.md).
 
-The stable surface is the four facade verbs — ``fit``,
-``fit_distributed``, ``load_model``, ``suggest_eps`` — plus the names
-in ``__all__``; see docs/API.md.
+The stable surface is the five facade verbs — ``fit``,
+``fit_distributed``, ``stream``, ``load_model``, ``suggest_eps`` —
+plus the names in ``__all__``; see docs/API.md.
 """
 
 from repro._version import __version__
@@ -42,7 +42,7 @@ from repro.baselines import brute_dbscan, rtree_dbscan, g_dbscan, grid_dbscan
 from repro.validation.exactness import check_exact, assert_exact
 from repro.validation.definition import validate_definition
 from repro.neighbors import suggest_eps, k_distances
-from repro.streaming import IncrementalMuDBSCAN
+from repro.streaming import IncrementalMuDBSCAN, StreamingMuDBSCAN
 from repro.geometry.metrics import get_metric
 from repro.serving import (
     FittedModel,
@@ -53,13 +53,14 @@ from repro.serving import (
     save_model,
 )
 from repro import api
-from repro.api import fit, fit_distributed
+from repro.api import fit, fit_distributed, stream
 
 __all__ = [
     "__version__",
     "api",
     "fit",
     "fit_distributed",
+    "stream",
     "ExtraKeys",
     "ReproDeprecationWarning",
     "mu_dbscan",
@@ -75,6 +76,7 @@ __all__ = [
     "validate_definition",
     "suggest_eps",
     "k_distances",
+    "StreamingMuDBSCAN",
     "IncrementalMuDBSCAN",
     "get_metric",
     "FittedModel",

@@ -19,7 +19,7 @@ import functools
 import warnings
 from typing import Any, Callable, TypeVar
 
-__all__ = ["ReproDeprecationWarning", "deprecated_alias"]
+__all__ = ["ReproDeprecationWarning", "deprecated_alias", "deprecated_method"]
 
 F = TypeVar("F", bound=Callable[..., Any])
 
@@ -74,6 +74,37 @@ def deprecated_alias(**aliases: str) -> Callable[[F], F]:
             return fn(*args, **kwargs)
 
         wrapper.__deprecated_aliases__ = dict(aliases)  # type: ignore[attr-defined]
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def deprecated_method(replacement: str) -> Callable[[F], F]:
+    """Mark a whole method as a deprecated spelling of ``replacement``.
+
+    Unlike :func:`deprecated_alias` (which renames *keywords*), this
+    wraps a legacy method name that survives only as a shim — e.g.
+    ``IncrementalMuDBSCAN.insert`` delegating to ``partial_fit``.  The
+    call still works, after one :class:`ReproDeprecationWarning` per
+    method per process (same ``_WARNED`` bookkeeping, same CI
+    escalation).
+    """
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            key = (fn.__qualname__, "<method>")
+            if key not in _WARNED:
+                _WARNED.add(key)
+                warnings.warn(
+                    f"{fn.__qualname__}() is deprecated; use "
+                    f"{replacement}() instead",
+                    ReproDeprecationWarning,
+                    stacklevel=2,
+                )
+            return fn(*args, **kwargs)
+
+        wrapper.__deprecated_replacement__ = replacement  # type: ignore[attr-defined]
         return wrapper  # type: ignore[return-value]
 
     return decorate

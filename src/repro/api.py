@@ -1,14 +1,18 @@
-"""The stable public surface of the library — four verbs.
+"""The stable public surface of the library — five verbs.
 
 Everything a user of the reproduction needs, importable from the
 package root::
 
-    from repro import fit, fit_distributed, load_model, suggest_eps
+    from repro import fit, fit_distributed, load_model, stream, suggest_eps
 
     eps = suggest_eps(points, min_pts=60)
     result = fit(points, eps=eps, min_pts=60)
     result = fit_distributed(points, eps=eps, min_pts=60, n_ranks=4)
     model = load_model("model.mudb")
+
+    clusterer = stream(eps=eps, min_pts=60, window=100_000)
+    clusterer.partial_fit(batch)          # exact, incremental
+    labels = clusterer.labels_
 
 The facade commits to the unified parameter vocabulary (``eps``,
 ``min_pts``, ``n_ranks``, ``backend``) documented in docs/API.md.
@@ -34,8 +38,9 @@ from repro.core.result import ClusteringResult
 from repro.distributed.mudbscan_d import mu_dbscan_d
 from repro.neighbors import suggest_eps
 from repro.serving.model import FittedModel, load_model
+from repro.streaming.incremental import StreamingMuDBSCAN
 
-__all__ = ["fit", "fit_distributed", "load_model", "suggest_eps"]
+__all__ = ["fit", "fit_distributed", "load_model", "stream", "suggest_eps"]
 
 
 @deprecated_alias(minpts="min_pts", min_samples="min_pts")
@@ -94,6 +99,38 @@ def fit_distributed(
     ``tracer`` and the local μDBSCAN knobs pass through unchanged.
     """
     return mu_dbscan_d(points, eps, min_pts, n_ranks, **opts)
+
+
+@deprecated_alias(minpts="min_pts", min_samples="min_pts")
+def stream(
+    eps: float,
+    min_pts: int,
+    *,
+    engine: str = "streaming",
+    **opts: Any,
+) -> StreamingMuDBSCAN:
+    """Create an incremental clusterer for a live data stream.
+
+    Returns a :class:`~repro.streaming.StreamingMuDBSCAN` with the
+    sklearn-style maintenance surface: ``partial_fit(X)`` to insert,
+    ``delete(ids)`` / ``expire(n)`` to remove, ``labels_`` / ``ids_`` /
+    ``core_sample_mask_`` to read the current exact clustering, and
+    ``to_fitted_model()`` to snapshot for serving.  The clustering is
+    exact after every update — identical (up to relabeling) to
+    :func:`fit` on the live window.
+
+    Shares the batch vocabulary: ``metric``, ``builder`` /
+    ``builder_block_size``, ``max_entries`` pass through, plus the
+    streaming knobs ``window``, ``compact_every``,
+    ``compact_dirty_fraction`` (docs/STREAMING.md).  Only
+    ``engine="streaming"`` exists — the keyword is accepted for
+    symmetry with :func:`fit` and reserved for future tiers.
+    """
+    if engine != "streaming":
+        raise ValueError(
+            f"stream() supports engine='streaming' only, got {engine!r}"
+        )
+    return StreamingMuDBSCAN(eps, min_pts, **opts)
 
 
 # load_model and suggest_eps need no wrapper — their canonical

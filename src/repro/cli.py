@@ -10,6 +10,9 @@
     mudbscan fit --dataset 3DSRN --save model.mudb
     mudbscan fit --dataset 3DSRN --save model.mudb \
         --trace-out trace.jsonl --metrics-out metrics.prom
+    mudbscan stream --dataset 3DSRN --batch 256 --window 4000 \
+        --delete-fraction 0.1 --checkpoint-every 8 --checkpoint-dir ckpts \
+        --verify
     mudbscan predict --model model.mudb --input queries.npy
     mudbscan serve --model model.mudb --port 8765
     mudbscan serve --model model.mudb --workers 4 --router kd --port 8766
@@ -323,6 +326,109 @@ def cmd_fit(args: argparse.Namespace) -> int:
     print(model.summary())
     print(f"dataset={name} fit_wall={wall:.3f}s")
     print(f"saved model artifact: {path} ({path.stat().st_size} bytes)")
+    return 0
+
+
+def _positive_int(value: str) -> int:
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {value!r}") from None
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+    return parsed
+
+
+def _fraction(value: str) -> float:
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {value!r}") from None
+    if not 0.0 <= parsed < 1.0:
+        raise argparse.ArgumentTypeError(f"must be in [0, 1), got {parsed}")
+    return parsed
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.api import stream as make_stream
+
+    if args.checkpoint_every is not None and not args.checkpoint_dir:
+        print("mudbscan stream: --checkpoint-every requires --checkpoint-dir",
+              file=sys.stderr)
+        return 2
+    pts, eps, min_pts, name = _resolve_workload(args)
+    rng = np.random.default_rng(args.seed)
+    clusterer = make_stream(
+        eps,
+        min_pts,
+        window=args.window,
+        metric=args.metric,
+        builder=args.builder,
+        builder_block_size=args.builder_block_size,
+        compact_every=args.compact_every,
+    )
+    ckpt_dir = Path(args.checkpoint_dir) if args.checkpoint_dir else None
+    if ckpt_dir is not None:
+        ckpt_dir.mkdir(parents=True, exist_ok=True)
+
+    inserted = deleted = expired = n_batches = 0
+    checkpoints: list[Path] = []
+    with _observability(args, root_name="stream_partial_fit"):
+        start = time.perf_counter()
+        for lo in range(0, pts.shape[0], args.batch):
+            batch = pts[lo : lo + args.batch]
+            clusterer.partial_fit(batch)
+            n_batches += 1
+            inserted += int(clusterer.last_update_stats.get("inserted", 0))
+            expired += int(clusterer.last_update_stats.get("expired", 0))
+            if args.delete_fraction:
+                alive = clusterer.ids_
+                k = int(args.delete_fraction * batch.shape[0])
+                k = min(k, alive.shape[0])
+                if k:
+                    victims = rng.choice(alive, size=k, replace=False)
+                    clusterer.delete(victims)
+                    deleted += k
+            if (
+                args.checkpoint_every is not None
+                and n_batches % args.checkpoint_every == 0
+            ):
+                model = clusterer.to_fitted_model()
+                path = ckpt_dir / (
+                    f"ckpt-{n_batches:05d}-{model.version_token()[:12]}.mudb"
+                )
+                model.save(path)
+                checkpoints.append(path)
+                print(f"checkpoint: {path}")
+        wall = time.perf_counter() - start
+
+    updates = inserted + deleted + expired
+    rate = updates / wall if wall > 0 else float("inf")
+    print(
+        f"dataset={name} batches={n_batches} inserted={inserted} "
+        f"deleted={deleted} expired={expired} live={clusterer.n_live}"
+    )
+    print(
+        f"clusters={clusterer.n_clusters_} "
+        f"compactions={clusterer.compactions_total} "
+        f"wall={wall:.3f}s sustained={rate:.0f} updates/s"
+    )
+    if checkpoints:
+        print(f"wrote {len(checkpoints)} checkpoint(s) to {ckpt_dir}")
+    if args.verify:
+        from repro.validation.exactness import check_window_parity
+
+        report = check_window_parity(
+            clusterer.result(), clusterer.window_points, metric=clusterer.metric
+        )
+        print(
+            f"window parity vs batch refit: ari={report.ari:.4f} "
+            f"exact={report.exact.ok} n_window={report.n_window}"
+        )
+        if not report.ok:
+            return 1
     return 0
 
 
@@ -774,6 +880,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="distance metric (euclidean / manhattan / chebyshev)",
     )
 
+    strm = sub.add_parser(
+        "stream",
+        help="replay a dataset as a live insert/delete stream "
+        "(exact incremental maintenance; docs/STREAMING.md)",
+    )
+    add_workload_args(strm)
+    strm.add_argument(
+        "--batch", type=_positive_int, default=512,
+        help="points per insert batch during the replay",
+    )
+    strm.add_argument(
+        "--window", type=_positive_int, default=None,
+        help="sliding-window capacity; oldest points expire beyond it",
+    )
+    strm.add_argument(
+        "--delete-fraction", type=_fraction, default=0.0,
+        help="after each insert batch, delete this fraction of the batch "
+        "size as random live points (exercises the repair path)",
+    )
+    strm.add_argument(
+        "--compact-every", type=_positive_int, default=None,
+        help="force a micro-cluster compaction every N update batches "
+        "(default: automatic dirty-fraction trigger only)",
+    )
+    strm.add_argument(
+        "--checkpoint-every", type=_positive_int, default=None,
+        help="save a versioned FittedModel every N batches "
+        "(requires --checkpoint-dir)",
+    )
+    strm.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="directory for checkpoint artifacts",
+    )
+    strm.add_argument(
+        "--metric", default="euclidean",
+        help="distance metric (euclidean / manhattan / chebyshev)",
+    )
+    strm.add_argument("--seed", type=int, default=0, help="delete-selection seed")
+    strm.add_argument(
+        "--verify", action="store_true",
+        help="after the replay, prove label parity (ARI=1.0) against a "
+        "batch refit of the live window; non-zero exit on mismatch",
+    )
+
     pred = sub.add_parser(
         "predict", help="assign new points to a saved model's clustering"
     )
@@ -868,6 +1018,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": cmd_report,
         "monitor": cmd_monitor,
         "fit": cmd_fit,
+        "stream": cmd_stream,
         "predict": cmd_predict,
         "serve": cmd_serve,
         "loadtest": cmd_loadtest,

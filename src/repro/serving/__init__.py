@@ -17,6 +17,9 @@ The fit→save→serve pipeline the production story needs:
 * :mod:`repro.serving.fleet` — the sharded multi-worker fleet: spatial
   kd-routing with a 2ε exactness halo, shared-memory model loading,
   hot model swap, and the async admission-controlled front door.
+* :mod:`repro.serving.streaming` — :class:`StreamingEngine`, applying a
+  live insert/delete stream to a served :class:`FittedModel` in place
+  (no refit, no swap) with staleness/compaction gauges on ``/metrics``.
 * :mod:`repro.serving.loadgen` — the open-loop load-test harness
   behind ``mudbscan loadtest`` and ``perf_smoke --fleet``.
 
@@ -42,6 +45,7 @@ from repro.serving.fleet import (
     plan_shards,
     start_in_thread,
 )
+from repro.serving.streaming import StreamingEngine
 
 __all__ = [
     "FORMAT_VERSION",
@@ -64,4 +68,5 @@ __all__ = [
     "ShardedPredictor",
     "plan_shards",
     "start_in_thread",
+    "StreamingEngine",
 ]

@@ -1,19 +1,19 @@
-"""Streaming/incremental μDBSCAN — the paper's future-work direction.
+"""Streaming μDBSCAN — exact clustering under a live update stream.
 
-§VII: *"This approach can also be adopted to fast clustering of data
-streams."*  The enabler is that micro-clusters are an **incremental**
-structure: a new point either joins an existing MC (one index probe)
-or founds one, and MC centers never move — so the expensive phase of
-μDBSCAN (tree construction, 15–70 % of run-time per Table III) can be
-amortised across batch insertions while re-clustering stays exact.
+§VII of the paper: *"This approach can also be adopted to fast
+clustering of data streams."*  Micro-clusters are the natural unit of
+online maintenance (Theorem 1: correctness holds for *any* valid MC
+partition), and :class:`~repro.streaming.incremental.StreamingMuDBSCAN`
+exploits that to keep an **exact** DBSCAN clustering under inserts,
+deletes and sliding-window expiry — updating only the micro-clusters,
+core flags and union-find components the batch touches, never
+re-running the batch pipeline.
 
-:class:`~repro.streaming.incremental.IncrementalMuDBSCAN` maintains the
-micro-cluster structure, the first-level R-tree, and the reachability
-caches across ``insert()`` calls; ``cluster()`` produces exactly the
-clustering batch μDBSCAN (and hence classical DBSCAN) would produce on
-everything inserted so far.
+Stable entry point: :func:`repro.api.stream`.  The historical
+:class:`IncrementalMuDBSCAN` name remains as a deprecated shim.
+See docs/STREAMING.md for the maintenance invariants.
 """
 
-from repro.streaming.incremental import IncrementalMuDBSCAN
+from repro.streaming.incremental import IncrementalMuDBSCAN, StreamingMuDBSCAN
 
-__all__ = ["IncrementalMuDBSCAN"]
+__all__ = ["StreamingMuDBSCAN", "IncrementalMuDBSCAN"]

@@ -11,7 +11,15 @@ the approximate clustering engines (``sampled`` / ``summary``) against
 the exact engine — the ARI gate that CI enforces.
 """
 
-from repro.validation.exactness import ExactnessReport, check_exact, assert_exact
+from repro.validation.exactness import (
+    ExactnessReport,
+    WindowParityReport,
+    assert_exact,
+    assert_window_parity,
+    canonical_labels,
+    check_exact,
+    check_window_parity,
+)
 from repro.validation.definition import DefinitionReport, validate_definition
 from repro.validation.metrics import (
     rand_index,
@@ -33,6 +41,10 @@ __all__ = [
     "validate_definition",
     "check_exact",
     "assert_exact",
+    "WindowParityReport",
+    "canonical_labels",
+    "check_window_parity",
+    "assert_window_parity",
     "rand_index",
     "adjusted_rand_index",
     "normalized_mutual_info",

@@ -24,7 +24,15 @@ import numpy as np
 from repro.core.result import ClusteringResult
 from repro.geometry.metrics import EUCLIDEAN, Metric, get_metric
 
-__all__ = ["ExactnessReport", "check_exact", "assert_exact"]
+__all__ = [
+    "ExactnessReport",
+    "check_exact",
+    "assert_exact",
+    "canonical_labels",
+    "WindowParityReport",
+    "check_window_parity",
+    "assert_window_parity",
+]
 
 
 @dataclass
@@ -160,3 +168,135 @@ def assert_exact(
         raise AssertionError(
             f"{candidate.algorithm} is not exact vs {reference.algorithm}: {report}"
         )
+
+
+# ----------------------------------------------------------------------
+# windowed exactness (streaming vs batch refit of the live window)
+
+
+def canonical_labels(
+    labels: np.ndarray,
+    core_mask: np.ndarray,
+    points: np.ndarray,
+    eps: float,
+    metric: str | Metric = EUCLIDEAN,
+    block_size: int = 2048,
+) -> np.ndarray:
+    """Re-attach every non-core point canonically; relabel densely.
+
+    DBSCAN border attachment is legitimately order-dependent, so two
+    exact clusterings of the same window can disagree on border labels
+    while agreeing on everything Theorem 1 fixes (cores, core
+    partition, noise).  This helper removes that freedom: every
+    non-core point is attached to the core strictly within ε that
+    minimises ``(raw distance, row id)`` (noise if there is none), and
+    cluster ids are renumbered by first appearance.  Two exact
+    clusterings canonicalise to **identical** label arrays — the ARI=1
+    comparison :func:`check_window_parity` builds on.
+
+    The streaming engine's ``labels_`` already uses this attachment
+    rule (same metric raw values through the stable pairwise kernel,
+    same tie-break), so canonicalising is a no-op on its output.
+    """
+    metric = get_metric(metric)
+    pts = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    core_mask = np.asarray(core_mask, dtype=bool)
+    out = np.full(labels.shape[0], -1, dtype=np.int64)
+    out[core_mask] = labels[core_mask]
+    core_rows = np.flatnonzero(core_mask)
+    noncore = np.flatnonzero(~core_mask)
+    if core_rows.size and noncore.size:
+        thr = metric.threshold(eps)
+        cpts = pts[core_rows]
+        for start in range(0, noncore.size, block_size):
+            blk = noncore[start : start + block_size]
+            raw = metric.raw_pairwise_stable(pts[blk], cpts)
+            raw = np.where(raw < thr, raw, np.inf)
+            # argmin returns the first minimum; core_rows ascend, so
+            # ties resolve to the lowest core row id
+            best = np.argmin(raw, axis=1)
+            hit = np.isfinite(raw[np.arange(blk.size), best])
+            out[blk[hit]] = labels[core_rows[best[hit]]]
+    # dense relabel by first appearance
+    dense = np.full(out.shape[0], -1, dtype=np.int64)
+    mask = out >= 0
+    if mask.any():
+        vals = out[mask]
+        uniq, first, inv = np.unique(vals, return_index=True, return_inverse=True)
+        rank = np.empty(uniq.shape[0], dtype=np.int64)
+        rank[np.argsort(first, kind="stable")] = np.arange(uniq.shape[0])
+        dense[mask] = rank[inv]
+    return dense
+
+
+@dataclass
+class WindowParityReport:
+    """Outcome of a streaming-vs-batch windowed exactness check."""
+
+    exact: ExactnessReport
+    ari: float
+    n_window: int
+
+    @property
+    def ok(self) -> bool:
+        return self.exact.ok and self.ari == 1.0
+
+    def __str__(self) -> str:
+        status = "PARITY" if self.ok else "DIVERGED"
+        return (
+            f"{status}: window n={self.n_window} ARI={self.ari:.6f} "
+            f"({self.exact})"
+        )
+
+
+def check_window_parity(
+    candidate: ClusteringResult,
+    points: np.ndarray,
+    reference: ClusteringResult | None = None,
+    metric: str | Metric = EUCLIDEAN,
+) -> WindowParityReport:
+    """Prove a streaming snapshot equals a batch refit of its window.
+
+    ``candidate`` is the live window's clustering (e.g.
+    ``StreamingMuDBSCAN.result()``), ``points`` the window coordinates
+    in the same row order (``StreamingMuDBSCAN.window_points``).  The
+    reference defaults to a fresh batch μDBSCAN fit of ``points`` under
+    the candidate's parameters.  The report combines the paper's §III
+    exactness criteria with an ARI computed over *canonicalised*
+    labelings (see :func:`canonical_labels`) — for two exact
+    clusterings the canonical labels are identical up to nothing at
+    all, so ``ari`` must be exactly 1.0.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if len(candidate) != pts.shape[0]:
+        raise ValueError(
+            f"candidate covers {len(candidate)} points, window has {pts.shape[0]}"
+        )
+    metric = get_metric(metric)
+    if reference is None:
+        from repro.core.mudbscan import mu_dbscan
+
+        reference = mu_dbscan(
+            pts, candidate.params.eps, candidate.params.min_pts, metric=metric
+        )
+    exact = check_exact(candidate, reference, points=pts, metric=metric)
+    from repro.validation.metrics import adjusted_rand_index
+
+    eps = candidate.params.eps
+    cand = canonical_labels(candidate.labels, candidate.core_mask, pts, eps, metric)
+    ref = canonical_labels(reference.labels, reference.core_mask, pts, eps, metric)
+    ari = 1.0 if np.array_equal(cand, ref) else adjusted_rand_index(cand, ref)
+    return WindowParityReport(exact=exact, ari=float(ari), n_window=int(pts.shape[0]))
+
+
+def assert_window_parity(
+    candidate: ClusteringResult,
+    points: np.ndarray,
+    reference: ClusteringResult | None = None,
+    metric: str | Metric = EUCLIDEAN,
+) -> None:
+    """Raise ``AssertionError`` with diagnostics unless parity holds."""
+    report = check_window_parity(candidate, points, reference=reference, metric=metric)
+    if not report.ok:
+        raise AssertionError(f"windowed exactness violated: {report}")

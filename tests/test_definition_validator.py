@@ -32,12 +32,12 @@ class TestValidatesCorrectClusterings:
         assert validate_definition(workload, result).ok
 
     def test_streaming_passes(self, workload):
-        from repro.streaming import IncrementalMuDBSCAN
+        from repro.streaming import StreamingMuDBSCAN
 
-        inc = IncrementalMuDBSCAN(eps=0.08, min_pts=5, dim=2)
-        inc.insert(workload[:200])
-        inc.insert(workload[200:])
-        assert validate_definition(workload, inc.cluster()).ok
+        inc = StreamingMuDBSCAN(eps=0.08, min_pts=5, dim=2)
+        inc.partial_fit(workload[:200])
+        inc.partial_fit(workload[200:])
+        assert validate_definition(workload, inc.result()).ok
 
 
 class TestDetectsViolations:
