@@ -28,7 +28,9 @@ every run and gate the expensive one separately:
   wall clock exceeds the plain baseline by more than 5% (the
   instrumentation must be free when nobody is watching) or the
   enabled-mode wall clock exceeds it by more than 10% (span capping
-  keeps watching affordable).
+  keeps watching affordable).  Also times the serving predict path
+  plain vs. with tracing + structured logging live (the per-request
+  hooks a traced fleet worker runs) under the same ≤10% enabled gate.
 * **--quality** — the engine-quality gate.  Sweeps the dataset
   registry through :func:`repro.validation.quality.quality_sweep`,
   scoring the approximate engines (``sampled``, ``summary``) against
@@ -42,11 +44,20 @@ every run and gate the expensive one separately:
   comparison isolates parallelism), ramps an open-loop load test to
   the saturation point, re-runs sustained at 80% of it and records
   the p99, and finishes with a hot-swap drill under sustained traffic
-  (must lose zero requests).  Writes ``BENCH_FLEET.json``.  The
-  ≥2.5×-at-4-workers throughput gate and the p99 bound are enforced
-  only on hosts with ≥4 usable cores (the ``enforced`` field says
-  so); single-core runners record the numbers and print a visible
-  SKIP.  ``REPRO_FLEET_SCALE`` shrinks the workload for CI smoke.
+  (must lose zero requests), then replays the load test through a
+  fully-observed front door — tracing, event log, slow-query
+  retention — and evaluates the serving SLOs (availability, p99
+  latency, streaming staleness) with the burn-rate engine.  Writes
+  ``BENCH_FLEET.json``; observability artifacts (event log,
+  slow-query log, SLO evaluation) land in ``fleet_obs/``
+  (``REPRO_FLEET_OBS_DIR`` overrides) so CI can upload them on
+  failure.  The SLO gate has two arms: a synthetic-outage self-check
+  of the engine (always enforced) and a no-burn assertion on the
+  standard workload.  The latter, the ≥2.5×-at-4-workers throughput
+  gate and the p99 bound are enforced only on hosts with ≥4 usable
+  cores (the ``enforced`` field says so); single-core runners record
+  the numbers and print a visible SKIP.  ``REPRO_FLEET_SCALE``
+  shrinks the workload for CI smoke.
 * **--streaming** — the incremental-maintenance case.  Replays a
   drifting multi-component stream through
   :class:`repro.streaming.StreamingMuDBSCAN` twice — same batches,
@@ -142,6 +153,11 @@ FLEET_P99_CAP_S = 0.25
 #: workload multiplier so CI can run the case small (fit + 9 worker
 #: spawns stay a smoke test)
 FLEET_SCALE = float(os.environ.get("REPRO_FLEET_SCALE", "1.0"))
+#: where the fleet case's observability artifacts land (event log +
+#: slow-query log + SLO evaluation) so CI can upload them on failure
+FLEET_OBS_DIR = Path(
+    os.environ.get("REPRO_FLEET_OBS_DIR", str(Path(__file__).resolve().parent.parent / "fleet_obs"))
+)
 
 #: disabled-mode observability wall-clock overhead allowed over plain
 OBSERVABILITY_OVERHEAD_GATE = 0.05
@@ -479,6 +495,83 @@ def run_serving_case() -> int:
 # case: serving fleet (multi-worker throughput, saturation, hot swap)
 
 
+def _synthetic_slo_burn_flagged() -> bool:
+    """Self-check of the burn-rate engine: inject an outage, demand a flag.
+
+    Pure registry math under an injected clock — host-independent, so
+    this arm of the SLO gate is always enforced.  If a 20%-rejected
+    outage does not register as an availability burn, the gate below
+    would pass vacuously; fail loudly instead.
+    """
+    from repro.observability import MetricsRegistry
+    from repro.observability.slo import SLOEngine, default_serving_slos
+
+    registry = MetricsRegistry(enabled=True)
+    admitted = registry.counter("mudbscan_fleet_admitted_total", "admitted")
+    rejected = registry.counter("mudbscan_fleet_rejected_total", "rejected")
+    now = [1000.0]
+    engine = SLOEngine(registry, default_serving_slos(), clock=lambda: now[0])
+    engine.tick()
+    for _ in range(5):
+        now[0] += 60.0
+        admitted.inc(80)
+        rejected.inc(20)
+        engine.tick()
+    return "availability" in engine.evaluate()["burning"]
+
+
+def _observed_door_phase(model, queries, rate: float) -> dict:
+    """The standard load test with the full observability stack live.
+
+    A traced front door (event log + slow-query retention + SLO engine)
+    takes open-loop HTTP traffic; returns the load summary plus the
+    burn-rate evaluation.  Artifacts land in FLEET_OBS_DIR for CI.
+    """
+    from repro.observability import MetricsRegistry
+    from repro.observability.logging import EventLog
+    from repro.serving import Fleet, FleetConfig, loadgen
+    from repro.serving.fleet import start_in_thread
+
+    FLEET_OBS_DIR.mkdir(parents=True, exist_ok=True)
+    event_log = EventLog(FLEET_OBS_DIR / "events.jsonl", level="info")
+    registry = MetricsRegistry(enabled=True)
+    try:
+        with Fleet(
+            model,
+            FleetConfig(n_workers=FLEET_WORKERS, router="kd"),
+            registry=registry,
+            event_log=event_log,
+        ) as fleet:
+            with start_in_thread(
+                fleet,
+                port=0,
+                max_inflight=64,
+                tracing=True,
+                event_log=event_log,
+                slow_log_path=str(FLEET_OBS_DIR / "slow_queries.jsonl"),
+            ) as door:
+                engine = door.door._slo_engine()
+                engine.tick()  # anchor snapshot: deltas start here
+                observed = loadgen.run_open_loop(
+                    door.url,
+                    queries,
+                    rate=rate,
+                    n_requests=100,
+                    batch_size=16,
+                    n_clients=8,
+                    rng=np.random.default_rng(SEED + 3),
+                )
+                evaluation = engine.evaluate()
+    finally:
+        event_log.close()
+    (FLEET_OBS_DIR / "slo.json").write_text(json.dumps(evaluation, indent=2) + "\n")
+    return {
+        "rate": round(rate, 2),
+        **observed.summary(),
+        "slo": evaluation,
+    }
+
+
 def run_fleet_case() -> int:
     import threading
 
@@ -587,6 +680,25 @@ def run_fleet_case() -> int:
             f"post-swap parity {'ok' if swap_exact else 'BROKEN'}"
         )
 
+    # SLO gate, arm 1 (always enforced): the engine must flag a synthetic burn
+    synthetic_flagged = _synthetic_slo_burn_flagged()
+    print(
+        "slo self-check: synthetic outage "
+        + ("flagged as burning" if synthetic_flagged else "NOT FLAGGED")
+    )
+
+    # SLO gate, arm 2: the standard load test through a fully-observed
+    # front door (tracing + event log + slow-query retention) must not burn
+    observed_rate = 0.5 * (saturation["sustainable_rate"] or knee or 20.0)
+    observed = _observed_door_phase(model, queries, observed_rate)
+    burning = observed["slo"]["burning"]
+    print(
+        f"observed door: {observed['n_requests']} requests at "
+        f"{observed_rate:.1f} req/s with tracing+logging on, error rate "
+        f"{observed['error_rate']:.1%}, burning SLOs: {burning or 'none'} "
+        f"(artifacts: {FLEET_OBS_DIR})"
+    )
+
     report = {
         "workload": {
             **_workload_record(),
@@ -627,6 +739,13 @@ def run_fleet_case() -> int:
             "enforced": gate_armed,
             "passed": bool(sustained_p99 <= FLEET_P99_CAP_S),
         },
+        "observed_door": observed,
+        "slo_gate": {
+            "synthetic_burn_flagged": synthetic_flagged,
+            "burning": burning,
+            "enforced": gate_armed,
+            "passed": synthetic_flagged and not burning,
+        },
     }
     _write_report(
         FLEET_OUT_PATH,
@@ -640,6 +759,7 @@ def run_fleet_case() -> int:
             "sustained_p99_ms": round(sustained_p99 * 1e3, 3),
             "swap_failed_requests": failures[0],
             "usable_cores": cores,
+            "slo_burning": len(burning),
         },
     )
     print(f"report: {FLEET_OUT_PATH.name}")
@@ -650,6 +770,12 @@ def run_fleet_case() -> int:
     if not swap_exact:
         print("FAIL: post-swap predictions disagree with a fresh v2 oracle")
         return 2
+    if not synthetic_flagged:
+        print(
+            "FAIL: SLO engine did not flag a synthetic 20%-rejected outage "
+            "as an availability burn — the no-burn gate would be vacuous"
+        )
+        return 3
     if not gate_armed:
         print(
             f"SKIP fleet gates: {cores} usable core(s) < {FLEET_WORKERS} workers "
@@ -670,6 +796,12 @@ def run_fleet_case() -> int:
             f"{FLEET_P99_CAP_S * 1e3:.0f}ms bound at 80% of saturation"
         )
         failed = True
+    if burning:
+        print(
+            f"FAIL: SLOs burning under the standard load test: {burning} "
+            f"(see {FLEET_OBS_DIR / 'slo.json'})"
+        )
+        failed = True
     return 1 if failed else 0
 
 
@@ -678,7 +810,11 @@ def run_fleet_case() -> int:
 
 
 def run_observability_case() -> int:
+    import tempfile
+
     from repro.observability import MetricsRegistry, Tracer, use_registry
+    from repro.observability.logging import EventLog, use_event_log
+    from repro.serving import fit_model, predict_model
 
     pts = _workload()
 
@@ -704,8 +840,53 @@ def run_observability_case() -> int:
             print(f"FAIL: observability ({name}) changed the clustering")
             return 2
 
+    # serving path: the same workload's query mix through the predict
+    # pipeline, plain vs. with tracing + structured logging both live —
+    # the hooks a traced fleet worker runs per request
+    model = fit_model(pts, EPS, MIN_PTS)
+    model.murtree  # index build happens outside the timed regions
+    queries = _serving_queries(pts)
+
+    def serving_plain():
+        return predict_model(model, queries)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        event_log = EventLog(Path(tmp) / "events.jsonl", level="debug")
+
+        def serving_observed():
+            with use_registry(MetricsRegistry()), use_event_log(event_log):
+                tracer = Tracer("bench")
+                with tracer.activate(), tracer.span(
+                    "bench.predict", queries=int(queries.shape[0])
+                ):
+                    res = predict_model(model, queries)
+                event_log.debug(
+                    "predict_ok", trace_id=tracer.trace_id,
+                    queries=int(queries.shape[0]),
+                )
+                return res
+
+        # interleave the two modes round-by-round: the predict walls are
+        # short enough that host drift between separate blocks would
+        # swamp a few-percent hook cost
+        serving_plain_wall = serving_obs_wall = float("inf")
+        serving_plain_res = serving_obs_res = None
+        for _ in range(2 * OBSERVABILITY_ROUNDS):
+            wall, res = _timed_wall(serving_plain, 1)
+            if wall < serving_plain_wall:
+                serving_plain_wall, serving_plain_res = wall, res
+            wall, res = _timed_wall(serving_observed, 1)
+            if wall < serving_obs_wall:
+                serving_obs_wall, serving_obs_res = wall, res
+        event_log.close()
+
+    if not np.array_equal(serving_obs_res.labels, serving_plain_res.labels):
+        print("FAIL: serving-path observability changed the predictions")
+        return 2
+
     disabled_overhead = disabled_wall / plain_wall - 1.0
     enabled_overhead = enabled_wall / plain_wall - 1.0
+    serving_overhead = serving_obs_wall / serving_plain_wall - 1.0
     report = {
         "workload": {**_workload_record(), "rounds": OBSERVABILITY_ROUNDS},
         "plain_wall_seconds": round(plain_wall, 4),
@@ -721,6 +902,16 @@ def run_observability_case() -> int:
             "required_max": ENABLED_OVERHEAD_GATE,
             "passed": enabled_overhead <= ENABLED_OVERHEAD_GATE,
         },
+        "serving": {
+            "n_queries": int(queries.shape[0]),
+            "plain_wall_seconds": round(serving_plain_wall, 4),
+            "observed_wall_seconds": round(serving_obs_wall, 4),
+            "enabled_overhead": round(serving_overhead, 4),
+            "enabled_overhead_gate": {
+                "required_max": ENABLED_OVERHEAD_GATE,
+                "passed": serving_overhead <= ENABLED_OVERHEAD_GATE,
+            },
+        },
     }
     _write_report(
         OBSERVABILITY_OUT_PATH,
@@ -730,6 +921,7 @@ def run_observability_case() -> int:
         metrics={
             "disabled_overhead": round(disabled_overhead, 4),
             "enabled_overhead": round(enabled_overhead, 4),
+            "serving_enabled_overhead": round(serving_overhead, 4),
         },
     )
 
@@ -738,6 +930,11 @@ def run_observability_case() -> int:
         f"{disabled_wall:.3f}s ({disabled_overhead:+.1%}), enabled "
         f"{enabled_wall:.3f}s ({enabled_overhead:+.1%}) "
         f"(report: {OBSERVABILITY_OUT_PATH.name})"
+    )
+    print(
+        f"serving wall ({queries.shape[0]} queries): plain "
+        f"{serving_plain_wall:.3f}s, tracing+logging "
+        f"{serving_obs_wall:.3f}s ({serving_overhead:+.1%})"
     )
     failed = False
     if disabled_overhead > OBSERVABILITY_OVERHEAD_GATE:
@@ -749,6 +946,12 @@ def run_observability_case() -> int:
     if enabled_overhead > ENABLED_OVERHEAD_GATE:
         print(
             f"FAIL: enabled-mode observability costs {enabled_overhead:.1%} "
+            f"> allowed {ENABLED_OVERHEAD_GATE:.0%}"
+        )
+        failed = True
+    if serving_overhead > ENABLED_OVERHEAD_GATE:
+        print(
+            f"FAIL: serving-path tracing+logging costs {serving_overhead:.1%} "
             f"> allowed {ENABLED_OVERHEAD_GATE:.0%}"
         )
         failed = True

@@ -16,6 +16,9 @@
     mudbscan predict --model model.mudb --input queries.npy
     mudbscan serve --model model.mudb --port 8765
     mudbscan serve --model model.mudb --workers 4 --router kd --port 8766
+    mudbscan serve --model model.mudb --workers 4 \
+        --trace --slow-log slow.jsonl --event-log events.jsonl
+    mudbscan slo --url http://127.0.0.1:8766
     mudbscan loadtest --model model.mudb --workers 2 --saturation
 
 (also reachable as ``python -m repro.cli``)
@@ -577,7 +580,20 @@ def cmd_monitor(args: argparse.Namespace) -> int:
         time.sleep(args.poll_interval)
 
 
+def _serve_event_log(args: argparse.Namespace):
+    """The serve-time event log: a file when ``--event-log`` is given,
+    else live JSONL on stderr (the old stdout banner's replacement)."""
+    from repro.observability.logging import EventLog
+
+    if getattr(args, "event_log", None):
+        return EventLog(args.event_log, level=args.log_level)
+    return EventLog(stream=sys.stderr, level=args.log_level)
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.observability.logging import use_event_log
+
+    event_log = _serve_event_log(args)
     if args.workers > 1:
         import asyncio
 
@@ -591,7 +607,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             block_size=args.block_size,
         )
         registry = MetricsRegistry(enabled=True)
-        with Fleet(args.model, config, registry=registry) as fleet:
+        with Fleet(
+            args.model, config, registry=registry, event_log=event_log
+        ) as fleet:
             door = FrontDoor(
                 fleet,
                 host=args.host,
@@ -599,6 +617,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 max_inflight=args.max_inflight,
                 default_deadline_ms=args.deadline_ms,
                 verbose=True,
+                tracing=args.trace,
+                event_log=event_log,
+                slow_log_path=args.slow_log,
             )
             try:
                 asyncio.run(door.serve())
@@ -617,8 +638,29 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         block_size=args.block_size,
     )
-    serve_forever(engine, host=args.host, port=args.port)
+    with use_event_log(event_log):
+        serve_forever(engine, host=args.host, port=args.port)
     return 0
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    """Fetch ``GET /slo`` from a front door and render the burn table."""
+    import urllib.request
+
+    from repro.observability.slo import format_slo_report
+
+    url = args.url.rstrip("/") + "/slo"
+    try:
+        with urllib.request.urlopen(url, timeout=args.timeout) as resp:
+            evaluation = json.load(resp)
+    except Exception as exc:  # connection refused, 503, bad JSON, ...
+        print(f"could not evaluate SLOs at {url}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(evaluation, indent=2))
+    else:
+        print(format_slo_report(evaluation))
+    return 1 if evaluation.get("burning") else 0
 
 
 def cmd_loadtest(args: argparse.Namespace) -> int:
@@ -697,6 +739,28 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
                 f"batch={args.batch_size}, clients={args.clients})",
             )
         )
+        offenders = [
+            o
+            for s in summaries
+            for o in s.get("worst_offenders", [])
+            if o["status"] != 200
+        ]
+        if offenders:
+            print(
+                format_table(
+                    ["status", "latency ms", "request id", "error"],
+                    [
+                        [
+                            o["status"],
+                            o.get("latency_ms", "-"),
+                            o.get("request_id", "-"),
+                            (o.get("error") or "-")[:60],
+                        ]
+                        for o in offenders[:10]
+                    ],
+                    title="worst offenders (failed/rejected requests)",
+                )
+            )
         if args.json_out:
             with open(args.json_out, "w") as fh:
                 json.dump(out, fh, indent=2)
@@ -971,6 +1035,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--deadline-ms", type=float, default=2000.0,
         help="default per-request deadline budget (X-Deadline-Ms overrides)",
     )
+    serve.add_argument(
+        "--trace", action="store_true",
+        help="trace every predict end-to-end (X-Request-Id, /traces, "
+        "tail-based retention of errored/slow requests)",
+    )
+    serve.add_argument(
+        "--slow-log", default=None, metavar="PATH",
+        help="rotating slow-query JSONL for retained traces "
+        "(implies retention even without --trace)",
+    )
+    serve.add_argument(
+        "--event-log", default=None, metavar="PATH",
+        help="structured JSONL event log (default: live JSONL on stderr)",
+    )
+    serve.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"),
+        default="info", help="event-log threshold",
+    )
+
+    slo = sub.add_parser(
+        "slo", help="evaluate a running front door's SLO burn rates"
+    )
+    slo.add_argument(
+        "--url", default="http://127.0.0.1:8766",
+        help="front door base URL (its GET /slo endpoint is queried)",
+    )
+    slo.add_argument("--timeout", type=float, default=10.0)
+    slo.add_argument(
+        "--json", action="store_true", help="raw evaluation JSON, not the table"
+    )
 
     load = sub.add_parser(
         "loadtest", help="open-loop load test against a serving target"
@@ -1021,6 +1115,7 @@ def main(argv: list[str] | None = None) -> int:
         "stream": cmd_stream,
         "predict": cmd_predict,
         "serve": cmd_serve,
+        "slo": cmd_slo,
         "loadtest": cmd_loadtest,
     }
     return handlers[args.command](args)

@@ -29,6 +29,17 @@ their APIs as the *recording* path:
 * :mod:`repro.observability.ledger` — the append-only
   ``BENCH_LEDGER.jsonl`` benchmark history with regression
   comparison (the CI perf gate).
+* :mod:`repro.observability.logging` — :class:`EventLog`, the leveled
+  JSONL event log with component/trace-id correlation and size-based
+  rotation (no-op :data:`NULL_EVENT_LOG` by default, mirroring the
+  registry).
+* :mod:`repro.observability.tail` — :class:`TraceRetention`,
+  tail-based trace sampling: errored requests always kept, successes
+  only past the rolling slow percentile, exported to a rotating
+  slow-query JSONL.
+* :mod:`repro.observability.slo` — declarative :class:`SLOSpec` +
+  :class:`SLOEngine`: multi-window burn rates computed straight from
+  the metrics registry (``GET /slo``, ``mudbscan slo``).
 
 Metric catalog and span naming scheme: docs/OBSERVABILITY.md.
 """
@@ -47,7 +58,29 @@ from repro.observability.tracing import (
     Span,
     Tracer,
     current_tracer,
+    finish_span,
     maybe_span,
+    new_trace_id,
+)
+from repro.observability.logging import (
+    NULL_EVENT_LOG,
+    EventLog,
+    get_event_log,
+    load_jsonl_events,
+    log_event,
+    set_event_log,
+    use_event_log,
+)
+from repro.observability.tail import (
+    RetainedTrace,
+    TraceRetention,
+    quantize_queries,
+)
+from repro.observability.slo import (
+    SLOEngine,
+    SLOSpec,
+    default_serving_slos,
+    format_slo_report,
 )
 from repro.observability.prometheus import (
     CONTENT_TYPE,
@@ -85,33 +118,49 @@ __all__ = [
     "CONTENT_TYPE",
     "CountersCollector",
     "DEFAULT_BUCKETS",
+    "EventLog",
     "FamilySnapshot",
     "LatencyWindowCollector",
     "MetricsRegistry",
+    "NULL_EVENT_LOG",
     "NULL_REGISTRY",
     "PhaseProfiler",
     "PhaseTimerCollector",
+    "RetainedTrace",
     "RunMonitor",
+    "SLOEngine",
+    "SLOSpec",
     "Sample",
     "Span",
+    "TraceRetention",
     "Tracer",
     "append_record",
     "compare",
     "current_profiler",
     "current_tracer",
+    "default_serving_slos",
     "detect_stragglers",
+    "finish_span",
+    "format_slo_report",
+    "get_event_log",
     "get_registry",
     "load_heartbeats",
+    "load_jsonl_events",
     "load_ledger",
+    "log_event",
     "make_record",
     "maybe_profile",
     "maybe_span",
+    "new_trace_id",
     "publish_comm_stats",
     "publish_run",
+    "quantize_queries",
     "rank_rusage",
     "render_prometheus",
     "replay_heartbeats",
+    "set_event_log",
     "set_registry",
+    "use_event_log",
     "use_registry",
     "workload_fingerprint",
     "write_prometheus",

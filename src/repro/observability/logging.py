@@ -1,0 +1,311 @@
+"""Structured event logging — leveled JSONL with correlation fields.
+
+The serving fleet runs across N processes and an async front door;
+free-form ``print`` lines interleave uselessly there.  This module is
+the one sanctioned text output path for ``repro.serving`` and
+``repro.observability`` (CI lints bare ``print(`` out of both trees):
+
+* every event is **one JSON object per line** with a fixed envelope —
+  ``ts`` (unix seconds), ``level``, ``component``, ``event`` — plus
+  arbitrary caller fields; ``trace_id`` correlates events with the
+  request-tracing spans (:mod:`repro.observability.tracing`) and the
+  slow-query log (:mod:`repro.observability.tail`);
+* sinks are a **file with size-based rotation** (``path.1`` … ``path.N``
+  shift like logrotate) or any **text stream** (a CLI passes
+  ``sys.stderr``); rotation only applies to file sinks;
+* the process default is :data:`NULL_EVENT_LOG` — the same
+  cheap-when-disabled contract as ``NULL_REGISTRY``: ``log_event``
+  costs one thread-local read and an ``enabled`` check when nothing is
+  installed;
+* :meth:`EventLog.config` / :meth:`EventLog.from_config` give a
+  picklable description so fleet workers (spawned processes) can open
+  their own sink without inheriting file handles.
+
+Levels are ``debug < info < warning < error``; events below the log's
+threshold are dropped before serialization.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, IO
+
+__all__ = [
+    "LEVELS",
+    "NULL_EVENT_LOG",
+    "EventLog",
+    "get_event_log",
+    "load_jsonl_events",
+    "log_event",
+    "set_event_log",
+    "use_event_log",
+]
+
+#: level name -> rank; events below the log's threshold are dropped
+LEVELS: dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+#: rotate file sinks beyond this many bytes by default (1 MiB)
+DEFAULT_MAX_BYTES = 1_000_000
+DEFAULT_BACKUPS = 3
+
+
+def _level_rank(level: str) -> int:
+    try:
+        return LEVELS[level]
+    except KeyError:
+        raise ValueError(
+            f"level must be one of {sorted(LEVELS)}, got {level!r}"
+        ) from None
+
+
+class RotatingJsonlWriter:
+    """Append JSON lines to ``path``, shifting to ``.1``…``.N`` on size.
+
+    Shared by the event log and the slow-query trace log.  Thread-safe;
+    rotation is skipped entirely with ``max_bytes=None`` (the mode used
+    when several worker processes append to one file — renames from
+    multiple writers would race).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        max_bytes: int | None = DEFAULT_MAX_BYTES,
+        backups: int = DEFAULT_BACKUPS,
+    ) -> None:
+        self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.backups = max(0, int(backups))
+        self._fh: IO[str] | None = None
+        self._lock = threading.Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def write(self, record: dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        with self._lock:
+            if self._fh is None:
+                self._fh = self.path.open("a")
+            if (
+                self.max_bytes is not None
+                and self._fh.tell() + len(line) > self.max_bytes
+                and self._fh.tell() > 0
+            ):
+                self._rotate_locked()
+            self._fh.write(line)
+            self._fh.flush()
+
+    def _rotate_locked(self) -> None:
+        self._fh.close()
+        self._fh = None
+        if self.backups == 0:
+            self.path.unlink(missing_ok=True)
+        else:
+            for i in range(self.backups - 1, 0, -1):
+                older = self.path.with_name(f"{self.path.name}.{i}")
+                if older.exists():
+                    os.replace(older, self.path.with_name(f"{self.path.name}.{i + 1}"))
+            os.replace(self.path, self.path.with_name(f"{self.path.name}.1"))
+        self._fh = self.path.open("a")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+
+class EventLog:
+    """Leveled JSONL event sink with component/trace correlation.
+
+    ``EventLog()`` with no sink is disabled (every call is a cheap
+    no-op) — the NOOP shape :data:`NULL_EVENT_LOG` relies on.  Pass
+    ``path`` for a rotating file sink or ``stream`` for an open text
+    stream (CLI stderr); ``component`` is stamped on every record and
+    :meth:`child` derives a log bound to a sub-component that shares
+    the same sink and threshold.
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        stream: IO[str] | None = None,
+        level: str = "info",
+        component: str = "",
+        max_bytes: int | None = DEFAULT_MAX_BYTES,
+        backups: int = DEFAULT_BACKUPS,
+    ) -> None:
+        if path is not None and stream is not None:
+            raise ValueError("pass path or stream, not both")
+        self.component = component
+        self.level = level
+        self._threshold = _level_rank(level)
+        self._stream = stream
+        self._stream_lock = threading.Lock() if stream is not None else None
+        self._writer = (
+            RotatingJsonlWriter(path, max_bytes=max_bytes, backups=backups)
+            if path is not None
+            else None
+        )
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._writer is not None or self._stream is not None
+
+    @property
+    def path(self) -> Path | None:
+        return self._writer.path if self._writer is not None else None
+
+    # -- derivation ------------------------------------------------------
+
+    def child(self, component: str) -> "EventLog":
+        """A log for one sub-component, sharing this log's sink."""
+        out = EventLog.__new__(EventLog)
+        out.component = component
+        out.level = self.level
+        out._threshold = self._threshold
+        out._stream = self._stream
+        out._stream_lock = self._stream_lock
+        out._writer = self._writer
+        return out
+
+    def config(self) -> dict[str, Any] | None:
+        """Picklable description for a child process (None if the sink
+        cannot cross a process boundary, i.e. streams)."""
+        if self._writer is None:
+            return None
+        return {"path": str(self._writer.path), "level": self.level}
+
+    @classmethod
+    def from_config(
+        cls, cfg: dict[str, Any] | None, *, component: str = ""
+    ) -> "EventLog":
+        """Rebuild a worker-side log from :meth:`config` output.
+
+        Workers append to the parent's file without rotation — renames
+        from several processes would race; the parent's writer still
+        rotates the shared file between worker writes.
+        """
+        if cfg is None:
+            return NULL_EVENT_LOG
+        return cls(
+            cfg["path"],
+            level=cfg.get("level", "info"),
+            component=component,
+            max_bytes=None,
+        )
+
+    # -- recording -------------------------------------------------------
+
+    def log(
+        self,
+        level: str,
+        event: str,
+        *,
+        component: str | None = None,
+        trace_id: str | None = None,
+        **fields: Any,
+    ) -> None:
+        if not self.enabled or _level_rank(level) < self._threshold:
+            return
+        record: dict[str, Any] = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "component": component if component is not None else self.component,
+            "event": event,
+        }
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+        record.update(fields)
+        if self._writer is not None:
+            self._writer.write(record)
+        else:
+            line = json.dumps(record, sort_keys=True, default=str) + "\n"
+            with self._stream_lock:
+                self._stream.write(line)
+                self._stream.flush()
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log("error", event, **fields)
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+
+
+#: the always-disabled event log — the process-wide default
+NULL_EVENT_LOG = EventLog()
+
+_active = threading.local()
+_global_log: EventLog = NULL_EVENT_LOG
+
+
+def get_event_log() -> EventLog:
+    """The active event log: thread-local override, else the global one."""
+    log = getattr(_active, "event_log", None)
+    return log if log is not None else _global_log
+
+
+def set_event_log(log: EventLog | None) -> EventLog:
+    """Install ``log`` process-wide (None restores the disabled
+    default); returns the previous global log."""
+    global _global_log
+    previous = _global_log
+    _global_log = log if log is not None else NULL_EVENT_LOG
+    return previous
+
+
+class use_event_log:
+    """Context manager: make ``log`` the active one on this thread."""
+
+    def __init__(self, log: EventLog) -> None:
+        self._log = log
+        self._previous: EventLog | None = None
+
+    def __enter__(self) -> EventLog:
+        self._previous = getattr(_active, "event_log", None)
+        _active.event_log = self._log
+        return self._log
+
+    def __exit__(self, *exc_info) -> None:
+        _active.event_log = self._previous
+
+
+def log_event(
+    level: str,
+    event: str,
+    *,
+    component: str = "",
+    trace_id: str | None = None,
+    **fields: Any,
+) -> None:
+    """Record on the active log (no-op unless one is installed)."""
+    log = get_event_log()
+    if log.enabled:
+        log.log(level, event, component=component, trace_id=trace_id, **fields)
+
+
+def load_jsonl_events(path: str | Path) -> list[dict[str, Any]]:
+    """Read events back (current file only, not rotated backups)."""
+    out = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            out.append(json.loads(line))
+    return out

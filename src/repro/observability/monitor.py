@@ -38,6 +38,7 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping
 
+from repro.observability.logging import get_event_log
 from repro.observability.registry import MetricsRegistry, get_registry
 
 __all__ = [
@@ -130,6 +131,9 @@ class RunMonitor:
         self._done: set[int] = set()
         self._log_path = Path(heartbeat_log) if heartbeat_log else None
         self._log_fh = None
+        self._event_log = get_event_log().child("monitor")
+        self._flagged_stragglers: set[int] = set()
+        self._flagged_stalled: set[int] = set()
         registry = registry if registry is not None else get_registry()
         self._registry = registry
         if registry.enabled:
@@ -210,8 +214,17 @@ class RunMonitor:
                 if previous_phase and previous_phase != phase:
                     self._g_phase.labels(rank=str(rank), phase=str(previous_phase)).set(0)
                 self._g_phase.labels(rank=str(rank), phase=str(phase)).set(1)
-            self._g_stragglers.set(float(len(self.stragglers())))
-            self._g_stalled.set(float(len(self.stalled())))
+            stragglers = set(self.stragglers())
+            stalled = set(self.stalled())
+            self._g_stragglers.set(float(len(stragglers)))
+            self._g_stalled.set(float(len(stalled)))
+            # warn once per rank on the flag's rising edge, not per beat
+            for flagged in sorted(stragglers - self._flagged_stragglers):
+                self._event_log.warning("straggler_detected", rank=flagged)
+            for flagged in sorted(stalled - self._flagged_stalled):
+                self._event_log.warning("rank_stalled", rank=flagged)
+            self._flagged_stragglers = stragglers
+            self._flagged_stalled = stalled
 
     def close(self) -> None:
         """Close the heartbeat log file, if one is open."""

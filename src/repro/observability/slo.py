@@ -1,0 +1,391 @@
+"""Declarative SLOs + multi-window burn-rate evaluation.
+
+An :class:`SLOSpec` states an objective over metrics that already live
+in the :class:`~repro.observability.registry.MetricsRegistry` — no new
+instrumentation, the SLO engine is a pure *reader*:
+
+* **availability** — good fraction of requests, from counter deltas
+  (``bad_metrics`` over ``total_metrics``);
+* **latency** — fraction of requests under a threshold, from a
+  histogram family's cumulative bucket deltas (the standard
+  bucket-based latency SLI: "p99 <= 250 ms" == "99 % of requests land
+  in the <= 0.25 s bucket");
+* **staleness** — fraction of observations where a gauge (e.g. the
+  streaming engine's ``mudbscan_stream_staleness_seconds``) stays
+  under a threshold.
+
+:class:`SLOEngine` snapshots the registry on every :meth:`tick` /
+:meth:`evaluate` and computes each SLI over **multiple windows** (a
+fast window to catch sharp burns quickly, a slow window to ignore
+blips).  The **burn rate** is the classic quotient
+
+    burn = bad_fraction / (1 - objective)
+
+— 1.0 means the error budget is being consumed exactly as fast as the
+objective allows; an SLO is *burning* when every window that has data
+exceeds ``burn_threshold``.  Surfaced at ``GET /slo`` on the fleet
+front door, by ``mudbscan slo``, and gated in ``perf_smoke --fleet``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.observability.registry import MetricsRegistry
+
+__all__ = [
+    "SLOEngine",
+    "SLOSpec",
+    "default_serving_slos",
+    "format_slo_report",
+]
+
+#: default evaluation windows (name, seconds): a fast window that
+#: reacts within minutes and a slow one that confirms the trend
+DEFAULT_WINDOWS: tuple[tuple[str, float], ...] = (("fast", 300.0), ("slow", 3600.0))
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One declarative objective over registry metrics."""
+
+    name: str
+    #: "availability" | "latency" | "staleness"
+    kind: str
+    #: target good fraction in (0, 1), e.g. 0.999
+    objective: float
+    description: str = ""
+    #: availability: counters whose sum is the request denominator
+    total_metrics: tuple[str, ...] = ()
+    #: availability: counters whose sum is the bad-event numerator
+    bad_metrics: tuple[str, ...] = ()
+    #: latency: histogram family base name
+    histogram: str = ""
+    #: latency / staleness: the "good means under this" bound, seconds
+    threshold_s: float = 0.0
+    #: staleness: gauge sampled per tick
+    gauge: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("availability", "latency", "staleness"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if not (0.0 < self.objective < 1.0):
+            raise ValueError(
+                f"objective must be in (0, 1), got {self.objective}"
+            )
+        if self.kind == "availability" and not self.total_metrics:
+            raise ValueError(f"SLO {self.name!r}: availability needs total_metrics")
+        if self.kind == "latency" and not self.histogram:
+            raise ValueError(f"SLO {self.name!r}: latency needs a histogram")
+        if self.kind == "staleness" and not self.gauge:
+            raise ValueError(f"SLO {self.name!r}: staleness needs a gauge")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the bad fraction the objective permits."""
+        return 1.0 - self.objective
+
+
+def default_serving_slos(
+    *,
+    availability: float = 0.99,
+    latency_threshold_s: float = 0.25,
+    latency_objective: float = 0.99,
+    staleness_threshold_s: float = 30.0,
+    staleness_objective: float = 0.99,
+) -> tuple[SLOSpec, ...]:
+    """The fleet's standard SLO set over the ``mudbscan_fleet_*`` /
+    ``mudbscan_stream_*`` families (docs/OBSERVABILITY.md, "SLOs")."""
+    return (
+        SLOSpec(
+            name="availability",
+            kind="availability",
+            objective=availability,
+            description="fraction of predict requests answered without "
+            "rejection, deadline miss or error",
+            total_metrics=(
+                "mudbscan_fleet_admitted_total",
+                "mudbscan_fleet_rejected_total",
+            ),
+            bad_metrics=(
+                "mudbscan_fleet_rejected_total",
+                "mudbscan_fleet_deadline_exceeded_total",
+                "mudbscan_fleet_errors_total",
+            ),
+        ),
+        SLOSpec(
+            name="latency_p99",
+            kind="latency",
+            objective=latency_objective,
+            description=f"fraction of fleet requests answered within "
+            f"{latency_threshold_s * 1e3:g} ms",
+            histogram="mudbscan_fleet_request_latency_seconds",
+            threshold_s=latency_threshold_s,
+        ),
+        SLOSpec(
+            name="streaming_staleness",
+            kind="staleness",
+            objective=staleness_objective,
+            description=f"fraction of observations with the served "
+            f"snapshot under {staleness_threshold_s:g} s stale",
+            gauge="mudbscan_stream_staleness_seconds",
+            threshold_s=staleness_threshold_s,
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# snapshots
+
+
+class _Snapshot:
+    """One point-in-time read of the registry, keyed for delta math."""
+
+    __slots__ = ("ts", "values")
+
+    def __init__(self, ts: float, values: dict[str, list[tuple[tuple, float]]]):
+        self.ts = ts
+        self.values = values
+
+    def total(self, name: str) -> float | None:
+        """Sum over every labelled child of ``name`` (None if absent)."""
+        samples = self.values.get(name)
+        if samples is None:
+            return None
+        return sum(v for _, v in samples)
+
+    def bucket(self, histogram: str, le: str) -> float | None:
+        """The cumulative ``le`` bucket of an unlabelled histogram."""
+        for labels, value in self.values.get(f"{histogram}_bucket", ()):
+            if dict(labels).get("le") == le:
+                return value
+        return None
+
+    def bucket_bounds(self, histogram: str) -> list[float]:
+        bounds = []
+        for labels, _ in self.values.get(f"{histogram}_bucket", ()):
+            le = dict(labels).get("le")
+            if le is not None and le != "+Inf":
+                bounds.append(float(le))
+        return sorted(set(bounds))
+
+
+def _take_snapshot(registry: MetricsRegistry, ts: float) -> _Snapshot:
+    values: dict[str, list[tuple[tuple, float]]] = {}
+    for family in registry.collect():
+        for sample in family.samples:
+            values.setdefault(sample.name, []).append((sample.labels, sample.value))
+    return _Snapshot(ts, values)
+
+
+# ---------------------------------------------------------------------------
+# the engine
+
+
+class SLOEngine:
+    """Windowed burn-rate evaluation over one registry.
+
+    ``clock`` is injectable so window math is testable without
+    sleeping; it must be monotonic.  The engine keeps just enough
+    snapshot history to cover its longest window.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        specs: tuple[SLOSpec, ...] | None = None,
+        *,
+        windows: tuple[tuple[str, float], ...] = DEFAULT_WINDOWS,
+        burn_threshold: float = 1.0,
+        max_snapshots: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not windows:
+            raise ValueError("need at least one evaluation window")
+        self.registry = registry
+        self.specs = tuple(specs if specs is not None else default_serving_slos())
+        self.windows = tuple((str(n), float(s)) for n, s in windows)
+        self.burn_threshold = float(burn_threshold)
+        self.max_snapshots = int(max_snapshots)
+        self._clock = clock
+        self._snapshots: list[_Snapshot] = []
+
+    # -- sampling --------------------------------------------------------
+
+    def tick(self) -> None:
+        """Record one registry snapshot (call periodically or per scrape)."""
+        now = self._clock()
+        self._snapshots.append(_take_snapshot(self.registry, now))
+        horizon = now - max(seconds for _, seconds in self.windows) - 1.0
+        # drop history beyond the longest window (keep one anchor before it)
+        while (
+            len(self._snapshots) > 2 and self._snapshots[1].ts < horizon
+        ) or len(self._snapshots) > self.max_snapshots:
+            self._snapshots.pop(0)
+
+    def _window_snapshots(self, seconds: float) -> list[_Snapshot]:
+        """Snapshots inside the window, plus the anchor just before it."""
+        now = self._snapshots[-1].ts
+        cut = now - seconds
+        inside = [s for s in self._snapshots if s.ts >= cut]
+        anchors = [s for s in self._snapshots if s.ts < cut]
+        if anchors:
+            inside.insert(0, anchors[-1])
+        return inside
+
+    # -- evaluation ------------------------------------------------------
+
+    def evaluate(self) -> dict[str, Any]:
+        """Tick, then judge every SLO over every window (JSON-ready)."""
+        self.tick()
+        slos = []
+        burning: list[str] = []
+        for spec in self.specs:
+            per_window: dict[str, dict[str, Any]] = {}
+            window_states: list[bool | None] = []
+            for wname, wseconds in self.windows:
+                snaps = self._window_snapshots(wseconds)
+                result = self._judge(spec, snaps)
+                per_window[wname] = result
+                if result.get("no_data"):
+                    window_states.append(None)
+                else:
+                    window_states.append(result["burn_rate"] > self.burn_threshold)
+            with_data = [s for s in window_states if s is not None]
+            if not with_data:
+                status = "no_data"
+            elif all(with_data):
+                status = "burning"
+            else:
+                status = "ok"
+            if status == "burning":
+                burning.append(spec.name)
+            slos.append(
+                {
+                    "name": spec.name,
+                    "kind": spec.kind,
+                    "objective": spec.objective,
+                    "description": spec.description,
+                    "status": status,
+                    "windows": per_window,
+                }
+            )
+        return {
+            "now_unix": round(time.time(), 3),
+            "burn_threshold": self.burn_threshold,
+            "windows": {n: s for n, s in self.windows},
+            "slos": slos,
+            "burning": burning,
+        }
+
+    # -- per-kind SLI math ----------------------------------------------
+
+    def _judge(self, spec: SLOSpec, snaps: list[_Snapshot]) -> dict[str, Any]:
+        if len(snaps) < 1:
+            return {"no_data": True}
+        if spec.kind == "staleness":
+            return self._judge_staleness(spec, snaps)
+        if len(snaps) < 2:
+            return {"no_data": True}
+        first, last = snaps[0], snaps[-1]
+        span_s = max(last.ts - first.ts, 0.0)
+        if spec.kind == "availability":
+            total = _delta_sum(spec.total_metrics, first, last)
+            bad = _delta_sum(spec.bad_metrics, first, last)
+        else:  # latency
+            total_first = first.total(f"{spec.histogram}_count")
+            total_last = last.total(f"{spec.histogram}_count")
+            if total_first is None or total_last is None:
+                return {"no_data": True}
+            total = total_last - total_first
+            bounds = [b for b in last.bucket_bounds(spec.histogram)
+                      if b <= spec.threshold_s + 1e-12]
+            if not bounds:
+                return {"no_data": True}
+            le = format(max(bounds), "g")
+            good_first = first.bucket(spec.histogram, le) or 0.0
+            good_last = last.bucket(spec.histogram, le) or 0.0
+            bad = total - (good_last - good_first)
+        if total is None or total <= 0:
+            return {"no_data": True}
+        bad = max(0.0, min(float(bad or 0.0), float(total)))
+        sli = 1.0 - bad / total
+        burn = (bad / total) / spec.budget
+        return {
+            "sli": round(sli, 6),
+            "burn_rate": round(burn, 4),
+            "bad": bad,
+            "total": float(total),
+            "span_seconds": round(span_s, 3),
+        }
+
+    def _judge_staleness(
+        self, spec: SLOSpec, snaps: list[_Snapshot]
+    ) -> dict[str, Any]:
+        observed = [s.total(spec.gauge) for s in snaps]
+        observed = [v for v in observed if v is not None and math.isfinite(v)]
+        if not observed:
+            return {"no_data": True}
+        bad = sum(1 for v in observed if v > spec.threshold_s)
+        sli = 1.0 - bad / len(observed)
+        burn = (bad / len(observed)) / spec.budget
+        return {
+            "sli": round(sli, 6),
+            "burn_rate": round(burn, 4),
+            "bad": float(bad),
+            "total": float(len(observed)),
+            "current": round(float(observed[-1]), 3),
+        }
+
+
+def _delta_sum(
+    names: tuple[str, ...], first: _Snapshot, last: _Snapshot
+) -> float | None:
+    saw_any = False
+    total = 0.0
+    for name in names:
+        a, b = first.total(name), last.total(name)
+        if b is None:
+            continue
+        saw_any = True
+        total += b - (a or 0.0)
+    return total if saw_any else None
+
+
+# ---------------------------------------------------------------------------
+# rendering (the `mudbscan slo` verb)
+
+
+def format_slo_report(evaluation: dict[str, Any]) -> str:
+    """Fixed-width text view of one :meth:`SLOEngine.evaluate` result."""
+    lines = []
+    window_names = list(evaluation.get("windows", {}))
+    header = ["slo", "objective", "status"] + [
+        f"burn[{w}]" for w in window_names
+    ] + [f"sli[{w}]" for w in window_names]
+    rows = [header]
+    for slo in evaluation.get("slos", ()):
+        row = [slo["name"], f"{slo['objective']:.4g}", slo["status"]]
+        for key in ("burn_rate", "sli"):
+            for w in window_names:
+                win = slo["windows"].get(w, {})
+                if win.get("no_data"):
+                    row.append("-")
+                else:
+                    row.append(f"{win[key]:.3f}")
+        rows.append(row)
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    out = []
+    for i, row in enumerate(rows):
+        out.append("  ".join(cell.ljust(widths[j]) for j, cell in enumerate(row)))
+        if i == 0:
+            out.append("  ".join("-" * w for w in widths))
+    burning = evaluation.get("burning", [])
+    out.append(
+        "burning: " + (", ".join(burning) if burning else "none")
+        + f"  (threshold {evaluation.get('burn_threshold', 1.0):g}x)"
+    )
+    return "\n".join(out)

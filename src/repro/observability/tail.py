@@ -1,0 +1,238 @@
+"""Tail-based trace retention: keep the traces worth keeping.
+
+Tracing every fleet request is cheap; *storing* every trace is not.
+The front door therefore samples at the **tail**, after the outcome is
+known (the opposite of head sampling, which must decide blind):
+
+* **errored / rejected / deadline-missed** requests (HTTP status
+  >= 400) are always retained;
+* among successful requests, only the **slowest percentile** survives —
+  the latency threshold adapts online from a rolling reservoir of
+  recent request latencies, so "slow" tracks the current workload
+  rather than a fixed number;
+* retained traces live in a **bounded ring** (oldest evicted first),
+  queryable by request id (``GET /traces/<id>``), and are appended to
+  a rotating **slow-query JSONL** whose records carry the full span
+  tree plus *quantized* query coordinates — enough to reproduce the
+  request's spatial routing without logging raw user coordinates.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from typing import Any
+
+import numpy as np
+
+from repro.observability.logging import RotatingJsonlWriter
+
+__all__ = ["RetainedTrace", "TraceRetention", "quantize_queries"]
+
+#: at most this many (quantized) query rows are recorded per trace
+MAX_LOGGED_QUERY_ROWS = 8
+
+
+def quantize_queries(
+    queries: np.ndarray | None, *, decimals: int = 3, max_rows: int = MAX_LOGGED_QUERY_ROWS
+) -> list[list[float]] | None:
+    """First ``max_rows`` query coordinates rounded to ``decimals``."""
+    if queries is None:
+        return None
+    q = np.atleast_2d(np.asarray(queries, dtype=np.float64))[:max_rows]
+    return [[round(float(v), decimals) for v in row] for row in q]
+
+
+class RetainedTrace:
+    """One kept request: outcome + span tree + quantized evidence."""
+
+    __slots__ = (
+        "request_id", "status", "latency_s", "n_queries",
+        "queries_quantized", "error", "reason", "spans", "start_unix",
+    )
+
+    def __init__(
+        self,
+        request_id: str,
+        status: int,
+        latency_s: float,
+        n_queries: int,
+        queries_quantized: list[list[float]] | None,
+        error: str | None,
+        reason: str,
+        spans: list[dict[str, Any]],
+        start_unix: float,
+    ) -> None:
+        self.request_id = request_id
+        self.status = status
+        self.latency_s = latency_s
+        self.n_queries = n_queries
+        self.queries_quantized = queries_quantized
+        self.error = error
+        self.reason = reason
+        self.spans = spans
+        self.start_unix = start_unix
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "request_id": self.request_id,
+            "status": self.status,
+            "latency_ms": round(self.latency_s * 1e3, 3),
+            "n_queries": self.n_queries,
+            "queries_quantized": self.queries_quantized,
+            "error": self.error,
+            "reason": self.reason,
+            "start_unix": self.start_unix,
+            "spans": self.spans,
+        }
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "request_id": self.request_id,
+            "status": self.status,
+            "latency_ms": round(self.latency_s * 1e3, 3),
+            "n_queries": self.n_queries,
+            "reason": self.reason,
+            "n_spans": len(self.spans),
+        }
+
+
+class TraceRetention:
+    """The bounded ring + slow-query log behind the front door.
+
+    Parameters
+    ----------
+    capacity:
+        Retained traces kept in memory (oldest evicted first).
+    slow_percentile:
+        A successful request is retained when its latency is at or
+        above this percentile of the rolling reservoir.  ``0.0``
+        retains every traced request (tests); ``99.0`` keeps the
+        slowest ~1 %.
+    log_path:
+        Rotating JSONL destination for retained traces (None keeps
+        them in memory only).
+    min_samples:
+        Reservoir size below which no success is considered slow —
+        a percentile over three samples means nothing.
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 256,
+        slow_percentile: float = 99.0,
+        log_path: str | None = None,
+        max_bytes: int | None = 5_000_000,
+        backups: int = 3,
+        reservoir: int = 1024,
+        min_samples: int = 32,
+        quantize_decimals: int = 3,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if not (0.0 <= slow_percentile <= 100.0):
+            raise ValueError(
+                f"slow_percentile must be in [0, 100], got {slow_percentile}"
+            )
+        self.capacity = capacity
+        self.slow_percentile = float(slow_percentile)
+        self.min_samples = int(min_samples)
+        self.quantize_decimals = int(quantize_decimals)
+        self._ring: OrderedDict[str, RetainedTrace] = OrderedDict()
+        self._latencies: deque[float] = deque(maxlen=int(reservoir))
+        self._lock = threading.Lock()
+        self._offered = 0
+        self._kept = 0
+        self._writer = (
+            RotatingJsonlWriter(log_path, max_bytes=max_bytes, backups=backups)
+            if log_path
+            else None
+        )
+
+    @property
+    def log_path(self) -> str | None:
+        return str(self._writer.path) if self._writer is not None else None
+
+    # ------------------------------------------------------------------
+
+    def _slow_threshold_locked(self) -> float | None:
+        if self.slow_percentile <= 0.0:
+            return 0.0  # retain-all mode
+        if len(self._latencies) < self.min_samples:
+            return None
+        return float(np.percentile(np.asarray(self._latencies), self.slow_percentile))
+
+    def offer(
+        self,
+        request_id: str,
+        *,
+        status: int,
+        latency_s: float,
+        start_unix: float,
+        n_queries: int = 0,
+        queries: np.ndarray | None = None,
+        spans: list[dict[str, Any]] | None = None,
+        error: str | None = None,
+    ) -> bool:
+        """Decide one finished request's fate; True when retained."""
+        with self._lock:
+            self._offered += 1
+            if status >= 400:
+                reason = "error"
+            else:
+                threshold = self._slow_threshold_locked()
+                self._latencies.append(float(latency_s))
+                if threshold is None or latency_s < threshold:
+                    return False
+                reason = "slow"
+            trace = RetainedTrace(
+                request_id=request_id,
+                status=int(status),
+                latency_s=float(latency_s),
+                n_queries=int(n_queries),
+                queries_quantized=quantize_queries(
+                    queries, decimals=self.quantize_decimals
+                ),
+                error=error,
+                reason=reason,
+                spans=list(spans or []),
+                start_unix=float(start_unix),
+            )
+            self._ring[request_id] = trace
+            while len(self._ring) > self.capacity:
+                self._ring.popitem(last=False)
+            self._kept += 1
+        if self._writer is not None:
+            self._writer.write(trace.to_dict())
+        return True
+
+    # ------------------------------------------------------------------
+
+    def get(self, request_id: str) -> RetainedTrace | None:
+        with self._lock:
+            return self._ring.get(request_id)
+
+    def traces(self) -> list[RetainedTrace]:
+        """Retained traces, oldest first (copy)."""
+        with self._lock:
+            return list(self._ring.values())
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            threshold = self._slow_threshold_locked()
+            return {
+                "offered": self._offered,
+                "kept": self._kept,
+                "ring_size": len(self._ring),
+                "capacity": self.capacity,
+                "slow_percentile": self.slow_percentile,
+                "slow_threshold_ms": (
+                    round(threshold * 1e3, 3) if threshold else threshold
+                ),
+                "log_path": self.log_path,
+            }
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()

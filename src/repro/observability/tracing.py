@@ -52,8 +52,10 @@ __all__ = [
     "Span",
     "Tracer",
     "current_tracer",
+    "finish_span",
     "load_jsonl",
     "maybe_span",
+    "new_trace_id",
     "span_children",
 ]
 
@@ -68,6 +70,20 @@ _id_counter = itertools.count()
 
 def _new_id() -> str:
     return f"{_ID_PREFIX}{next(_id_counter):08x}"
+
+
+def new_trace_id() -> str:
+    """A fresh process-unique id — trace ids, fleet request ids."""
+    return _new_id()
+
+
+def finish_span(span: Span) -> dict[str, Any]:
+    """Close a hand-managed span (built without a tracer) and return
+    its dict — for callers that time an operation across callbacks
+    where a context manager cannot bracket the lifetime (the fleet's
+    dispatch-to-merge window)."""
+    span.duration = time.perf_counter() - span._t0
+    return span.to_dict()
 
 
 class Span:

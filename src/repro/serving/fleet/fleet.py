@@ -33,12 +33,14 @@ from typing import Any
 
 import numpy as np
 
+from repro.observability.logging import EventLog, get_event_log
 from repro.observability.registry import (
     FamilySnapshot,
     MetricsRegistry,
     Sample,
     get_registry,
 )
+from repro.observability.tracing import Span, Tracer, finish_span
 from repro.serving.fleet.swap import (
     Generation,
     SwapReport,
@@ -88,10 +90,14 @@ class Fleet:
         config: FleetConfig | None = None,
         *,
         registry: MetricsRegistry | None = None,
+        event_log: EventLog | None = None,
     ) -> None:
         self.config = config or FleetConfig()
         self._initial_model = self._load(model)
         self.registry = registry if registry is not None else get_registry()
+        self.log = (
+            event_log if event_log is not None else get_event_log()
+        ).child("fleet")
         self._gen_lock = threading.Lock()
         self._swap_lock = threading.Lock()
         self._active: Generation | None = None
@@ -139,11 +145,20 @@ class Fleet:
             router=self.config.router,
             engine_opts=self.config.engine_opts(),
             ready_timeout=self.config.ready_timeout,
+            obs_opts=self._obs_opts(),
         )
         with self._gen_lock:
             self._active = gen
         self._initial_model = None  # the workers own it now; free the parent copy
+        self.log.info(
+            "fleet_started", n_workers=self.config.n_workers,
+            router=self.config.router, version=gen.version,
+        )
         return self
+
+    def _obs_opts(self) -> dict[str, Any]:
+        """Observability config shipped to each spawned worker."""
+        return {"event_log": self.log.config(), "worker_metrics": True}
 
     def close(self) -> None:
         """Drain and stop every worker; further requests raise."""
@@ -155,6 +170,7 @@ class Fleet:
                 gen, self._active = self._active, None
         if gen is not None:
             retire_generation(gen, drain_timeout=self.config.drain_timeout)
+        self.log.info("fleet_closed")
 
     def __enter__(self) -> "Fleet":
         return self.start()
@@ -174,12 +190,18 @@ class Fleet:
             return gen
 
     def submit(
-        self, queries: np.ndarray, *, deadline_ts: float | None = None
+        self,
+        queries: np.ndarray,
+        *,
+        deadline_ts: float | None = None,
+        trace: Tracer | None = None,
     ) -> Future:
         """Dispatch one batch; resolves to a merged :class:`PredictResult`.
 
         The request is pinned to the generation active at admission
-        time — a concurrent swap drains around it.
+        time — a concurrent swap drains around it.  When ``trace`` is
+        an enabled tracer, a ``fleet.dispatch`` span brackets fan-out
+        to merge and each worker's spans are adopted into the trace.
         """
         q = np.ascontiguousarray(queries, dtype=np.float64)
         if q.ndim == 1:
@@ -190,6 +212,35 @@ class Fleet:
         self._m_requests.inc()
         self._m_queries.inc(q.shape[0])
         start = time.perf_counter()
+
+        worker_ctx: dict[str, Any] | None = None
+        dispatch_span: Span | None = None
+        if trace is not None and trace.enabled:
+            # hand-managed: the span closes in a reader-thread callback,
+            # which a thread-local context manager cannot bracket
+            ctx = trace.context()
+            dispatch_span = Span(
+                "fleet.dispatch", trace.trace_id, ctx["parent_id"],
+                {"queries": int(q.shape[0]), "generation": gen.number},
+            )
+            worker_ctx = {
+                "trace_id": trace.trace_id,
+                "parent_id": dispatch_span.span_id,
+                "service": "fleet-worker",
+            }
+
+        state_lock = threading.Lock()
+        dispatch_closed = [False]
+
+        def _close_dispatch(n_shards: int) -> None:
+            if dispatch_span is None:
+                return
+            with state_lock:
+                if dispatch_closed[0]:
+                    return
+                dispatch_closed[0] = True
+            dispatch_span.set_attr("shards", n_shards)
+            trace.adopt([finish_span(dispatch_span)])
 
         def _finish_ok(result: PredictResult) -> None:
             self._m_latency.observe(time.perf_counter() - start)
@@ -212,23 +263,27 @@ class Fleet:
                 assignments = np.full(q.shape[0], wid, dtype=np.int64)
                 shard_ids = [wid]
             if not shard_ids:  # zero-row batch: answer immediately
+                _close_dispatch(0)
                 _finish_ok(_empty_result())
                 return agg
             parts: dict[int, tuple] = {}
-            state_lock = threading.Lock()
             remaining = [len(shard_ids)]
 
             def _on_part(s: int, fut: Future) -> None:
                 try:
-                    payload = fut.result()
+                    payload, extras = fut.result()
                 except BaseException as exc:  # noqa: BLE001
+                    _close_dispatch(len(shard_ids))
                     _finish_err(exc)
                     return
+                if trace is not None and extras and extras.get("spans"):
+                    trace.adopt(extras["spans"])
                 with state_lock:
                     parts[s] = payload
                     remaining[0] -= 1
                     last = remaining[0] == 0
                 if last:
+                    _close_dispatch(len(shard_ids))
                     try:
                         _finish_ok(_merge_parts(q.shape[0], assignments, parts))
                     except BaseException as exc:  # noqa: BLE001
@@ -239,10 +294,11 @@ class Fleet:
                 if not worker.alive:
                     raise WorkerDied(f"worker {s} is not serving")
                 sub = q[assignments == s]
-                worker.submit_predict(sub, deadline_ts).add_done_callback(
+                worker.submit_predict(sub, deadline_ts, worker_ctx).add_done_callback(
                     lambda fut, s=s: _on_part(s, fut)
                 )
         except BaseException as exc:  # noqa: BLE001 — dispatch-time failure
+            _close_dispatch(0)
             _finish_err(exc)
         return agg
 
@@ -262,6 +318,7 @@ class Fleet:
             if self._closed:
                 raise FleetClosed("fleet is closed")
             new_model = self._load(model)
+            self.log.info("swap_started", generation=self._gen_counter + 1)
             warm_start = time.monotonic()
             new_gen = launch_generation(
                 new_model,
@@ -270,6 +327,7 @@ class Fleet:
                 router=self.config.router,
                 engine_opts=self.config.engine_opts(),
                 ready_timeout=self.config.ready_timeout,
+                obs_opts=self._obs_opts(),
             )
             warmup_seconds = time.monotonic() - warm_start
             with self._gen_lock:
@@ -288,6 +346,12 @@ class Fleet:
             )
             self.swap_reports.append(report)
             self._m_swaps.inc()
+            self.log.info(
+                "swap_completed", generation=report.generation,
+                from_version=report.from_version, to_version=report.to_version,
+                warmup_seconds=report.warmup_seconds,
+                drain_seconds=report.drain_seconds,
+            )
             return report
 
     # ------------------------------------------------------------------
@@ -379,6 +443,8 @@ class Fleet:
         if gen is None:
             return
         req_samples, cache_samples, p99_samples = [], [], []
+        # worker-process registries, merged per family with a `worker` label
+        merged: dict[str, tuple[str, str, list[Sample]]] = {}
         for stats in self.worker_stats(timeout=2.0):
             wid = str(stats.get("worker_id", "?"))
             if "requests" not in stats:
@@ -398,6 +464,12 @@ class Fleet:
                 Sample("mudbscan_fleet_worker_latency_p99_seconds", labels,
                        float(p99 if p99 is not None else 0.0))
             )
+            for name, ftype, fhelp, samples in stats.get("metrics_families", []):
+                _, _, acc = merged.setdefault(name, (ftype, fhelp, []))
+                acc.extend(
+                    Sample(s_name, tuple(s_labels) + (("worker", wid),), value)
+                    for s_name, s_labels, value in samples
+                )
         if req_samples:
             yield FamilySnapshot(
                 "mudbscan_fleet_worker_requests_total", "counter",
@@ -411,6 +483,8 @@ class Fleet:
                 "mudbscan_fleet_worker_latency_p99_seconds", "gauge",
                 "per-worker windowed p99 latency", p99_samples,
             )
+        for name, (ftype, fhelp, acc) in sorted(merged.items()):
+            yield FamilySnapshot(name, ftype, f"{fhelp} (per worker process)", acc)
 
 
 def _merge_parts(

@@ -15,8 +15,18 @@ requires —
   the budget is spent.  Workers also pre-check the deadline so queued
   work that can no longer make it is dropped, not computed.
 
+Every predict response carries a minted request id (the
+``X-Request-Id`` header and the ``request_id`` JSON field).  With
+``tracing=True`` that id is also a trace id: the door opens a
+``frontdoor.predict`` root span, the fleet parents its dispatch and
+worker spans under it, and the finished tree is offered to a
+tail-based :class:`~repro.observability.tail.TraceRetention` — errored
+requests always retained, successes only when slower than the rolling
+percentile — queryable at ``GET /traces/<id>``.
+
 Endpoints: ``POST /predict``, ``POST /admin/swap`` (hot model swap),
-``GET /healthz`` / ``/readyz`` / ``/stats`` / ``/metrics``.
+``GET /healthz`` / ``/readyz`` / ``/stats`` / ``/metrics`` / ``/slo``
+/ ``/traces`` / ``/traces/<request-id>``.
 
 The door shuts down gracefully: on SIGTERM (or :meth:`request_stop`)
 it stops accepting connections, lets in-flight requests finish, then
@@ -36,7 +46,11 @@ from typing import Any
 
 import numpy as np
 
+from repro.observability.logging import EventLog, get_event_log
 from repro.observability.prometheus import CONTENT_TYPE, render_prometheus
+from repro.observability.slo import SLOEngine, SLOSpec, default_serving_slos
+from repro.observability.tail import TraceRetention
+from repro.observability.tracing import Tracer, new_trace_id
 from repro.serving.fleet.fleet import Fleet, FleetClosed
 from repro.serving.fleet.worker import WorkerDied
 from repro.serving.service import MAX_BODY_BYTES
@@ -76,6 +90,13 @@ class FrontDoor:
         default_deadline_ms: float = 2000.0,
         retry_after_s: float = 1.0,
         verbose: bool = False,
+        tracing: bool = False,
+        event_log: EventLog | None = None,
+        retention: TraceRetention | None = None,
+        slow_log_path: str | None = None,
+        slow_percentile: float = 99.0,
+        trace_capacity: int = 256,
+        slo_specs: list[SLOSpec] | None = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
@@ -86,6 +107,19 @@ class FrontDoor:
         self.default_deadline_ms = float(default_deadline_ms)
         self.retry_after_s = retry_after_s
         self.verbose = verbose
+        self.tracing = bool(tracing)
+        self.log = (
+            event_log if event_log is not None else get_event_log()
+        ).child("frontdoor")
+        if retention is None and (self.tracing or slow_log_path):
+            retention = TraceRetention(
+                capacity=trace_capacity,
+                slow_percentile=slow_percentile,
+                log_path=slow_log_path,
+            )
+        self.retention = retention
+        self._slo_specs = list(slo_specs) if slo_specs is not None else None
+        self._slo_eng: SLOEngine | None = None
         self._inflight = 0  # touched only on the event loop thread
         self._stop = asyncio.Event()
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -126,13 +160,14 @@ class FrontDoor:
             for sig in (signal.SIGTERM, signal.SIGINT):
                 with contextlib.suppress(NotImplementedError, ValueError):
                     self._loop.add_signal_handler(sig, self._stop.set)
-        if self.verbose:
-            print(
-                f"fleet front door on http://{self.host}:{self.bound_port} "
-                f"({self.fleet.config.n_workers} workers, "
-                f"router={self.fleet.config.router}, "
-                f"max_inflight={self.max_inflight})"
-            )
+        self.log.info(
+            "listening",
+            url=f"http://{self.host}:{self.bound_port}",
+            n_workers=self.fleet.config.n_workers,
+            router=self.fleet.config.router,
+            max_inflight=self.max_inflight,
+            tracing=self.tracing,
+        )
         try:
             await self._stop.wait()
         finally:
@@ -142,6 +177,9 @@ class FrontDoor:
             deadline = time.monotonic() + 30.0
             while self._inflight > 0 and time.monotonic() < deadline:
                 await asyncio.sleep(0.02)
+            self.log.info("stopped", inflight=self._inflight)
+            if self.retention is not None:
+                self.retention.close()
 
     # ------------------------------------------------------------------
     # connection handling (minimal HTTP/1.1 with keep-alive)
@@ -274,7 +312,10 @@ class FrontDoor:
                 "inflight": self._inflight,
                 "max_inflight": self.max_inflight,
                 "default_deadline_ms": self.default_deadline_ms,
+                "tracing": self.tracing,
             }
+            if self.retention is not None:
+                stats["front_door"]["retention"] = self.retention.stats()
             stats["workers_detail"] = await asyncio.to_thread(
                 self.fleet.worker_stats
             )
@@ -284,10 +325,55 @@ class FrontDoor:
             await self._write_response(
                 writer, 200, body, content_type=CONTENT_TYPE, keep_alive=keep
             )
+        elif path == "/slo":
+            engine = self._slo_engine()
+            if engine is None:
+                await self._send_json(
+                    writer, 503,
+                    {"error": "metrics registry disabled; SLOs unavailable"},
+                    keep_alive=keep,
+                )
+            else:
+                evaluation = await asyncio.to_thread(engine.evaluate)
+                await self._send_json(writer, 200, evaluation, keep_alive=keep)
+        elif path == "/traces":
+            if self.retention is None:
+                payload: dict[str, Any] = {"tracing": self.tracing, "traces": []}
+            else:
+                payload = {
+                    "tracing": self.tracing,
+                    "stats": self.retention.stats(),
+                    "traces": [t.summary() for t in self.retention.traces()],
+                }
+            await self._send_json(writer, 200, payload, keep_alive=keep)
+        elif path.startswith("/traces/"):
+            rid = path[len("/traces/"):]
+            trace = self.retention.get(rid) if self.retention is not None else None
+            if trace is None:
+                await self._send_json(
+                    writer, 404,
+                    {"error": f"no retained trace {rid!r}"},
+                    keep_alive=keep,
+                )
+            else:
+                await self._send_json(writer, 200, trace.to_dict(), keep_alive=keep)
         else:
             await self._send_json(
                 writer, 404, {"error": f"unknown path {path!r}"}, keep_alive=keep
             )
+
+    def _slo_engine(self) -> SLOEngine | None:
+        """Lazily build the burn-rate engine over the fleet's registry."""
+        if not self.fleet.registry.enabled:
+            return None
+        if self._slo_eng is None:
+            specs = (
+                self._slo_specs
+                if self._slo_specs is not None
+                else default_serving_slos()
+            )
+            self._slo_eng = SLOEngine(self.fleet.registry, specs)
+        return self._slo_eng
 
     # ------------------------------------------------------------------
     # predict (admission control + deadline budget)
@@ -313,67 +399,123 @@ class FrontDoor:
         return queries
 
     async def _handle_predict(self, request: _Request, writer, keep: bool) -> None:
+        rid = new_trace_id()
+        start_unix = time.time()
+        t0 = time.perf_counter()
+        tracer = Tracer("frontdoor", trace_id=rid) if self.tracing else None
+        extra = {"X-Request-Id": rid}
+        queries: np.ndarray | None = None
+
         if self._inflight >= self.max_inflight:
             self._m_rejected.inc()
-            await self._send_json(
-                writer, 429,
-                {
-                    "error": "fleet saturated",
-                    "inflight": self._inflight,
-                    "max_inflight": self.max_inflight,
-                },
-                extra_headers={"Retry-After": format(self.retry_after_s, "g")},
-                keep_alive=keep,
+            extra["Retry-After"] = format(self.retry_after_s, "g")
+            status, payload = 429, {
+                "error": "fleet saturated",
+                "inflight": self._inflight,
+                "max_inflight": self.max_inflight,
+            }
+        else:
+            try:
+                queries = self._parse_queries(request)
+                deadline_ms = float(
+                    request.headers.get("x-deadline-ms", self.default_deadline_ms)
+                )
+                if not (deadline_ms > 0):
+                    raise ValueError(f"X-Deadline-Ms must be > 0, got {deadline_ms}")
+            except (ValueError, TypeError, UnicodeDecodeError) as exc:
+                status, payload = 400, {"error": str(exc)}
+            else:
+                self._inflight += 1
+                self._m_admitted.inc()
+                try:
+                    status, payload = await self._run_predict(
+                        queries, deadline_ms, tracer
+                    )
+                finally:
+                    self._inflight -= 1
+        payload["request_id"] = rid
+        await self._send_json(
+            writer, status, payload, extra_headers=extra, keep_alive=keep
+        )
+        self._finish_request(
+            rid,
+            status=status,
+            latency_s=time.perf_counter() - t0,
+            start_unix=start_unix,
+            queries=queries,
+            tracer=tracer,
+            error=payload.get("error"),
+        )
+
+    async def _run_predict(
+        self, queries: np.ndarray, deadline_ms: float, tracer: Tracer | None
+    ) -> tuple[int, dict[str, Any]]:
+        """Fleet round-trip for one admitted request: (status, payload)."""
+        deadline_ts = time.time() + deadline_ms / 1000.0
+        span = (
+            tracer.span(
+                "frontdoor.predict",
+                queries=int(queries.shape[0]),
+                deadline_ms=deadline_ms,
             )
-            return
-        try:
-            queries = self._parse_queries(request)
-            deadline_ms = float(
-                request.headers.get("x-deadline-ms", self.default_deadline_ms)
+            if tracer is not None
+            else contextlib.nullcontext()
+        )
+        with span:
+            future = self.fleet.submit(
+                queries, deadline_ts=deadline_ts, trace=tracer
             )
-            if not (deadline_ms > 0):
-                raise ValueError(f"X-Deadline-Ms must be > 0, got {deadline_ms}")
-        except (ValueError, TypeError, UnicodeDecodeError) as exc:
-            await self._send_json(writer, 400, {"error": str(exc)}, keep_alive=keep)
-            return
-        self._inflight += 1
-        self._m_admitted.inc()
-        try:
-            deadline_ts = time.time() + deadline_ms / 1000.0
-            future = self.fleet.submit(queries, deadline_ts=deadline_ts)
             try:
                 result = await asyncio.wait_for(
                     asyncio.wrap_future(future), timeout=deadline_ms / 1000.0
                 )
             except asyncio.TimeoutError:
                 self._m_deadline.inc()
-                await self._send_json(
-                    writer, 504,
-                    {"error": f"deadline of {deadline_ms:g} ms exceeded"},
-                    keep_alive=keep,
-                )
-                return
+                return 504, {"error": f"deadline of {deadline_ms:g} ms exceeded"}
             except (WorkerDied, FleetClosed) as exc:
-                await self._send_json(
-                    writer, 503, {"error": str(exc)}, keep_alive=keep
-                )
-                return
+                return 503, {"error": str(exc)}
             except RuntimeError as exc:
                 # worker-side per-request failure (includes its own
                 # deadline pre-check: "deadline exceeded before work")
                 if "deadline exceeded" in str(exc):
                     self._m_deadline.inc()
-                    await self._send_json(
-                        writer, 504, {"error": str(exc)}, keep_alive=keep
-                    )
-                else:
-                    await self._send_json(
-                        writer, 500, {"error": str(exc)}, keep_alive=keep
-                    )
-                return
-            await self._send_json(writer, 200, result.as_payload(), keep_alive=keep)
-        finally:
-            self._inflight -= 1
+                    return 504, {"error": str(exc)}
+                return 500, {"error": str(exc)}
+        return 200, result.as_payload()
+
+    def _finish_request(
+        self,
+        rid: str,
+        *,
+        status: int,
+        latency_s: float,
+        start_unix: float,
+        queries: np.ndarray | None,
+        tracer: Tracer | None,
+        error: str | None,
+    ) -> None:
+        """Post-response bookkeeping: event log + tail-based retention."""
+        latency_ms = round(latency_s * 1e3, 3)
+        if status >= 400:
+            self.log.warning(
+                "predict_failed", trace_id=rid, status=status,
+                latency_ms=latency_ms, error=error,
+            )
+        else:
+            self.log.debug(
+                "predict_ok", trace_id=rid, status=status, latency_ms=latency_ms
+            )
+        if self.retention is not None:
+            self.retention.offer(
+                rid,
+                status=status,
+                latency_s=latency_s,
+                start_unix=start_unix,
+                n_queries=int(queries.shape[0]) if queries is not None else 0,
+                queries=queries,
+                spans=tracer.finished() if tracer is not None else None,
+                error=error,
+            )
 
     async def _handle_swap(self, request: _Request, writer, keep: bool) -> None:
         try:

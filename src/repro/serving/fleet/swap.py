@@ -110,13 +110,16 @@ def launch_generation(
     router: str = "kd",
     engine_opts: dict[str, Any] | None = None,
     ready_timeout: float = 120.0,
+    obs_opts: dict[str, Any] | None = None,
 ) -> Generation:
     """Publish ``model`` to shared memory and warm a full worker set.
 
     Blocks until every worker reports ready (or raises, tearing down
     anything already started).  ``router="kd"`` gives each worker one
     spatial shard; ``"none"`` gives each worker a full replica (the
-    front door then round-robins whole requests).
+    front door then round-robins whole requests).  ``obs_opts`` ships
+    the parent's observability config (event-log sink, worker metrics
+    toggle) to each spawned worker.
     """
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -151,6 +154,7 @@ def launch_generation(
                     req_r,
                     resp_w,
                     dict(engine_opts or {}),
+                    dict(obs_opts or {}),
                 ),
                 name=f"mudbscan-fleet-worker-{wid}",
                 daemon=True,

@@ -16,8 +16,16 @@ of a :class:`~repro.serving.model.FittedModel`:
 * requests/responses are small pickled tuples on a dedicated pipe pair
   per worker; a worker answers ``predict`` through its own
   :class:`~repro.serving.engine.QueryEngine` (versioned LRU cache,
-  latency window), and ``stats`` with the engine's counters so the
-  front door can aggregate per-worker ``/metrics``;
+  latency window), and ``stats`` with the engine's counters **plus a
+  snapshot of the worker's own metrics registry**, so the front door's
+  ``/metrics`` can expose per-worker series without a sidecar;
+* a ``predict`` request may carry a picklable **trace context**
+  (:meth:`~repro.observability.tracing.Tracer.context`); the worker
+  then re-roots a tracer under the front door's span, brackets the
+  engine call in a ``worker.predict`` span (the engine's
+  ``serving.predict``/``route``/``score`` spans nest inside via
+  ``maybe_span``) and ships the finished spans back on the result
+  reply — one request, one span tree across N processes;
 * **SIGTERM drains**: the in-progress request is finished and answered
   before the worker exits (the fleet's graceful-shutdown contract).
 """
@@ -34,6 +42,9 @@ from typing import Any
 
 import numpy as np
 
+from repro.observability.logging import EventLog
+from repro.observability.registry import MetricsRegistry
+from repro.observability.tracing import Tracer
 from repro.serving.engine import QueryEngine
 from repro.serving.model import FittedModel
 
@@ -64,10 +75,15 @@ def fleet_worker_main(
     req_conn: connection.Connection,
     resp_conn: connection.Connection,
     engine_opts: dict[str, Any],
+    obs_opts: dict[str, Any] | None = None,
 ) -> None:
     """Spawn-side entry: map the model, build the shard, serve the pipe."""
     terminating = threading.Event()
     signal.signal(signal.SIGTERM, lambda *_: terminating.set())
+    obs_opts = obs_opts or {}
+    log = EventLog.from_config(
+        obs_opts.get("event_log"), component=f"worker{worker_id}"
+    )
     segments: list[shared_memory.SharedMemory] = []
     try:
         arrays: dict[str, np.ndarray] = {}
@@ -86,7 +102,10 @@ def fleet_worker_main(
             model, global_rows = shard.model, shard.global_rows
         else:
             model = full
-        engine = QueryEngine(model, max_wait_ms=0.0, **engine_opts)
+        # the worker's own registry: snapshotted onto stats replies so
+        # the front door can aggregate per-worker series at scrape time
+        registry = MetricsRegistry(enabled=obs_opts.get("worker_metrics", True))
+        engine = QueryEngine(model, max_wait_ms=0.0, registry=registry, **engine_opts)
         engine.warmup()
         resp_conn.send(
             (
@@ -101,18 +120,25 @@ def fleet_worker_main(
                 },
             )
         )
+        log.info(
+            "worker_ready", pid=os.getpid(), shard_id=shard_id,
+            n_points=int(model.n), version=full.version_token(),
+        )
         try:
             _serve_loop(
-                worker_id, engine, global_rows, req_conn, resp_conn, terminating
+                worker_id, engine, registry, global_rows,
+                req_conn, resp_conn, terminating, log,
             )
         finally:
             engine.close()
     except BaseException as exc:  # noqa: BLE001 — ferried to the parent
+        log.error("worker_fatal", error=repr(exc))
         try:
             resp_conn.send(("fatal", repr(exc)))
         except Exception:
             pass
     finally:
+        log.close()
         for shm in segments:
             try:
                 shm.close()
@@ -123,16 +149,19 @@ def fleet_worker_main(
 def _serve_loop(
     worker_id: int,
     engine: QueryEngine,
+    registry: MetricsRegistry,
     global_rows: np.ndarray | None,
     req_conn: connection.Connection,
     resp_conn: connection.Connection,
     terminating: threading.Event,
+    log: EventLog,
 ) -> None:
     while True:
         # poll so a SIGTERM between requests is noticed promptly; a
         # request already being answered below always completes first
         if not req_conn.poll(0.05):
             if terminating.is_set():
+                log.info("worker_drained", reason="sigterm")
                 resp_conn.send(("bye", {"worker_id": worker_id, "reason": "sigterm"}))
                 return
             continue
@@ -142,12 +171,18 @@ def _serve_loop(
             return  # parent went away; nothing left to answer
         kind = msg[0]
         if kind == "predict":
-            _, req_id, queries, deadline_ts = msg
+            # older 4-tuples (no trace context) remain valid on the wire
+            _, req_id, queries, deadline_ts, *rest = msg
+            trace_ctx = rest[0] if rest else None
             if deadline_ts is not None and time.time() > deadline_ts:
+                log.warning(
+                    "request_dropped", reason="deadline exceeded before work",
+                    trace_id=(trace_ctx or {}).get("trace_id"),
+                )
                 resp_conn.send(("error", req_id, "deadline exceeded before work"))
                 continue
             try:
-                res = engine.predict(queries)
+                res, spans = _traced_predict(engine, queries, trace_ctx, worker_id)
                 nearest = res.nearest_core
                 if global_rows is not None:
                     out = np.full(nearest.shape, -1, dtype=np.int64)
@@ -165,20 +200,67 @@ def _serve_loop(
                             res.nearest_core_dist,
                             res.n_neighbors,
                         ),
+                        {"spans": spans} if spans else None,
                     )
                 )
             except Exception as exc:  # keep serving after a bad request
+                log.warning(
+                    "request_failed", error=repr(exc),
+                    trace_id=(trace_ctx or {}).get("trace_id"),
+                )
                 resp_conn.send(("error", req_id, repr(exc)))
         elif kind == "stats":
             _, req_id = msg
             stats = engine.stats()
             stats["worker_id"] = worker_id
             stats["pid"] = os.getpid()
+            stats["metrics_families"] = _registry_snapshot(registry)
             resp_conn.send(("stats", req_id, stats))
         elif kind == "shutdown":
+            log.info("worker_drained", reason="shutdown")
             resp_conn.send(("bye", {"worker_id": worker_id, "reason": "shutdown"}))
             return
         # unknown kinds are ignored (forward compatibility)
+
+
+def _traced_predict(
+    engine: QueryEngine,
+    queries: np.ndarray,
+    trace_ctx: dict[str, Any] | None,
+    worker_id: int,
+):
+    """Run one predict, re-rooted under the door's trace when given.
+
+    Returns ``(result, span_dicts_or_None)``; the tracer is activated
+    so the engine's ``serving.predict`` / ``route`` / ``score``
+    ``maybe_span`` sites nest under the ``worker.predict`` span.
+    """
+    if trace_ctx is None:
+        return engine.predict(queries), None
+    tracer = Tracer.from_context(trace_ctx)
+    with tracer.activate(), tracer.span(
+        "worker.predict",
+        worker_id=worker_id,
+        pid=os.getpid(),
+        queries=int(np.atleast_2d(queries).shape[0]),
+    ):
+        res = engine.predict(queries)
+    return res, tracer.finished()
+
+
+def _registry_snapshot(registry: MetricsRegistry) -> list[tuple]:
+    """The worker registry as plain picklable tuples (scrape payload)."""
+    if not registry.enabled:
+        return []
+    return [
+        (
+            fam.name,
+            fam.type,
+            fam.help,
+            [(s.name, tuple(s.labels), float(s.value)) for s in fam.samples],
+        )
+        for fam in registry.collect()
+    ]
 
 
 class WorkerDied(RuntimeError):
@@ -225,7 +307,11 @@ class WorkerClient:
             if kind == "ready":
                 self.ready_meta = msg[1]
                 self.ready_event.set()
-            elif kind in ("result", "stats"):
+            elif kind == "result":
+                # (arrays, extras) — extras carries worker-side spans
+                payload = (msg[2], msg[3] if len(msg) > 3 else None)
+                self._resolve(msg[1], lambda fut, p=payload: fut.set_result(p))
+            elif kind == "stats":
                 self._resolve(msg[1], lambda fut, payload=msg[2]: fut.set_result(payload))
             elif kind == "error":
                 self._resolve(
@@ -285,10 +371,13 @@ class WorkerClient:
         return fut
 
     def submit_predict(
-        self, queries: np.ndarray, deadline_ts: float | None = None
+        self,
+        queries: np.ndarray,
+        deadline_ts: float | None = None,
+        trace_ctx: dict[str, Any] | None = None,
     ) -> Future:
-        """Future resolving to the worker's answer arrays tuple."""
-        return self._post(("predict", queries, deadline_ts))
+        """Future resolving to ``(answer arrays tuple, extras | None)``."""
+        return self._post(("predict", queries, deadline_ts, trace_ctx))
 
     def fetch_stats(self, timeout: float = 5.0) -> dict[str, Any]:
         return self._post(("stats",)).result(timeout=timeout)

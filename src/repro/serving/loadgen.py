@@ -103,6 +103,10 @@ class LoadResult:
     #: HTTP status (or 200/599 for in-process ok/error) per request
     statuses: np.ndarray
     target: str = "in-process"
+    #: server-minted ``X-Request-Id`` per request (None off the HTTP path)
+    request_ids: list | None = None
+    #: server-reported error string per request (None when it succeeded)
+    errors: list | None = None
 
     @property
     def achieved_rate(self) -> float:
@@ -126,6 +130,35 @@ class LoadResult:
         ok = self.latencies[self.statuses == 200]
         return float(np.percentile(ok, q)) if ok.size else float("nan")
 
+    def worst_offenders(self, k: int = 5) -> list[dict[str, Any]]:
+        """The ``k`` worst requests: every failure, then the slowest
+        successes — each with its status, latency and (when the target
+        minted one) request id, so a bad request in a load-test report
+        can be chased straight into ``GET /traces/<request-id>``."""
+        def _row(i: int) -> dict[str, Any]:
+            row: dict[str, Any] = {
+                "index": int(i),
+                "status": int(self.statuses[i]),
+                "latency_ms": round(float(self.latencies[i]) * 1e3, 3)
+                if np.isfinite(self.latencies[i])
+                else None,
+            }
+            if self.request_ids is not None and self.request_ids[i]:
+                row["request_id"] = self.request_ids[i]
+            if self.errors is not None and self.errors[i]:
+                row["error"] = self.errors[i]
+            return row
+
+        failed = np.flatnonzero(self.statuses != 200)
+        # failures first (slowest first), then the slowest successes
+        failed = failed[np.argsort(-np.nan_to_num(self.latencies[failed]))]
+        rows = [_row(i) for i in failed[:k]]
+        if len(rows) < k:
+            ok = np.flatnonzero(self.statuses == 200)
+            ok = ok[np.argsort(-np.nan_to_num(self.latencies[ok]))]
+            rows.extend(_row(i) for i in ok[: k - len(rows)])
+        return rows
+
     def summary(self) -> dict[str, Any]:
         return {
             "target": self.target,
@@ -142,6 +175,7 @@ class LoadResult:
                 "p90": self.percentile(90),
                 "p99": self.percentile(99),
             },
+            "worst_offenders": self.worst_offenders(),
         }
 
 
@@ -169,7 +203,8 @@ class _HttpClient:
             )
         return self._conn
 
-    def __call__(self, queries: np.ndarray) -> int:
+    def __call__(self, queries: np.ndarray) -> tuple[int, str | None, str | None]:
+        """Returns ``(status, request_id, error)`` for one predict."""
         body = json.dumps({"points": queries.tolist()})
         for attempt in (0, 1):  # one reconnect on a dropped keep-alive
             conn = self._connection()
@@ -179,13 +214,20 @@ class _HttpClient:
                     {"Content-Type": "application/json"},
                 )
                 resp = conn.getresponse()
-                resp.read()
-                return resp.status
-            except (http.client.HTTPException, OSError):
+                payload = resp.read()
+                rid = resp.getheader("X-Request-Id")
+                error = None
+                if resp.status != 200:
+                    try:
+                        error = json.loads(payload).get("error")
+                    except (ValueError, AttributeError):
+                        error = None
+                return resp.status, rid, error
+            except (http.client.HTTPException, OSError) as exc:
                 self.close()
                 if attempt:
-                    return 599
-        return 599
+                    return 599, None, repr(exc)
+        return 599, None, "unreachable"
 
     def close(self) -> None:
         if self._conn is not None:
@@ -196,13 +238,13 @@ class _HttpClient:
             self._conn = None
 
 
-def _inproc_client(target) -> Callable[[np.ndarray], int]:
-    def call(queries: np.ndarray) -> int:
+def _inproc_client(target) -> Callable[[np.ndarray], tuple[int, None, str | None]]:
+    def call(queries: np.ndarray) -> tuple[int, None, str | None]:
         try:
             target.predict(queries)
-            return 200
-        except Exception:
-            return 599
+            return 200, None, None
+        except Exception as exc:
+            return 599, None, repr(exc)
 
     return call
 
@@ -245,6 +287,8 @@ def run_open_loop(
 
     latencies = np.full(n_requests, np.nan)
     statuses = np.full(n_requests, 599, dtype=np.int64)
+    request_ids: list = [None] * n_requests
+    errors: list = [None] * n_requests
     next_idx = [0]
     idx_lock = threading.Lock()
     t0 = time.perf_counter()
@@ -261,7 +305,7 @@ def run_open_loop(
             if delay > 0:
                 time.sleep(delay)
             rows = (starts[i] + np.arange(batch_size)) % q.shape[0]
-            statuses[i] = client(q[rows])
+            statuses[i], request_ids[i], errors[i] = client(q[rows])
             latencies[i] = time.perf_counter() - release
 
     threads = [
@@ -284,6 +328,8 @@ def run_open_loop(
         latencies=latencies,
         statuses=statuses,
         target=target if is_http else type(target).__name__,
+        request_ids=request_ids,
+        errors=errors,
     )
 
 

@@ -37,6 +37,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
+from repro.observability.logging import get_event_log
 from repro.observability.prometheus import CONTENT_TYPE, render_prometheus
 from repro.serving.engine import QueryEngine
 
@@ -270,11 +271,12 @@ def serve_forever(
     """
     server = make_server(engine, host, port, verbose=verbose)
     bound_host, bound_port = server.server_address[:2]
-    print(
-        f"serving {engine.model.summary()}\n"
-        f"listening on http://{bound_host}:{bound_port} "
-        f"(POST /predict, GET /healthz, GET /readyz, GET /stats, "
-        f"GET /metrics) — SIGTERM/Ctrl-C drains and stops"
+    log = get_event_log().child("service")
+    log.info(
+        "listening",
+        url=f"http://{bound_host}:{bound_port}",
+        model=engine.model.summary(),
+        endpoints="POST /predict, GET /healthz /readyz /stats /metrics",
     )
     threading.Thread(target=engine.warmup, name="serve-warmup", daemon=True).start()
 
@@ -294,7 +296,7 @@ def serve_forever(
         server.serve_forever()
         done.wait(60.0)
     except KeyboardInterrupt:
-        print("draining in-flight requests")
+        log.info("draining", reason="keyboard interrupt")
         _drain_and_stop()
     finally:
         signal.signal(signal.SIGTERM, previous)

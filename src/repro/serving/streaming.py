@@ -34,6 +34,7 @@ from typing import Any, Iterable
 
 import numpy as np
 
+from repro.observability.logging import EventLog, get_event_log
 from repro.observability.registry import MetricsRegistry, get_registry
 from repro.serving.model import FittedModel
 from repro.streaming.incremental import StreamingMuDBSCAN
@@ -62,12 +63,16 @@ class StreamingEngine:
         stream: StreamingMuDBSCAN,
         *,
         registry: MetricsRegistry | None = None,
+        event_log: EventLog | None = None,
         refresh_every: int = 1,
     ) -> None:
         if refresh_every < 1:
             raise ValueError(f"refresh_every must be >= 1, got {refresh_every}")
         self.stream = stream
         self.registry = registry if registry is not None else get_registry()
+        self.log = (
+            event_log if event_log is not None else get_event_log()
+        ).child("streaming")
         self.refresh_every = refresh_every
         self._lock = threading.RLock()
         self.model: FittedModel = stream.to_fitted_model()
@@ -179,12 +184,21 @@ class StreamingEngine:
             model._murtree = None
             model._version_token = None
             model.serving_counters.reset()
+            staleness_updates = self._staleness_updates
             self._staleness_updates = 0
             self._last_refresh = time.monotonic()
             self.refreshes_total += 1
             self._g_refreshes.inc()
             self._export_stats()
-            return model.version_token()
+            version = model.version_token()
+            self.log.debug(
+                "model_refreshed",
+                version=version,
+                refreshes_total=self.refreshes_total,
+                updates_absorbed=staleness_updates,
+                live_points=int(self.stream.n_live),
+            )
+            return version
 
     # ------------------------------------------------------------------
 

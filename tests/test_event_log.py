@@ -1,0 +1,210 @@
+"""The structured event log: envelope, levels, rotation, processes.
+
+Also home of the log-hygiene lint: ``repro.serving`` and
+``repro.observability`` must route text output through the event log,
+never bare ``print(`` / ``sys.stderr.write(`` (mirrored as a CI step).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.observability.logging import (
+    LEVELS,
+    NULL_EVENT_LOG,
+    EventLog,
+    RotatingJsonlWriter,
+    get_event_log,
+    load_jsonl_events,
+    log_event,
+    set_event_log,
+    use_event_log,
+)
+
+
+class TestRotatingJsonlWriter:
+    def test_appends_one_json_object_per_line(self, tmp_path):
+        w = RotatingJsonlWriter(tmp_path / "log.jsonl")
+        w.write({"a": 1})
+        w.write({"b": 2})
+        w.close()
+        events = load_jsonl_events(tmp_path / "log.jsonl")
+        assert events == [{"a": 1}, {"b": 2}]
+
+    def test_rotates_past_max_bytes(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        w = RotatingJsonlWriter(path, max_bytes=120, backups=2)
+        for i in range(20):
+            w.write({"i": i, "pad": "x" * 20})
+        w.close()
+        assert path.exists()
+        assert path.with_name("log.jsonl.1").exists()
+        # every surviving line is valid JSON (no torn rotation)
+        for candidate in (path, path.with_name("log.jsonl.1")):
+            for line in candidate.read_text().splitlines():
+                json.loads(line)
+
+    def test_backup_count_is_bounded(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        w = RotatingJsonlWriter(path, max_bytes=60, backups=2)
+        for i in range(60):
+            w.write({"i": i, "pad": "y" * 20})
+        w.close()
+        assert not path.with_name("log.jsonl.3").exists()
+
+    def test_no_rotation_when_disabled(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        w = RotatingJsonlWriter(path, max_bytes=None)
+        for i in range(50):
+            w.write({"i": i, "pad": "z" * 40})
+        w.close()
+        assert not path.with_name("log.jsonl.1").exists()
+        assert len(load_jsonl_events(path)) == 50
+
+    def test_creates_parent_dirs(self, tmp_path):
+        w = RotatingJsonlWriter(tmp_path / "deep" / "er" / "log.jsonl")
+        w.write({"ok": True})
+        w.close()
+        assert (tmp_path / "deep" / "er" / "log.jsonl").exists()
+
+
+class TestEventLog:
+    def test_envelope_fields(self, tmp_path):
+        log = EventLog(tmp_path / "ev.jsonl", component="door")
+        log.info("listening", port=1234, trace_id="abc")
+        log.close()
+        (ev,) = load_jsonl_events(tmp_path / "ev.jsonl")
+        assert ev["event"] == "listening"
+        assert ev["component"] == "door"
+        assert ev["level"] == "info"
+        assert ev["trace_id"] == "abc"
+        assert ev["port"] == 1234
+        assert ev["ts"] > 0
+
+    def test_level_threshold_drops_below(self, tmp_path):
+        log = EventLog(tmp_path / "ev.jsonl", level="warning")
+        log.debug("nope")
+        log.info("nope")
+        log.warning("yes")
+        log.error("also")
+        log.close()
+        events = load_jsonl_events(tmp_path / "ev.jsonl")
+        assert [e["event"] for e in events] == ["yes", "also"]
+
+    def test_unknown_level_raises(self, tmp_path):
+        log = EventLog(tmp_path / "ev.jsonl")
+        with pytest.raises(ValueError, match="level"):
+            log.log("loud", "boom")
+
+    def test_disabled_by_default(self):
+        assert not NULL_EVENT_LOG.enabled
+        NULL_EVENT_LOG.info("goes nowhere")  # must not raise
+
+    def test_stream_sink(self, tmp_path):
+        import io
+
+        buf = io.StringIO()
+        log = EventLog(stream=buf, component="cli")
+        log.info("hello", n=2)
+        ev = json.loads(buf.getvalue())
+        assert ev["event"] == "hello" and ev["component"] == "cli"
+
+    def test_path_and_stream_are_exclusive(self, tmp_path):
+        import io
+
+        with pytest.raises(ValueError, match="not both"):
+            EventLog(tmp_path / "x.jsonl", stream=io.StringIO())
+
+    def test_child_shares_sink_with_own_component(self, tmp_path):
+        log = EventLog(tmp_path / "ev.jsonl", component="fleet")
+        log.child("worker0").info("ready")
+        log.info("started")
+        log.close()
+        events = load_jsonl_events(tmp_path / "ev.jsonl")
+        assert {e["component"] for e in events} == {"fleet", "worker0"}
+
+    def test_config_round_trip(self, tmp_path):
+        parent = EventLog(tmp_path / "ev.jsonl", level="debug")
+        cfg = parent.config()
+        child = EventLog.from_config(cfg, component="worker1")
+        child.debug("from_child")
+        child.close()
+        parent.close()
+        (ev,) = load_jsonl_events(tmp_path / "ev.jsonl")
+        assert ev["component"] == "worker1"
+        # config is picklable (it crosses a spawn boundary)
+        import pickle
+
+        assert pickle.loads(pickle.dumps(cfg)) == cfg
+
+    def test_from_config_none_is_null(self):
+        assert EventLog.from_config(None) is NULL_EVENT_LOG
+        # stream sinks cannot cross a process boundary
+        import io
+
+        assert EventLog(stream=io.StringIO()).config() is None
+
+
+class TestActiveLog:
+    def test_global_install_and_restore(self, tmp_path):
+        log = EventLog(tmp_path / "ev.jsonl")
+        previous = set_event_log(log)
+        try:
+            assert get_event_log() is log
+            log_event("info", "global_event", component="test")
+        finally:
+            set_event_log(previous)
+        log.close()
+        assert get_event_log() is NULL_EVENT_LOG
+        events = load_jsonl_events(tmp_path / "ev.jsonl")
+        assert events[0]["event"] == "global_event"
+
+    def test_use_event_log_is_scoped(self, tmp_path):
+        log = EventLog(tmp_path / "ev.jsonl")
+        with use_event_log(log):
+            assert get_event_log() is log
+        assert get_event_log() is NULL_EVENT_LOG
+        log.close()
+
+    def test_levels_are_ordered(self):
+        assert LEVELS["debug"] < LEVELS["info"] < LEVELS["warning"] < LEVELS["error"]
+
+
+class TestLogHygiene:
+    """No bare print / stderr writes in the serving + observability trees."""
+
+    @staticmethod
+    def _offenders(path: Path) -> list[str]:
+        import ast
+
+        found = []
+        for node in ast.walk(ast.parse(path.read_text())):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "print":
+                found.append(f"{path.name}:{node.lineno}: print(...)")
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "write"
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr == "stderr"
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id == "sys"
+            ):
+                found.append(f"{path.name}:{node.lineno}: sys.stderr.write(...)")
+        return found
+
+    def test_no_bare_print_in_serving_or_observability(self):
+        root = Path(__file__).resolve().parents[1] / "src" / "repro"
+        offenders = []
+        for tree in ("serving", "observability"):
+            for path in sorted((root / tree).rglob("*.py")):
+                offenders.extend(self._offenders(path))
+        assert not offenders, (
+            "use the structured event log, not bare prints:\n"
+            + "\n".join(offenders)
+        )

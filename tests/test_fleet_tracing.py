@@ -1,0 +1,355 @@
+"""End-to-end observability across the fleet: one request, one tree.
+
+A traced front door over a 2-shard spawned fleet must stitch the door,
+fleet-dispatch and worker spans into a single tree keyed by the minted
+``X-Request-Id`` — including on the 429/504/error paths — while the
+shared event log collects structured records from every process and
+``GET /slo`` reads burn rates off the same registry the request path
+feeds.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.observability.logging import EventLog, load_jsonl_events
+from repro.observability.prometheus import render_prometheus
+from repro.observability.registry import MetricsRegistry
+from repro.observability.tail import TraceRetention
+from repro.serving.fleet import Fleet, FleetConfig, start_in_thread
+from repro.serving.model import fit_model
+
+
+@pytest.fixture(scope="module")
+def model():
+    rng = np.random.default_rng(17)
+    pts = np.concatenate(
+        [
+            rng.normal([0.0, 0.0], 0.05, (120, 2)),
+            rng.normal([1.0, 1.0], 0.05, (120, 2)),
+            rng.uniform(-0.5, 1.5, (40, 2)),
+        ]
+    )
+    return fit_model(pts, 0.08, 6)
+
+
+@pytest.fixture(scope="module")
+def obs_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("fleet_obs")
+
+
+@pytest.fixture(scope="module")
+def stack(model, obs_dir):
+    """A traced, retaining, event-logged 2-shard fleet + front door."""
+    event_log = EventLog(obs_dir / "events.jsonl", level="debug")
+    registry = MetricsRegistry(enabled=True)
+    retention = TraceRetention(
+        slow_percentile=0.0,  # deterministic: retain every traced request
+        log_path=str(obs_dir / "slow.jsonl"),
+    )
+    with Fleet(
+        model,
+        FleetConfig(n_workers=2, router="kd"),
+        registry=registry,
+        event_log=event_log,
+    ) as fleet:
+        with start_in_thread(
+            fleet,
+            port=0,
+            max_inflight=8,
+            tracing=True,
+            event_log=event_log,
+            retention=retention,
+        ) as door:
+            yield fleet, door, retention
+    event_log.close()
+
+
+def _http(port, method, path, body=None, headers=None):
+    """(status, headers-dict, parsed-body) for one request."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request(
+            method,
+            path,
+            json.dumps(body) if body is not None else None,
+            {"Content-Type": "application/json", **(headers or {})},
+        )
+        resp = conn.getresponse()
+        raw = resp.read()
+        hdrs = {k.lower(): v for k, v in resp.getheaders()}
+        try:
+            return resp.status, hdrs, json.loads(raw)
+        except ValueError:
+            return resp.status, hdrs, raw.decode()
+    finally:
+        conn.close()
+
+
+def _get_trace(port, rid, timeout=5.0):
+    """Poll /traces/<rid> — retention happens just after the response."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, _, payload = _http(port, "GET", f"/traces/{rid}")
+        if status == 200:
+            return payload
+        time.sleep(0.02)
+    raise AssertionError(f"trace {rid!r} never appeared")
+
+
+class TestRequestIds:
+    def test_every_predict_response_carries_the_id(self, stack):
+        _, door, _ = stack
+        status, hdrs, payload = _http(
+            door.port, "POST", "/predict", {"points": [[0.0, 0.0]]}
+        )
+        assert status == 200
+        assert payload["request_id"] == hdrs["x-request-id"]
+
+    def test_bad_request_still_gets_an_id(self, stack):
+        _, door, _ = stack
+        status, hdrs, payload = _http(door.port, "POST", "/predict", {"points": []})
+        assert status == 400
+        assert payload["request_id"] == hdrs["x-request-id"]
+
+    def test_ids_are_unique(self, stack):
+        _, door, _ = stack
+        ids = set()
+        for _ in range(5):
+            _, hdrs, _ = _http(
+                door.port, "POST", "/predict", {"points": [[0.5, 0.5]]}
+            )
+            ids.add(hdrs["x-request-id"])
+        assert len(ids) == 5
+
+
+class TestSpanTree:
+    def test_one_request_is_one_tree_across_processes(self, stack, model):
+        _, door, _ = stack
+        # queries straddling both blobs so both kd shards participate
+        body = {"points": [[0.0, 0.0], [1.0, 1.0], [0.0, 0.05], [1.0, 0.95]]}
+        status, hdrs, _ = _http(door.port, "POST", "/predict", body)
+        assert status == 200
+        rid = hdrs["x-request-id"]
+        trace = _get_trace(door.port, rid)
+
+        spans = trace["spans"]
+        assert all(s["trace_id"] == rid for s in spans)
+        by_name = {}
+        for s in spans:
+            by_name.setdefault(s["name"], []).append(s)
+
+        (root,) = by_name["frontdoor.predict"]
+        assert root["parent_id"] is None
+        (dispatch,) = by_name["fleet.dispatch"]
+        assert dispatch["parent_id"] == root["span_id"]
+        workers = by_name["worker.predict"]
+        assert len(workers) == 2  # both shards served part of the batch
+        assert {w["parent_id"] for w in workers} == {dispatch["span_id"]}
+        assert {w["attrs"]["worker_id"] for w in workers} == {0, 1}
+        # worker pids differ from each other (separate processes)
+        assert len({w["attrs"]["pid"] for w in workers}) == 2
+        # the engine's own spans nest under the worker span
+        worker_ids = {w["span_id"] for w in workers}
+        engine_spans = by_name.get("serving.predict", [])
+        assert engine_spans and all(
+            s["parent_id"] in worker_ids for s in engine_spans
+        )
+        # every span closed
+        assert all(s["duration_s"] is not None for s in spans)
+
+    def test_trace_record_quantizes_queries(self, stack):
+        _, door, _ = stack
+        status, hdrs, _ = _http(
+            door.port, "POST", "/predict", {"points": [[0.123456, 0.654321]]}
+        )
+        assert status == 200
+        trace = _get_trace(door.port, hdrs["x-request-id"])
+        assert trace["queries_quantized"] == [[0.123, 0.654]]
+        assert trace["n_queries"] == 1
+
+    def test_trace_listing(self, stack):
+        _, door, _ = stack
+        status, _, listing = _http(door.port, "GET", "/traces")
+        assert status == 200 and listing["tracing"]
+        assert listing["stats"]["kept"] >= 1
+        assert all("request_id" in t for t in listing["traces"])
+
+    def test_unknown_trace_is_404(self, stack):
+        _, door, _ = stack
+        status, _, _ = _http(door.port, "GET", "/traces/nope")
+        assert status == 404
+
+
+class TestErrorPathsRetained:
+    def test_429_keeps_a_trace(self, stack):
+        _, door, _ = stack
+        door.door.max_inflight = 0
+        try:
+            status, hdrs, payload = _http(
+                door.port, "POST", "/predict", {"points": [[0.0, 0.0]]}
+            )
+        finally:
+            door.door.max_inflight = 8
+        assert status == 429
+        assert "retry-after" in hdrs
+        rid = hdrs["x-request-id"]
+        assert payload["request_id"] == rid
+        trace = _get_trace(door.port, rid)
+        assert trace["status"] == 429 and trace["reason"] == "error"
+
+    def test_504_keeps_a_trace_with_the_deadline_error(self, stack):
+        _, door, _ = stack
+        status, hdrs, payload = _http(
+            door.port, "POST", "/predict",
+            {"points": [[0.0, 0.0]]}, headers={"X-Deadline-Ms": "0.001"},
+        )
+        assert status == 504
+        trace = _get_trace(door.port, hdrs["x-request-id"])
+        assert trace["status"] == 504
+        assert "deadline" in trace["error"]
+
+    def test_slow_query_log_has_the_records(self, stack, obs_dir):
+        _, door, _ = stack
+        _http(door.port, "POST", "/predict", {"points": [[0.2, 0.2]]})
+        deadline = time.monotonic() + 5.0
+        records = []
+        while time.monotonic() < deadline:
+            records = load_jsonl_events(obs_dir / "slow.jsonl")
+            if records:
+                break
+            time.sleep(0.05)
+        assert records
+        assert all("request_id" in r and "spans" in r for r in records)
+
+
+class TestWorkerMetricsAggregation:
+    def test_worker_registries_surface_in_the_fleet_scrape(self, stack):
+        fleet, door, _ = stack
+        _http(door.port, "POST", "/predict", {"points": [[0.0, 0.0], [1.0, 1.0]]})
+        text = render_prometheus(fleet.registry)
+        assert 'mudbscan_serving_requests_total{worker="0"}' in text
+        assert 'mudbscan_serving_requests_total{worker="1"}' in text
+        # histogram series merge too, labelled per worker
+        assert 'mudbscan_serving_request_latency_seconds_count{worker=' in text
+
+    def test_metrics_endpoint_serves_the_merge(self, stack):
+        _, door, _ = stack
+        status, _, text = _http(door.port, "GET", "/metrics")
+        assert status == 200
+        assert "mudbscan_serving_requests_total{" in text
+
+
+class TestSLOEndpoint:
+    def test_slo_endpoint_reports_after_traffic(self, stack):
+        _, door, _ = stack
+        _http(door.port, "GET", "/slo")  # first tick (anchor snapshot)
+        _http(door.port, "POST", "/predict", {"points": [[0.0, 0.0]]})
+        status, _, out = _http(door.port, "GET", "/slo")
+        assert status == 200
+        by_name = {s["name"]: s for s in out["slos"]}
+        assert set(by_name) == {"availability", "latency_p99", "streaming_staleness"}
+        avail = by_name["availability"]
+        assert avail["status"] in ("ok", "burning")
+        fast = avail["windows"]["fast"]
+        assert fast["total"] >= 1 and 0.0 <= fast["sli"] <= 1.0
+        assert isinstance(out["burning"], list)
+
+    def test_slo_cli_verb(self, stack, capsys):
+        from repro.cli import main
+
+        _, door, _ = stack
+        code = main(["slo", "--url", door.url])
+        out = capsys.readouterr().out
+        assert "availability" in out and "burning:" in out
+        assert code in (0, 1)
+
+    def test_slo_cli_json(self, stack, capsys):
+        from repro.cli import main
+
+        _, door, _ = stack
+        main(["slo", "--url", door.url, "--json"])
+        out = json.loads(capsys.readouterr().out)
+        assert "slos" in out
+
+    def test_slo_cli_unreachable_is_exit_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["slo", "--url", "http://127.0.0.1:1", "--timeout", "1"]) == 2
+
+
+class TestEventLogAcrossProcesses:
+    def test_all_components_write_to_one_log(self, stack, obs_dir):
+        _, door, _ = stack
+        _http(door.port, "POST", "/predict", {"points": [[0.0, 0.0]]})
+        events = load_jsonl_events(obs_dir / "events.jsonl")
+        components = {e["component"] for e in events}
+        # parent-side fleet + door, spawned workers: one shared file
+        assert {"fleet", "frontdoor", "worker0", "worker1"} <= components
+        assert any(e["event"] == "fleet_started" for e in events)
+        assert any(e["event"] == "worker_ready" for e in events)
+        ok_events = [e for e in events if e["event"] == "predict_ok"]
+        assert ok_events and all("trace_id" in e for e in ok_events)
+
+    def test_failures_log_at_warning_with_the_trace_id(self, stack, obs_dir):
+        _, door, _ = stack
+        _, hdrs, _ = _http(
+            door.port, "POST", "/predict",
+            {"points": [[0.0, 0.0]]}, headers={"X-Deadline-Ms": "0.001"},
+        )
+        rid = hdrs["x-request-id"]
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            events = load_jsonl_events(obs_dir / "events.jsonl")
+            failed = [
+                e for e in events
+                if e["event"] == "predict_failed" and e.get("trace_id") == rid
+            ]
+            if failed:
+                break
+            time.sleep(0.05)
+        assert failed and failed[0]["level"] == "warning"
+        assert failed[0]["status"] == 504
+
+
+class TestSwapInFlight:
+    def test_traced_requests_survive_a_hot_swap(self, stack, model):
+        fleet, door, retention = stack
+        model_v2 = fit_model(model.points, 0.12, 8)
+        stop = threading.Event()
+        results = []
+
+        def _traffic():
+            while not stop.is_set():
+                status, hdrs, _ = _http(
+                    door.port, "POST", "/predict", {"points": [[0.5, 0.5]]}
+                )
+                results.append((status, hdrs.get("x-request-id")))
+
+        t = threading.Thread(target=_traffic, daemon=True)
+        t.start()
+        try:
+            status, _, report = _http(
+                door.port, "POST", "/admin/swap", {"model_path": None}
+            )
+            assert status in (400, 500)  # bad body: swap validates first
+            swap = fleet.swap(model_v2)
+            assert swap.to_version == model_v2.version_token()
+        finally:
+            stop.set()
+            t.join(timeout=30)
+        assert results
+        statuses = {s for s, _ in results}
+        assert statuses == {200}  # the swap dropped no request
+        assert all(rid for _, rid in results)
+        # traced across the swap: spot-check the last request's tree
+        last_rid = results[-1][1]
+        trace = _get_trace(door.port, last_rid)
+        names = {s["name"] for s in trace["spans"]}
+        assert {"frontdoor.predict", "fleet.dispatch", "worker.predict"} <= names

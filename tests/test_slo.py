@@ -1,0 +1,290 @@
+"""SLO specs + windowed burn-rate math, on synthetic registries.
+
+The engine is a pure reader of the metrics registry, so every scenario
+here is driven by moving counters/gauges under an injectable clock —
+no serving stack, no sleeping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability.registry import MetricsRegistry
+from repro.observability.slo import (
+    SLOEngine,
+    SLOSpec,
+    default_serving_slos,
+    format_slo_report,
+)
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def availability_spec(objective: float = 0.99) -> SLOSpec:
+    return SLOSpec(
+        name="availability",
+        kind="availability",
+        objective=objective,
+        total_metrics=("req_total",),
+        bad_metrics=("bad_total",),
+    )
+
+
+class TestSLOSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            SLOSpec(name="x", kind="vibes", objective=0.9)
+
+    @pytest.mark.parametrize("objective", [0.0, 1.0, 1.5, -0.1])
+    def test_rejects_bad_objective(self, objective):
+        with pytest.raises(ValueError, match="objective"):
+            SLOSpec(
+                name="x", kind="availability", objective=objective,
+                total_metrics=("t",),
+            )
+
+    def test_kind_specific_requirements(self):
+        with pytest.raises(ValueError, match="total_metrics"):
+            SLOSpec(name="a", kind="availability", objective=0.9)
+        with pytest.raises(ValueError, match="histogram"):
+            SLOSpec(name="l", kind="latency", objective=0.9)
+        with pytest.raises(ValueError, match="gauge"):
+            SLOSpec(name="s", kind="staleness", objective=0.9)
+
+    def test_budget(self):
+        assert availability_spec(0.99).budget == pytest.approx(0.01)
+
+    def test_default_serving_slos_cover_three_kinds(self):
+        specs = default_serving_slos()
+        assert {s.kind for s in specs} == {"availability", "latency", "staleness"}
+        assert all(0.0 < s.objective < 1.0 for s in specs)
+
+
+class TestAvailabilityBurn:
+    def _engine(self, registry, clock, **kw):
+        return SLOEngine(
+            registry,
+            (availability_spec(),),
+            windows=(("fast", 60.0), ("slow", 600.0)),
+            clock=clock,
+            **kw,
+        )
+
+    def test_healthy_traffic_is_ok(self):
+        reg = MetricsRegistry(enabled=True)
+        total = reg.counter("req_total", "t")
+        reg.counter("bad_total", "b")
+        clock = FakeClock()
+        eng = self._engine(reg, clock)
+        eng.tick()
+        for _ in range(5):
+            clock.advance(10.0)
+            total.inc(100)
+            eng.tick()
+        out = eng.evaluate()
+        (slo,) = out["slos"]
+        assert slo["status"] == "ok"
+        assert slo["windows"]["fast"]["sli"] == 1.0
+        assert slo["windows"]["fast"]["burn_rate"] == 0.0
+        assert out["burning"] == []
+
+    def test_sustained_burn_flags(self):
+        reg = MetricsRegistry(enabled=True)
+        total = reg.counter("req_total", "t")
+        bad = reg.counter("bad_total", "b")
+        clock = FakeClock()
+        eng = self._engine(reg, clock)
+        eng.tick()
+        for _ in range(5):
+            clock.advance(10.0)
+            total.inc(100)
+            bad.inc(10)  # 10% bad against a 1% budget => burn 10x
+            eng.tick()
+        out = eng.evaluate()
+        (slo,) = out["slos"]
+        assert slo["status"] == "burning"
+        assert out["burning"] == ["availability"]
+        assert slo["windows"]["fast"]["burn_rate"] == pytest.approx(10.0, rel=1e-3)
+
+    def test_old_errors_age_out_of_the_fast_window(self):
+        reg = MetricsRegistry(enabled=True)
+        total = reg.counter("req_total", "t")
+        bad = reg.counter("bad_total", "b")
+        clock = FakeClock()
+        eng = self._engine(reg, clock)
+        eng.tick()
+        clock.advance(10.0)
+        total.inc(100)
+        bad.inc(50)  # one bad burst...
+        eng.tick()
+        for _ in range(8):
+            clock.advance(10.0)
+            total.inc(100)
+            eng.tick()  # ...then a clean minute+
+        out = eng.evaluate()
+        (slo,) = out["slos"]
+        # fast window is clean; slow window still remembers => not burning
+        assert slo["windows"]["fast"]["burn_rate"] == 0.0
+        assert slo["windows"]["slow"]["burn_rate"] > 1.0
+        assert slo["status"] == "ok"
+
+    def test_no_traffic_is_no_data(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("req_total", "t")
+        reg.counter("bad_total", "b")
+        clock = FakeClock()
+        eng = self._engine(reg, clock)
+        out = eng.evaluate()
+        (slo,) = out["slos"]
+        assert slo["status"] == "no_data"
+        assert out["burning"] == []
+
+    def test_burn_threshold_is_respected(self):
+        reg = MetricsRegistry(enabled=True)
+        total = reg.counter("req_total", "t")
+        bad = reg.counter("bad_total", "b")
+        clock = FakeClock()
+        eng = self._engine(reg, clock, burn_threshold=20.0)
+        eng.tick()
+        clock.advance(10.0)
+        total.inc(100)
+        bad.inc(10)  # burn 10x < threshold 20x
+        eng.tick()
+        out = eng.evaluate()
+        assert out["slos"][0]["status"] == "ok"
+
+
+class TestLatencyBurn:
+    def _spec(self, threshold_s=0.25, objective=0.9):
+        return SLOSpec(
+            name="latency",
+            kind="latency",
+            objective=objective,
+            histogram="lat_seconds",
+            threshold_s=threshold_s,
+        )
+
+    def test_fast_requests_ok_slow_requests_burn(self):
+        reg = MetricsRegistry(enabled=True)
+        hist = reg.histogram("lat_seconds", "l")
+        clock = FakeClock()
+        eng = SLOEngine(
+            reg, (self._spec(),), windows=(("fast", 60.0),), clock=clock
+        )
+        eng.tick()
+        clock.advance(10.0)
+        for _ in range(100):
+            hist.observe(0.01)  # all inside 0.25 s
+        eng.tick()
+        out = eng.evaluate()
+        assert out["slos"][0]["windows"]["fast"]["burn_rate"] == 0.0
+
+        clock.advance(10.0)
+        for _ in range(50):
+            hist.observe(5.0)  # all outside
+        out = eng.evaluate()
+        win = out["slos"][0]["windows"]["fast"]
+        assert win["burn_rate"] > 1.0
+        assert out["slos"][0]["status"] == "burning"
+
+    def test_threshold_below_every_bucket_is_no_data(self):
+        reg = MetricsRegistry(enabled=True)
+        hist = reg.histogram("lat_seconds", "l")
+        clock = FakeClock()
+        eng = SLOEngine(
+            reg,
+            (self._spec(threshold_s=1e-9),),
+            windows=(("fast", 60.0),),
+            clock=clock,
+        )
+        eng.tick()
+        clock.advance(5.0)
+        hist.observe(0.1)
+        out = eng.evaluate()
+        assert out["slos"][0]["windows"]["fast"].get("no_data")
+
+
+class TestStalenessBurn:
+    def _spec(self):
+        return SLOSpec(
+            name="staleness",
+            kind="staleness",
+            objective=0.5,
+            gauge="stale_seconds",
+            threshold_s=30.0,
+        )
+
+    def test_fresh_gauge_ok(self):
+        reg = MetricsRegistry(enabled=True)
+        gauge = reg.gauge("stale_seconds", "s")
+        clock = FakeClock()
+        eng = SLOEngine(reg, (self._spec(),), windows=(("fast", 60.0),), clock=clock)
+        for _ in range(4):
+            gauge.set(1.0)
+            eng.tick()
+            clock.advance(5.0)
+        out = eng.evaluate()
+        win = out["slos"][0]["windows"]["fast"]
+        assert win["burn_rate"] == 0.0 and win["current"] == 1.0
+
+    def test_stale_gauge_burns(self):
+        reg = MetricsRegistry(enabled=True)
+        gauge = reg.gauge("stale_seconds", "s")
+        clock = FakeClock()
+        eng = SLOEngine(reg, (self._spec(),), windows=(("fast", 60.0),), clock=clock)
+        for _ in range(4):
+            gauge.set(120.0)  # way past the 30 s threshold
+            eng.tick()
+            clock.advance(5.0)
+        out = eng.evaluate()
+        assert out["slos"][0]["status"] == "burning"
+
+
+class TestEngineHousekeeping:
+    def test_history_is_pruned_past_longest_window(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("req_total", "t")
+        clock = FakeClock()
+        eng = SLOEngine(
+            reg, (availability_spec(),), windows=(("fast", 30.0),), clock=clock
+        )
+        for _ in range(200):
+            eng.tick()
+            clock.advance(1.0)
+        # ~31 s of history plus one anchor, not 200 snapshots
+        assert len(eng._snapshots) < 40
+
+    def test_needs_a_window(self):
+        with pytest.raises(ValueError, match="window"):
+            SLOEngine(MetricsRegistry(enabled=True), windows=())
+
+    def test_report_renders_and_mentions_burning(self):
+        reg = MetricsRegistry(enabled=True)
+        total = reg.counter("req_total", "t")
+        bad = reg.counter("bad_total", "b")
+        clock = FakeClock()
+        eng = SLOEngine(
+            reg, (availability_spec(),), windows=(("fast", 60.0),), clock=clock
+        )
+        eng.tick()
+        clock.advance(10.0)
+        total.inc(10)
+        bad.inc(5)
+        text = format_slo_report(eng.evaluate())
+        assert "availability" in text
+        assert "burning: availability" in text
+
+    def test_report_handles_no_data(self):
+        reg = MetricsRegistry(enabled=True)
+        eng = SLOEngine(reg, (availability_spec(),), clock=FakeClock())
+        text = format_slo_report(eng.evaluate())
+        assert "no_data" in text and "burning: none" in text

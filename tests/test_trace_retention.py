@@ -1,0 +1,130 @@
+"""Tail-based trace retention: keep errors, keep the slow tail, bound it."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.observability.logging import load_jsonl_events
+from repro.observability.tail import (
+    MAX_LOGGED_QUERY_ROWS,
+    TraceRetention,
+    quantize_queries,
+)
+
+
+def offer(ret, rid, status=200, latency_s=0.01, **kw):
+    return ret.offer(
+        rid, status=status, latency_s=latency_s, start_unix=1000.0, **kw
+    )
+
+
+class TestQuantize:
+    def test_rounds_and_caps_rows(self):
+        q = np.arange(40, dtype=np.float64).reshape(20, 2) + 0.123456
+        out = quantize_queries(q)
+        assert len(out) == MAX_LOGGED_QUERY_ROWS
+        assert out[0] == [0.123, 1.123]
+
+    def test_none_passes_through(self):
+        assert quantize_queries(None) is None
+
+    def test_single_row(self):
+        assert quantize_queries(np.array([1.23456, 7.0])) == [[1.235, 7.0]]
+
+
+class TestRetentionPolicy:
+    def test_errors_always_kept(self):
+        ret = TraceRetention(slow_percentile=99.0)
+        assert offer(ret, "bad", status=503, error="boom")
+        kept = ret.get("bad")
+        assert kept.reason == "error" and kept.error == "boom"
+
+    def test_successes_need_a_warm_reservoir(self):
+        ret = TraceRetention(slow_percentile=99.0, min_samples=32)
+        # below min_samples no success is "slow", however slow it was
+        assert not offer(ret, "s0", latency_s=100.0)
+
+    def test_slow_tail_kept_once_warm(self):
+        ret = TraceRetention(slow_percentile=90.0, min_samples=10)
+        for i in range(50):
+            offer(ret, f"fast{i}", latency_s=0.001 * (i + 1))
+        assert offer(ret, "slowpoke", latency_s=5.0)
+        assert ret.get("slowpoke").reason == "slow"
+        # and a below-the-percentile request is still not retained
+        assert not offer(ret, "typical", latency_s=0.005)
+
+    def test_percentile_zero_retains_everything(self):
+        ret = TraceRetention(slow_percentile=0.0)
+        assert offer(ret, "a") and offer(ret, "b")
+        assert [t.request_id for t in ret.traces()] == ["a", "b"]
+
+    def test_ring_evicts_oldest(self):
+        ret = TraceRetention(capacity=3, slow_percentile=0.0)
+        for i in range(5):
+            offer(ret, f"r{i}")
+        ids = [t.request_id for t in ret.traces()]
+        assert ids == ["r2", "r3", "r4"]
+        assert ret.get("r0") is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TraceRetention(capacity=0)
+        with pytest.raises(ValueError, match="slow_percentile"):
+            TraceRetention(slow_percentile=101.0)
+
+
+class TestRetainedRecord:
+    def test_dict_shape_and_quantized_queries(self):
+        ret = TraceRetention(slow_percentile=0.0)
+        q = np.array([[0.11119, 0.2], [0.3, 0.4]])
+        spans = [{"name": "frontdoor.predict", "span_id": "x"}]
+        offer(ret, "rid1", latency_s=0.25, n_queries=2, queries=q, spans=spans)
+        d = ret.get("rid1").to_dict()
+        assert d["request_id"] == "rid1"
+        assert d["latency_ms"] == 250.0
+        assert d["queries_quantized"] == [[0.111, 0.2], [0.3, 0.4]]
+        assert d["spans"] == spans
+        s = ret.get("rid1").summary()
+        assert s["n_spans"] == 1 and "spans" not in s
+
+    def test_stats(self):
+        ret = TraceRetention(slow_percentile=99.0)
+        offer(ret, "e", status=500)
+        offer(ret, "ok", status=200)
+        st = ret.stats()
+        assert st["offered"] == 2 and st["kept"] == 1
+        assert st["ring_size"] == 1 and st["slow_percentile"] == 99.0
+
+
+class TestSlowQueryLog:
+    def test_retained_traces_land_in_jsonl(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        ret = TraceRetention(slow_percentile=0.0, log_path=str(path))
+        offer(ret, "logme", status=504, error="deadline",
+              queries=np.array([[1.0, 2.0]]))
+        ret.close()
+        (rec,) = load_jsonl_events(path)
+        assert rec["request_id"] == "logme"
+        assert rec["reason"] == "error"
+        assert rec["queries_quantized"] == [[1.0, 2.0]]
+
+    def test_log_rotates(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        ret = TraceRetention(
+            slow_percentile=0.0, log_path=str(path), max_bytes=400, backups=2
+        )
+        for i in range(30):
+            offer(ret, f"r{i}", spans=[{"pad": "x" * 30}])
+        ret.close()
+        assert path.with_name("slow.jsonl.1").exists()
+        for line in path.read_text().splitlines():
+            json.loads(line)  # no torn records
+
+    def test_no_log_path_keeps_memory_only(self):
+        ret = TraceRetention(slow_percentile=0.0)
+        offer(ret, "x")
+        assert ret.log_path is None
+        ret.close()  # no writer: must not raise
